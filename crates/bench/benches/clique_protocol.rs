@@ -1,0 +1,81 @@
+//! Clique-protocol state machine costs: token handling, elections, and
+//! merges across pool sizes. These run inside every Gossip on every tick,
+//! so they must be far cheaper than the message latencies they govern.
+
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+
+use ew_gossip::messages::Token;
+use ew_gossip::{CliqueConfig, CliqueState};
+use ew_sim::SimTime;
+
+fn clique_of(n: u64) -> Vec<CliqueState> {
+    let peers: Vec<u64> = (0..n).collect();
+    let members: Vec<u64> = peers.clone();
+    peers
+        .iter()
+        .map(|&me| {
+            let mut c = CliqueState::new(me, &peers, CliqueConfig::default(), SimTime::ZERO);
+            // Adopt an established clique via a token.
+            c.on_token(
+                &Token {
+                    generation: 1,
+                    leader: 0,
+                    members: members.clone(),
+                    seq: 0,
+                },
+                SimTime::ZERO,
+            );
+            c
+        })
+        .collect()
+}
+
+fn bench_token_round(c: &mut Criterion) {
+    let mut group = c.benchmark_group("clique_token_round");
+    for n in [3u64, 10, 50] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter_batched(
+                || clique_of(n),
+                |mut members| {
+                    // One full circulation of the token around the ring.
+                    let mut holder = 0usize;
+                    for _ in 0..n {
+                        let (next, tok) = members[holder].forward_token().unwrap();
+                        let idx = next as usize;
+                        members[idx].on_token(&tok, SimTime::from_secs(1));
+                        holder = idx;
+                    }
+                    members
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+fn bench_election_cycle(c: &mut Criterion) {
+    let mut group = c.benchmark_group("clique_election");
+    for n in [3u64, 10, 50] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter_batched(
+                || clique_of(n),
+                |mut members| {
+                    let (call, targets) = members[1].start_election(SimTime::from_secs(100));
+                    for &t in &targets {
+                        if members[t as usize].on_election_call(&call, SimTime::from_secs(100)) {
+                            members[1].on_election_reply(t);
+                        }
+                    }
+                    members[1].finish_election(SimTime::from_secs(110));
+                    members
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_token_round, bench_election_cycle);
+criterion_main!(benches);

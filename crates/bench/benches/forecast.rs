@@ -1,0 +1,90 @@
+//! Forecasting benchmarks: the NWS battery must be cheap enough to run on
+//! every measurement stream of every component ("light-weight time series
+//! forecasting methods", §2.2).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use std::hint::black_box;
+
+use ew_forecast::{DynamicBenchmark, ForecastTimeout, ForecasterSet};
+use ew_proto::{EventTag, TimeoutPolicy};
+use ew_sim::{SimDuration, SimTime, Xoshiro256};
+
+fn noisy_series(n: usize) -> Vec<f64> {
+    let mut rng = Xoshiro256::seed_from_u64(7);
+    (0..n)
+        .map(|i| 10.0 + (i as f64 / 50.0).sin() * 2.0 + rng.normal() * 0.5)
+        .collect()
+}
+
+fn bench_battery_update(c: &mut Criterion) {
+    let series = noisy_series(1000);
+    let mut g = c.benchmark_group("forecaster_battery");
+    g.throughput(Throughput::Elements(series.len() as u64));
+    g.bench_function("update_1000_measurements", |b| {
+        b.iter_batched(
+            ForecasterSet::standard,
+            |mut set| {
+                for &x in &series {
+                    set.update(x);
+                }
+                set
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+fn bench_predict(c: &mut Criterion) {
+    let mut set = ForecasterSet::standard();
+    for &x in &noisy_series(500) {
+        set.update(x);
+    }
+    c.bench_function("battery_predict_after_500", |b| {
+        b.iter(|| black_box(&set).predict().unwrap())
+    });
+}
+
+fn bench_dynamic_benchmark(c: &mut Criterion) {
+    c.bench_function("dynbench_begin_end_cycle", |b| {
+        b.iter_batched(
+            DynamicBenchmark::<(u64, u16)>::new,
+            |mut db| {
+                let mut t = SimTime::ZERO;
+                for i in 0..200u64 {
+                    db.begin((1, 0x101), i, t);
+                    t = t + SimDuration::from_millis(100);
+                    db.end((1, 0x101), i, t);
+                }
+                db
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_timeout_policy(c: &mut Criterion) {
+    let tag = EventTag {
+        peer: 9,
+        mtype: 0x101,
+    };
+    let mut warm = ForecastTimeout::wan_default();
+    for _ in 0..200 {
+        warm.observe_rtt(tag, SimDuration::from_millis(120));
+    }
+    c.bench_function("forecast_timeout_decision", |b| {
+        b.iter(|| warm.timeout_for(black_box(tag)))
+    });
+    c.bench_function("forecast_timeout_observe_rtt", |b| {
+        b.iter(|| warm.observe_rtt(black_box(tag), SimDuration::from_millis(121)))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_battery_update,
+    bench_predict,
+    bench_dynamic_benchmark,
+    bench_timeout_policy
+);
+criterion_main!(benches);

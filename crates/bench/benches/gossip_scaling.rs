@@ -1,0 +1,68 @@
+//! The §2.3 scaling cost: "because each Gossip does a pair-wise comparison
+//! of application component state, N² comparisons are required for N
+//! application components". Measures the prototype-faithful pairwise pass
+//! against this reproduction's optimized O(N) pass, across pool sizes.
+
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+
+use ew_gossip::messages::TypeRegistration;
+use ew_gossip::{GossipStore, VersionedBlob};
+
+fn store_with(n: usize) -> GossipStore {
+    let mut s = GossipStore::new();
+    for c in 0..n as u64 {
+        s.register(
+            c,
+            &[TypeRegistration {
+                stype: 1,
+                comparator: 0,
+            }],
+        );
+        s.record_component_state(c, 1, VersionedBlob::new(c + 1, vec![0u8; 32]));
+    }
+    s
+}
+
+fn bench_reconciliation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gossip_reconciliation");
+    for n in [4usize, 16, 64, 256] {
+        group.bench_with_input(
+            BenchmarkId::new("pairwise_n2_prototype", n),
+            &n,
+            |b, &n| {
+                b.iter_batched(
+                    || store_with(n),
+                    |mut s| s.pairwise_reconcile(1),
+                    BatchSize::SmallInput,
+                )
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("optimized_linear_pass", n),
+            &n,
+            |b, &n| {
+                b.iter_batched(
+                    || store_with(n),
+                    |mut s| s.stale_components(1),
+                    BatchSize::SmallInput,
+                )
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_rendezvous(c: &mut Criterion) {
+    use ew_gossip::responsible_gossip;
+    let pool: Vec<u64> = (0..8).map(|i| 100 + i).collect();
+    c.bench_function("rendezvous_hash_8_gossips", |b| {
+        let mut comp = 0u64;
+        b.iter(|| {
+            comp = comp.wrapping_add(1);
+            responsible_gossip(&pool, comp)
+        })
+    });
+}
+
+criterion_group!(benches, bench_reconciliation, bench_rendezvous);
+criterion_main!(benches);

@@ -1,0 +1,79 @@
+//! Lingua-franca codec benchmarks: wire encode/decode, packet
+//! serialization, CRC, and stream framing under realistic payloads.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use std::hint::black_box;
+
+use ew_proto::packet::{crc32, FrameReader, Packet};
+use ew_proto::{mtype, WireDecode, WireEncode};
+use ew_ramsey::{RamseyProblem, WorkUnit};
+
+fn bench_wire_codec(c: &mut Criterion) {
+    let unit = WorkUnit {
+        id: 42,
+        problem: RamseyProblem { k: 5, n: 43 },
+        heuristic: 1,
+        seed: 0xDEAD_BEEF,
+        step_budget: 6000,
+        start_graph: vec![0xA5; 115], // a 43-vertex coloring (903 bits)
+    };
+    let bytes = unit.to_wire();
+    let mut g = c.benchmark_group("wire_codec");
+    g.throughput(Throughput::Bytes(bytes.len() as u64));
+    g.bench_function("encode_work_unit", |b| {
+        b.iter(|| black_box(&unit).to_wire())
+    });
+    g.bench_function("decode_work_unit", |b| {
+        b.iter(|| WorkUnit::from_wire(black_box(&bytes)).unwrap())
+    });
+    g.finish();
+}
+
+fn bench_crc(c: &mut Criterion) {
+    let data = vec![0x5Au8; 16 * 1024];
+    let mut g = c.benchmark_group("crc32");
+    g.throughput(Throughput::Bytes(data.len() as u64));
+    g.bench_function("crc32_16k", |b| b.iter(|| crc32(black_box(&data))));
+    g.finish();
+}
+
+fn bench_packet_stream(c: &mut Criterion) {
+    let pkt = Packet::request(mtype::APP_BASE, 7, vec![0xC3; 1024]);
+    let stream = pkt.to_stream_bytes();
+    let mut g = c.benchmark_group("packet_stream");
+    g.throughput(Throughput::Bytes(stream.len() as u64));
+    g.bench_function("serialize_1k", |b| {
+        b.iter(|| black_box(&pkt).to_stream_bytes())
+    });
+    g.bench_function("frame_and_parse_1k", |b| {
+        b.iter_batched(
+            FrameReader::new,
+            |mut fr| {
+                fr.feed(black_box(&stream));
+                fr.next_packet().unwrap().unwrap()
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    // Fragmented delivery: the framer's buffered path.
+    g.bench_function("frame_fragmented_64B_chunks", |b| {
+        b.iter_batched(
+            FrameReader::new,
+            |mut fr| {
+                let mut out = None;
+                for chunk in stream.chunks(64) {
+                    fr.feed(chunk);
+                    if let Some(p) = fr.next_packet().unwrap() {
+                        out = Some(p);
+                    }
+                }
+                out.unwrap()
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_wire_codec, bench_crc, bench_packet_stream);
+criterion_main!(benches);

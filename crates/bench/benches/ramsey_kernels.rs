@@ -1,0 +1,164 @@
+//! The application's hot kernels: monochromatic clique counting, flip-delta
+//! evaluation, and heuristic step rates on the paper's actual problem sizes
+//! (`R(4)` on 17 vertices; `R(5)` on 43 vertices, §3).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use std::hint::black_box;
+
+use ew_ramsey::{
+    best_flip_parallel, count_total, flip_delta, heuristic_by_kind, ColoredGraph, Heuristic,
+    OpsCounter, ParallelSteepest, SearchState,
+};
+use ew_sim::Xoshiro256;
+
+fn bench_counting(c: &mut Criterion) {
+    let paley17 = ColoredGraph::paley(17);
+    let mut rng = Xoshiro256::seed_from_u64(5);
+    let g43 = ColoredGraph::random(43, &mut rng);
+    let mut group = c.benchmark_group("clique_counting");
+    group.bench_function("count_k4_paley17", |b| {
+        b.iter(|| {
+            let mut ops = OpsCounter::new();
+            count_total(black_box(&paley17), 4, &mut ops)
+        })
+    });
+    group.bench_function("count_k5_random43", |b| {
+        b.iter(|| {
+            let mut ops = OpsCounter::new();
+            count_total(black_box(&g43), 5, &mut ops)
+        })
+    });
+    group.finish();
+}
+
+fn bench_flip_delta(c: &mut Criterion) {
+    let mut rng = Xoshiro256::seed_from_u64(6);
+    let g43 = ColoredGraph::random(43, &mut rng);
+    c.bench_function("flip_delta_k5_random43", |b| {
+        b.iter(|| {
+            let mut ops = OpsCounter::new();
+            flip_delta(black_box(&g43), 5, 7, 31, &mut ops)
+        })
+    });
+}
+
+fn bench_heuristic_steps(c: &mut Criterion) {
+    let mut group = c.benchmark_group("heuristic_steps");
+    group.throughput(Throughput::Elements(10));
+    for (kind, name) in [(0u8, "greedy"), (1, "tabu"), (2, "anneal")] {
+        group.bench_function(format!("{name}_10_steps_r5_n43"), |b| {
+            b.iter_batched(
+                || {
+                    let mut rng = Xoshiro256::seed_from_u64(9);
+                    let st = SearchState::random(43, 5, &mut rng);
+                    (st, heuristic_by_kind(kind), rng)
+                },
+                |(mut st, mut h, mut rng)| {
+                    for _ in 0..10 {
+                        h.step(&mut st, &mut rng);
+                    }
+                    st.count()
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+fn bench_parallel_heuristic(c: &mut Criterion) {
+    // §6's parallelized heuristic: full 903-edge neighborhood evaluation
+    // on the R(5) frontier, sequential scan vs rayon fan-out.
+    let mut rng = Xoshiro256::seed_from_u64(10);
+    let state = SearchState::random(43, 5, &mut rng);
+    let mut group = c.benchmark_group("parallel_neighborhood_r5_n43");
+    group.bench_function("rayon_all_edges", |b| {
+        b.iter(|| best_flip_parallel(black_box(&state), |_, _| false, |_| false))
+    });
+    group.bench_function("sequential_all_edges", |b| {
+        b.iter(|| {
+            let g = state.graph();
+            let mut ops = OpsCounter::new();
+            let mut best: Option<(usize, usize, i64)> = None;
+            for u in 0..g.n() {
+                for v in (u + 1)..g.n() {
+                    let d = flip_delta(g, 5, u, v, &mut ops);
+                    let better = match best {
+                        None => true,
+                        Some((bu, bv, bd)) => (d, u, v) < (bd, bu, bv),
+                    };
+                    if better {
+                        best = Some((u, v, d));
+                    }
+                }
+            }
+            (best, ops.total())
+        })
+    });
+    group.bench_function("parallel_steepest_step", |b| {
+        b.iter_batched(
+            || {
+                let mut rng = Xoshiro256::seed_from_u64(11);
+                (SearchState::random(43, 5, &mut rng), ParallelSteepest::default(), rng)
+            },
+            |(mut st, mut h, mut rng)| {
+                h.step(&mut st, &mut rng);
+                st.count()
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+
+    // The §6 motivation proper: R(6) needs 102-vertex colorings, where
+    // each neighborhood sweep is 5,151 deltas over far denser cliques —
+    // this is where the parallel heuristic pays.
+    let mut rng = Xoshiro256::seed_from_u64(12);
+    let state102 = SearchState::new(ColoredGraph::random(102, &mut rng), 6);
+    let mut group = c.benchmark_group("parallel_neighborhood_r6_n102");
+    group.sample_size(10);
+    group.bench_function("rayon_all_edges", |b| {
+        b.iter(|| best_flip_parallel(black_box(&state102), |_, _| false, |_| false))
+    });
+    group.bench_function("sequential_all_edges", |b| {
+        b.iter(|| {
+            let g = state102.graph();
+            let mut ops = OpsCounter::new();
+            let mut best: Option<(usize, usize, i64)> = None;
+            for u in 0..g.n() {
+                for v in (u + 1)..g.n() {
+                    let d = flip_delta(g, 6, u, v, &mut ops);
+                    let better = match best {
+                        None => true,
+                        Some((bu, bv, bd)) => (d, u, v) < (bd, bu, bv),
+                    };
+                    if better {
+                        best = Some((u, v, d));
+                    }
+                }
+            }
+            (best, ops.total())
+        })
+    });
+    group.finish();
+}
+
+fn bench_serialization(c: &mut Criterion) {
+    let mut rng = Xoshiro256::seed_from_u64(8);
+    let g = ColoredGraph::random(43, &mut rng);
+    let bytes = g.to_bytes();
+    c.bench_function("graph43_to_bytes", |b| b.iter(|| black_box(&g).to_bytes()));
+    c.bench_function("graph43_from_bytes", |b| {
+        b.iter(|| ColoredGraph::from_bytes(black_box(&bytes)).unwrap())
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_counting,
+    bench_flip_delta,
+    bench_heuristic_steps,
+    bench_parallel_heuristic,
+    bench_serialization
+);
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! Macro-benchmark: one simulated SC98 minute (full pool, full service
+//! stack) per iteration — the end-to-end cost of reproducing Figure 2, and
+//! the ablation comparison for forecast-driven vs last-value migration
+//! (§3.1.1's design choice).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+
+use everyware::{run_sc98, Sc98Config};
+use ew_sim::SimDuration;
+
+fn bench_sc98_minute(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sc98_macro");
+    g.sample_size(10);
+    g.bench_function("simulate_10_minutes_full_pool", |b| {
+        b.iter_batched(
+            || Sc98Config {
+                duration: SimDuration::from_secs(600),
+                judging: false,
+                ..Sc98Config::default()
+            },
+            |cfg| run_sc98(&cfg),
+            BatchSize::PerIteration,
+        )
+    });
+    g.finish();
+}
+
+fn bench_migration_ablation(c: &mut Criterion) {
+    // Not a wall-clock race: both arms cost the same to simulate. This
+    // records the *delivered ops* of each arm as custom output so the
+    // ablation is visible in bench logs, while timing the simulation.
+    let mut g = c.benchmark_group("sc98_migration_ablation");
+    g.sample_size(10);
+    for (name, forecasts) in [("forecast_migration", true), ("last_value_migration", false)] {
+        g.bench_function(name, |b| {
+            b.iter_batched(
+                || Sc98Config {
+                    duration: SimDuration::from_secs(600),
+                    judging: false,
+                    use_forecast_migration: forecasts,
+                    ..Sc98Config::default()
+                },
+                |cfg| run_sc98(&cfg).total_ops,
+                BatchSize::PerIteration,
+            )
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_sc98_minute, bench_migration_ablation);
+criterion_main!(benches);

@@ -1,0 +1,374 @@
+//! Regenerate every table and figure in the paper's evaluation.
+//!
+//! ```text
+//! cargo run --release -p ew-bench --bin figures -- all
+//! cargo run --release -p ew-bench --bin figures -- fig2 [--short]
+//! ```
+//!
+//! Subcommands: `fig2`, `fig3a`, `fig3b`, `fig3c`, `java`, `timeout`,
+//! `condor`, `scaling`, `criteria`, `all`. `--short` runs a 2-hour window
+//! instead of the full 12 hours (for smoke tests). `--seed N` reseeds.
+//! Markdown goes to stdout; JSON artifacts go to `results/`.
+
+use std::collections::BTreeMap;
+
+use everyware::{
+    mean, run_sc98, Sc98Config, Sc98Report, JUDGING_END_S, JUDGING_START_S,
+};
+use ew_bench::experiments::{condor_ablation, gossip_scaling, java_table, timeout_ablation};
+use ew_bench::{multi_series_table, series_json, series_table};
+use ew_sim::SimDuration;
+
+struct Options {
+    seed: u64,
+    short: bool,
+}
+
+fn sc98_cfg(opts: &Options) -> Sc98Config {
+    Sc98Config {
+        seed: opts.seed,
+        duration: if opts.short {
+            SimDuration::from_secs(7200)
+        } else {
+            SimDuration::from_secs(everyware::WINDOW_S)
+        },
+        judging: !opts.short,
+        ..Sc98Config::default()
+    }
+}
+
+fn write_json(name: &str, value: &serde_json::Value) {
+    let _ = std::fs::create_dir_all("results");
+    let path = format!("results/{name}.json");
+    match std::fs::write(&path, serde_json::to_string_pretty(value).unwrap()) {
+        Ok(()) => eprintln!("wrote {path}"),
+        Err(e) => eprintln!("could not write {path}: {e}"),
+    }
+}
+
+fn fig2(rep: &Sc98Report) {
+    println!(
+        "{}",
+        series_table(
+            "Figure 2 — Sustained Application Performance (5-minute averages)",
+            "integer ops / second",
+            &rep.total
+        )
+    );
+    println!("**Summary vs paper:**\n");
+    println!("| quantity | paper | this reproduction |");
+    println!("|---|---|---|");
+    println!("| peak 5-min rate | 2.39e9 | {:.3e} |", rep.peak_rate);
+    println!(
+        "| judging-window dip | 1.1e9 | {:.3e} |",
+        rep.judging_min_rate
+    );
+    println!("| recovered rate | 2.0e9 | {:.3e} |", rep.final_rate);
+    println!(
+        "| judging window | 11:00–11:10 PST | t = {JUDGING_START_S}–{JUDGING_END_S} s |\n"
+    );
+    write_json(
+        "fig2",
+        &serde_json::json!({
+            "series": series_json(&rep.total),
+            "peak": rep.peak_rate,
+            "judging_min": rep.judging_min_rate,
+            "final": rep.final_rate,
+        }),
+    );
+}
+
+fn fig3a(rep: &Sc98Report) {
+    let cols: Vec<(&str, &[everyware::BinnedPoint])> = rep
+        .per_infra
+        .iter()
+        .map(|(k, v)| (k.as_str(), v.as_slice()))
+        .collect();
+    println!(
+        "{}",
+        multi_series_table(
+            "Figure 3a / 4a — Sustained Processing Rate by Infrastructure \
+             (5-minute averages; Fig. 4a is this data on a log scale)",
+            "integer ops / second",
+            &cols
+        )
+    );
+    println!("**Per-infrastructure means (ordering check vs Figure 4a):**\n");
+    println!("| infrastructure | mean rate (ops/s) |");
+    println!("|---|---|");
+    let mut rows: Vec<(String, f64)> = rep
+        .per_infra
+        .iter()
+        .map(|(k, v)| (k.clone(), mean(v)))
+        .collect();
+    rows.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+    for (name, m) in &rows {
+        println!("| {name} | {m:.4e} |");
+    }
+    println!();
+    let mut j = BTreeMap::new();
+    for (k, v) in &rep.per_infra {
+        j.insert(k.clone(), series_json(v));
+    }
+    write_json("fig3a", &serde_json::json!(j));
+}
+
+fn fig3b(rep: &Sc98Report) {
+    let cols: Vec<(&str, &[everyware::BinnedPoint])> = rep
+        .host_counts
+        .iter()
+        .map(|(k, v)| (k.as_str(), v.as_slice()))
+        .collect();
+    println!(
+        "{}",
+        multi_series_table(
+            "Figure 3b / 4b — Host Count by Infrastructure \
+             (5-minute samples; Fig. 4b is this data on a log scale)",
+            "live hosts",
+            &cols
+        )
+    );
+    let mut j = BTreeMap::new();
+    for (k, v) in &rep.host_counts {
+        j.insert(k.clone(), series_json(v));
+    }
+    write_json("fig3b", &serde_json::json!(j));
+}
+
+fn fig3c(rep: &Sc98Report) {
+    println!(
+        "{}",
+        series_table(
+            "Figure 3c / 4c — Total Sustained Rate (same data as Figure 2)",
+            "integer ops / second",
+            &rep.total
+        )
+    );
+    println!("**Consistency (the paper's §4.2/§7 claim): despite per-infrastructure");
+    println!("fluctuation, the total is drawn uniformly.**\n");
+    println!("| series | coefficient of variation |");
+    println!("|---|---|");
+    println!("| **total** | **{:.3}** |", rep.cov_total);
+    for (k, v) in &rep.cov_per_infra {
+        println!("| {k} | {v:.3} |");
+    }
+    println!();
+    write_json(
+        "fig3c",
+        &serde_json::json!({
+            "cov_total": rep.cov_total,
+            "cov_per_infra": rep.cov_per_infra,
+        }),
+    );
+}
+
+fn java(opts: &Options) {
+    let t = java_table(opts.seed);
+    println!("### §5.6 — Java applet performance (300 MHz Pentium II)\n");
+    println!("| configuration | paper (ops/s) | model constant | delivered in 1 simulated hour |");
+    println!("|---|---|---|---|");
+    println!(
+        "| interpreted | 111,616 | {:.0} | {:.3e} |",
+        t.interpreted, t.interpreted_hour
+    );
+    println!(
+        "| JIT-compiled | 12,109,720 | {:.0} | {:.3e} |",
+        t.jit, t.jit_hour
+    );
+    println!("| speedup | ~108x | {:.1}x | — |\n", t.speedup);
+    write_json(
+        "java",
+        &serde_json::json!({
+            "interpreted": t.interpreted,
+            "jit": t.jit,
+            "speedup": t.speedup,
+            "interpreted_hour": t.interpreted_hour,
+            "jit_hour": t.jit_hour,
+        }),
+    );
+}
+
+fn timeout(opts: &Options) {
+    let duration = SimDuration::from_secs(if opts.short { 400 } else { 1800 });
+    let r = timeout_ablation(opts.seed, duration);
+    println!("### §2.2 ablation — static vs dynamic time-out discovery\n");
+    println!("A state-exchange server polls a component whose round trips run ~8 s");
+    println!("under ambient load (the SC98 show-floor situation).\n");
+    println!("| policy | polls answered | polls misjudged as lost |");
+    println!("|---|---|---|");
+    println!(
+        "| static 2 s | {} | {} |",
+        r.static_arm.polls_ok, r.static_arm.polls_timed_out
+    );
+    println!(
+        "| dynamic (forecast-discovered) | {} | {} |",
+        r.dynamic_arm.polls_ok, r.dynamic_arm.polls_timed_out
+    );
+    println!("\nPaper: \"the system frequently misjudged the availability ... causing");
+    println!("needless retries\"; dynamic discovery \"proved crucial to overall");
+    println!("program stability.\"\n");
+    write_json(
+        "timeout_ablation",
+        &serde_json::json!({
+            "static": {"ok": r.static_arm.polls_ok, "timeouts": r.static_arm.polls_timed_out},
+            "dynamic": {"ok": r.dynamic_arm.polls_ok, "timeouts": r.dynamic_arm.polls_timed_out},
+        }),
+    );
+}
+
+fn condor(opts: &Options) {
+    let duration = SimDuration::from_secs(if opts.short { 3600 } else { 10800 });
+    let r = condor_ablation(opts.seed, duration);
+    println!("### §5.4 ablation — scheduler placement vs the Condor pool\n");
+    println!("| configuration | client failovers | condor ops delivered | units completed |");
+    println!("|---|---|---|---|");
+    println!(
+        "| scheduler inside pool (killed on reclaim) | {} | {:.3e} | {} |",
+        r.inside.failovers, r.inside.condor_ops, r.inside.completed_units
+    );
+    println!(
+        "| schedulers outside pool only | {} | {:.3e} | {} |",
+        r.outside.failovers, r.outside.condor_ops, r.outside.completed_units
+    );
+    println!("\nPaper: \"clients spent an appreciable amount of time simply locating a");
+    println!("viable server. We, therefore, opted for a more stable configuration in");
+    println!("which the Condor application clients only contacted schedulers ...");
+    println!("outside of the Condor pools.\"\n");
+    write_json(
+        "condor_ablation",
+        &serde_json::json!({
+            "inside": {"failovers": r.inside.failovers, "condor_ops": r.inside.condor_ops,
+                        "units": r.inside.completed_units},
+            "outside": {"failovers": r.outside.failovers, "condor_ops": r.outside.condor_ops,
+                        "units": r.outside.completed_units},
+        }),
+    );
+}
+
+fn scaling() {
+    let rows = gossip_scaling(&[4, 8, 16, 32, 64, 128, 256]);
+    println!("### §2.3 — Gossip pairwise state comparison is O(N²)\n");
+    println!("| registered components N | comparisons per reconciliation |");
+    println!("|---|---|");
+    for (n, c) in &rows {
+        println!("| {n} | {c} |");
+    }
+    println!();
+    write_json(
+        "gossip_scaling",
+        &serde_json::json!(rows
+            .iter()
+            .map(|(n, c)| serde_json::json!({"n": n, "comparisons": c}))
+            .collect::<Vec<_>>()),
+    );
+}
+
+fn criteria(rep: &Sc98Report) {
+    println!("### §7 — The four Computational Grid criteria, quantified\n");
+    println!("| criterion | paper's evidence | this reproduction |");
+    println!("|---|---|---|");
+    println!(
+        "| pervasive | Tera MTA → coffee-shop browser | {} infrastructures, {} spanning {:.0}x in speed |",
+        rep.per_infra.len(),
+        "unix…java",
+        rep.per_infra["unix"].iter().map(|p| p.value).fold(0.0, f64::max)
+            / rep.per_infra["java"]
+                .iter()
+                .map(|p| p.value)
+                .fold(0.0, f64::max)
+                .max(1e-9)
+    );
+    println!(
+        "| dependable | ran June → November 1998 | {:.0} units completed, {:.0} host churns survived, services up all window |",
+        rep.counters["sched.completed_units"],
+        rep.counters["hosts.went_down"],
+    );
+    println!(
+        "| consistent | uniform power from fluctuating resources | CoV(total) = {:.3} vs median per-infra CoV = {:.3} |",
+        rep.cov_total,
+        {
+            let mut v: Vec<f64> = rep.cov_per_infra.values().copied().collect();
+            v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            v[v.len() / 2]
+        }
+    );
+    println!(
+        "| inexpensive | non-dedicated, unprivileged logins | all hosts shared/reclaimable; {:.0} reclamations absorbed, {:.0} migrations |",
+        rep.counters["procs.killed_by_host_down"],
+        rep.counters["sched.migrations"],
+    );
+    println!("\n**Raw counters:**\n");
+    println!("| counter | value |");
+    println!("|---|---|");
+    for (k, v) in &rep.counters {
+        println!("| {k} | {v:.0} |");
+    }
+    println!();
+    write_json("criteria", &serde_json::json!(rep.counters));
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut cmd = String::from("all");
+    let mut opts = Options {
+        seed: 1998,
+        short: false,
+    };
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--short" => opts.short = true,
+            "--seed" => {
+                opts.seed = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .expect("--seed needs a number");
+            }
+            other => cmd = other.to_string(),
+        }
+    }
+
+    let needs_sc98 = matches!(
+        cmd.as_str(),
+        "fig2" | "fig3a" | "fig3b" | "fig3c" | "fig4a" | "fig4b" | "fig4c" | "criteria" | "all"
+    );
+    let rep = needs_sc98.then(|| {
+        eprintln!(
+            "running the SC98 experiment ({} window, seed {})...",
+            if opts.short { "2-hour" } else { "12-hour" },
+            opts.seed
+        );
+        run_sc98(&sc98_cfg(&opts))
+    });
+
+    match cmd.as_str() {
+        "fig2" => fig2(rep.as_ref().unwrap()),
+        "fig3a" | "fig4a" => fig3a(rep.as_ref().unwrap()),
+        "fig3b" | "fig4b" => fig3b(rep.as_ref().unwrap()),
+        "fig3c" | "fig4c" => fig3c(rep.as_ref().unwrap()),
+        "java" => java(&opts),
+        "timeout" => timeout(&opts),
+        "condor" => condor(&opts),
+        "scaling" => scaling(),
+        "criteria" => criteria(rep.as_ref().unwrap()),
+        "all" => {
+            let rep = rep.as_ref().unwrap();
+            fig2(rep);
+            fig3a(rep);
+            fig3b(rep);
+            fig3c(rep);
+            criteria(rep);
+            java(&opts);
+            timeout(&opts);
+            condor(&opts);
+            scaling();
+        }
+        other => {
+            eprintln!(
+                "unknown command {other:?}; expected one of fig2 fig3a fig3b fig3c \
+                 java timeout condor scaling criteria all"
+            );
+            std::process::exit(2);
+        }
+    }
+}

@@ -1,0 +1,228 @@
+//! Application-service framework.
+//!
+//! §6 names this as the toolkit's next step: "we plan to exploit
+//! commonalities in the various service designs to provide an
+//! application-specific service framework or template. Programmers could
+//! then install control modules within the framework that would be
+//! automatically invoked by each server." [`ServiceHost`] is that
+//! template: it owns the lingua-franca plumbing — packet decode, response
+//! correlation, error replies, per-message-type service-time metrics — and
+//! invokes an installed [`ServiceModule`] for the application logic. The
+//! paper's bespoke servers (scheduler, persistent state, logging) each
+//! hand-rolled this loop; new services only write the module.
+
+use ew_proto::sim_net::{packet_from_event, send_packet};
+use ew_proto::Packet;
+use ew_sim::{Ctx, Event, Process, ProcessId};
+
+/// What a module wants done with a request.
+pub enum ServiceReply {
+    /// Send a success response with this body.
+    Reply(Vec<u8>),
+    /// Send an error response with this diagnostic.
+    Error(String),
+    /// Send nothing (one-way semantics).
+    Nothing,
+}
+
+/// Application logic installed into a [`ServiceHost`].
+pub trait ServiceModule: 'static {
+    /// Service name (metrics prefix).
+    fn name(&self) -> &str;
+    /// Called once at start (arm timers, register with gossips, …).
+    fn on_start(&mut self, _ctx: &mut Ctx<'_>) {}
+    /// Handle one request; the framework sends the reply.
+    fn on_request(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        from: ProcessId,
+        mtype: u16,
+        body: &[u8],
+    ) -> ServiceReply;
+    /// Handle a one-way message (no reply expected).
+    fn on_oneway(&mut self, _ctx: &mut Ctx<'_>, _from: ProcessId, _mtype: u16, _body: &[u8]) {}
+    /// Handle a timer set through the context.
+    fn on_timer(&mut self, _ctx: &mut Ctx<'_>, _tag: u64) {}
+}
+
+/// The generic server shell.
+pub struct ServiceHost<M: ServiceModule> {
+    /// The installed control module.
+    pub module: M,
+    /// Requests served.
+    pub served: u64,
+    /// Error replies sent.
+    pub errors: u64,
+}
+
+impl<M: ServiceModule> ServiceHost<M> {
+    /// Install `module` into a fresh host shell.
+    pub fn new(module: M) -> Self {
+        ServiceHost {
+            module,
+            served: 0,
+            errors: 0,
+        }
+    }
+}
+
+impl<M: ServiceModule> Process for ServiceHost<M> {
+    fn on_event(&mut self, ctx: &mut Ctx<'_>, ev: Event) {
+        match &ev {
+            Event::Started => self.module.on_start(ctx),
+            Event::Timer { tag } => self.module.on_timer(ctx, *tag),
+            Event::Message { .. } => {
+                let Some(Ok((from, pkt))) = packet_from_event(&ev) else {
+                    return;
+                };
+                let name = self.module.name().to_string();
+                if pkt.is_request() {
+                    ctx.metric_add(&format!("svc.{name}.requests"), 1.0);
+                    match self.module.on_request(ctx, from, pkt.mtype, &pkt.payload) {
+                        ServiceReply::Reply(body) => {
+                            self.served += 1;
+                            send_packet(ctx, from, &Packet::response_to(&pkt, body));
+                        }
+                        ServiceReply::Error(diag) => {
+                            self.errors += 1;
+                            ctx.metric_add(&format!("svc.{name}.errors"), 1.0);
+                            send_packet(ctx, from, &Packet::error_to(&pkt, &diag));
+                        }
+                        ServiceReply::Nothing => {}
+                    }
+                } else if !pkt.is_response() {
+                    self.module.on_oneway(ctx, from, pkt.mtype, &pkt.payload);
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ew_proto::{mtype, WireDecode, WireEncode};
+    use ew_sim::{HostSpec, HostTable, NetModel, Sim, SimDuration, SimTime, SiteSpec};
+
+    /// A toy module: an accumulator service ("add", "read") with a timer
+    /// that decays the value — enough to exercise every hook.
+    struct Accumulator {
+        value: i64,
+        ticks: u32,
+    }
+
+    const MT_ADD: u16 = mtype::APP_BASE + 10;
+    const MT_READ: u16 = mtype::APP_BASE + 11;
+    const MT_NOTE: u16 = mtype::APP_BASE + 12;
+
+    impl ServiceModule for Accumulator {
+        fn name(&self) -> &str {
+            "accum"
+        }
+        fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+            ctx.set_timer(SimDuration::from_secs(10), 1);
+        }
+        fn on_request(
+            &mut self,
+            _ctx: &mut Ctx<'_>,
+            _from: ProcessId,
+            mtype_v: u16,
+            body: &[u8],
+        ) -> ServiceReply {
+            match mtype_v {
+                MT_ADD => match i64::from_wire(body) {
+                    Ok(x) => {
+                        self.value += x;
+                        ServiceReply::Reply(self.value.to_wire())
+                    }
+                    Err(e) => ServiceReply::Error(format!("bad add body: {e}")),
+                },
+                MT_READ => ServiceReply::Reply(self.value.to_wire()),
+                _ => ServiceReply::Error("unknown request".into()),
+            }
+        }
+        fn on_oneway(&mut self, _ctx: &mut Ctx<'_>, _from: ProcessId, mtype_v: u16, _body: &[u8]) {
+            if mtype_v == MT_NOTE {
+                self.value += 1000;
+            }
+        }
+        fn on_timer(&mut self, ctx: &mut Ctx<'_>, _tag: u64) {
+            self.ticks += 1;
+            self.value /= 2;
+            ctx.set_timer(SimDuration::from_secs(10), 1);
+        }
+    }
+
+    struct Driver {
+        svc: ProcessId,
+        replies: Vec<(bool, Vec<u8>)>,
+    }
+
+    impl Process for Driver {
+        fn on_event(&mut self, ctx: &mut Ctx<'_>, ev: Event) {
+            match &ev {
+                Event::Started => {
+                    send_packet(ctx, self.svc, &Packet::request(MT_ADD, 1, 40i64.to_wire()));
+                    send_packet(ctx, self.svc, &Packet::request(MT_ADD, 2, 2i64.to_wire()));
+                    send_packet(ctx, self.svc, &Packet::oneway(MT_NOTE, vec![]));
+                    send_packet(ctx, self.svc, &Packet::request(MT_READ, 3, vec![]));
+                    send_packet(ctx, self.svc, &Packet::request(0x7777, 4, vec![]));
+                    send_packet(ctx, self.svc, &Packet::request(MT_ADD, 5, vec![1])); // malformed
+                }
+                _ => {
+                    if let Some(Ok((_, pkt))) = packet_from_event(&ev) {
+                        self.replies.push((pkt.is_error(), pkt.payload.clone()));
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn framework_routes_requests_oneways_timers_and_errors() {
+        let mut net = NetModel::new(0.0);
+        let site = net.add_site(SiteSpec::simple(
+            "s",
+            SimDuration::from_millis(1),
+            1e7,
+            0.0,
+        ));
+        let mut hosts = HostTable::new();
+        let h = hosts.add(HostSpec::dedicated("h", site, 1e8));
+        let mut sim = Sim::new(net, hosts, 4);
+        let svc = sim.spawn(
+            "accum",
+            h,
+            Box::new(ServiceHost::new(Accumulator { value: 0, ticks: 0 })),
+        );
+        let drv = sim.spawn("driver", h, Box::new(Driver { svc, replies: vec![] }));
+        sim.run_until(SimTime::from_secs(35));
+        let replies = sim
+            .with_process::<Driver, _>(drv, |d| d.replies.clone())
+            .unwrap();
+        // 5 requests → 5 replies (one-way gets none), 2 of them errors.
+        assert_eq!(replies.len(), 5);
+        assert_eq!(replies.iter().filter(|(err, _)| *err).count(), 2);
+        // READ (sent after ADDs and the one-way in the same instant-order)
+        // must observe 40 + 2 + 1000 = 1042.
+        let read_value = replies
+            .iter()
+            .filter(|(err, _)| !err)
+            .map(|(_, body)| i64::from_wire(body).unwrap())
+            .max()
+            .unwrap();
+        assert_eq!(read_value, 1042);
+        // Timers fired (3 decays in 35 s) and metrics were kept.
+        let (ticks, served, errors) = sim
+            .with_process::<ServiceHost<Accumulator>, _>(svc, |s| {
+                (s.module.ticks, s.served, s.errors)
+            })
+            .unwrap();
+        assert_eq!(ticks, 3);
+        assert_eq!(served, 3);
+        assert_eq!(errors, 2);
+        assert_eq!(sim.metrics().counter("svc.accum.requests"), 5.0);
+        assert_eq!(sim.metrics().counter("svc.accum.errors"), 2.0);
+    }
+}

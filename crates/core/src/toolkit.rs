@@ -1,0 +1,189 @@
+//! Deployment facade.
+//!
+//! Wires the EveryWare services — Gossip pool, scheduling servers,
+//! persistent state manager (with the Ramsey sanity check installed),
+//! logging server — onto a simulation, exactly as Figure 1 lays the
+//! application out. Used by the SC98 driver, the integration tests, and
+//! the quickstart example.
+
+use ew_gossip::{GossipConfig, GossipServer};
+use ew_infra::ServiceHosts;
+use ew_ramsey::{verify_counter_example, ColoredGraph, OpsCounter, Verification};
+use ew_sched::{SchedulerConfig, SchedulerServer};
+use ew_sim::{ProcessId, Sim};
+use ew_state::{LogServer, PersistentStateServer, Validator};
+
+/// Handles to a deployed service stack.
+pub struct Deployment {
+    /// The Gossip pool.
+    pub gossips: Vec<ProcessId>,
+    /// The scheduling servers.
+    pub schedulers: Vec<ProcessId>,
+    /// The persistent state manager.
+    pub state: ProcessId,
+    /// The logging server.
+    pub log: ProcessId,
+}
+
+impl Deployment {
+    /// Scheduler addresses in wire form (for client configs).
+    pub fn scheduler_addrs(&self) -> Vec<u64> {
+        self.schedulers.iter().map(|p| p.0 as u64).collect()
+    }
+
+    /// State-server address in wire form.
+    pub fn state_addr(&self) -> u64 {
+        self.state.0 as u64
+    }
+}
+
+/// Options for [`deploy_services`].
+pub struct DeployConfig {
+    /// Gossip server configuration (shared by the pool).
+    pub gossip: GossipConfig,
+    /// Scheduler configuration (each server gets a distinct seed salt).
+    pub sched: SchedulerConfig,
+    /// Persistent-state capacity in bytes.
+    pub state_capacity: usize,
+    /// Logging ring capacity in records.
+    pub log_capacity: usize,
+}
+
+impl Default for DeployConfig {
+    fn default() -> Self {
+        DeployConfig {
+            gossip: GossipConfig::default(),
+            sched: SchedulerConfig::default(),
+            state_capacity: 16 << 20,
+            log_capacity: 100_000,
+        }
+    }
+}
+
+/// The Ramsey counter-example sanity check of §3.1.2, as a persistent-state
+/// validator for keys of the form `ramsey/best/<k>`.
+pub fn ramsey_validator() -> Validator {
+    Box::new(|key: &str, bytes: &[u8]| {
+        let k: usize = key
+            .rsplit('/')
+            .next()
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| format!("key {key:?} does not end in a clique size"))?;
+        let g = ColoredGraph::from_bytes(bytes).ok_or("value is not a colored graph")?;
+        let mut ops = OpsCounter::new();
+        match verify_counter_example(&g, k, &mut ops) {
+            Verification::Valid { .. } => Ok(()),
+            Verification::Invalid { violations } => Err(format!(
+                "graph contains {violations} monochromatic {k}-cliques"
+            )),
+        }
+    })
+}
+
+/// Deploy the full EveryWare service stack onto `sim` at the given hosts.
+/// The first Gossip is the well-known bootstrap address; every scheduler
+/// synchronizes its best-found state through its nearest Gossip.
+pub fn deploy_services(sim: &mut Sim, hosts: &ServiceHosts, cfg: &DeployConfig) -> Deployment {
+    assert!(!hosts.gossips.is_empty(), "need at least one gossip host");
+    let mut gossips = Vec::new();
+    // Bootstrap gossip first; the rest announce to it.
+    let g0 = sim.spawn(
+        "gossip-0",
+        hosts.gossips[0],
+        Box::new(GossipServer::new(cfg.gossip.clone(), vec![])),
+    );
+    gossips.push(g0);
+    for (i, &h) in hosts.gossips.iter().enumerate().skip(1) {
+        gossips.push(sim.spawn(
+            &format!("gossip-{i}"),
+            h,
+            Box::new(GossipServer::new(
+                cfg.gossip.clone(),
+                vec![g0.0 as u64],
+            )),
+        ));
+    }
+
+    let mut pss = PersistentStateServer::new("sdsc-trusted", cfg.state_capacity);
+    pss.register_validator(1, ramsey_validator());
+    let state = sim.spawn("state", hosts.state, Box::new(pss));
+    let log = sim.spawn("log", hosts.log, Box::new(LogServer::new(cfg.log_capacity)));
+
+    let mut schedulers = Vec::new();
+    for (i, &h) in hosts.schedulers.iter().enumerate() {
+        let sched_cfg = SchedulerConfig {
+            seed_salt: cfg.sched.seed_salt + 1 + i as u64,
+            ..cfg.sched.clone()
+        };
+        let gossip_addr = gossips[i % gossips.len()].0 as u64;
+        schedulers.push(sim.spawn(
+            &format!("sched-{i}"),
+            h,
+            Box::new(
+                SchedulerServer::new(sched_cfg)
+                    .with_gossip(gossip_addr)
+                    .with_log_server(log.0 as u64),
+            ),
+        ));
+    }
+
+    Deployment {
+        gossips,
+        schedulers,
+        state,
+        log,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ew_ramsey::Color;
+
+    #[test]
+    fn ramsey_validator_accepts_real_witness() {
+        let v = ramsey_validator();
+        let pentagon = ColoredGraph::paley(5);
+        assert!(v("ramsey/best/3", &pentagon.to_bytes()).is_ok());
+        assert!(v("ramsey/best/4", &ColoredGraph::paley(17).to_bytes()).is_ok());
+    }
+
+    #[test]
+    fn ramsey_validator_rejects_fakes_and_garbage() {
+        let v = ramsey_validator();
+        let bad = ColoredGraph::monochromatic(6, Color::Red);
+        let err = v("ramsey/best/3", &bad.to_bytes()).unwrap_err();
+        assert!(err.contains("monochromatic"));
+        assert!(v("ramsey/best/3", &[1, 2, 3]).is_err());
+        assert!(v("not-a-key", &ColoredGraph::paley(5).to_bytes()).is_err());
+        // A pentagon is NOT a counter-example for k=3 claimed as... it is;
+        // but claimed for a size it doesn't satisfy must fail:
+        let k6 = ColoredGraph::monochromatic(3, Color::Red);
+        assert!(v("ramsey/best/3", &k6.to_bytes()).is_err());
+    }
+
+    #[test]
+    fn deploy_wires_the_full_stack() {
+        use ew_sim::{SimDuration, SimTime};
+        let pool = ew_infra::build_sc98(7, SimDuration::from_secs(600), None);
+        let mut sim = Sim::new(pool.net, pool.hosts, 7);
+        let dep = deploy_services(&mut sim, &pool.services, &DeployConfig::default());
+        assert_eq!(dep.gossips.len(), 3);
+        assert_eq!(dep.schedulers.len(), 3);
+        assert_eq!(dep.scheduler_addrs().len(), 3);
+        sim.run_until(SimTime::from_secs(300));
+        // All services alive; gossip pool converged.
+        for &p in dep
+            .gossips
+            .iter()
+            .chain(dep.schedulers.iter())
+            .chain([dep.state, dep.log].iter())
+        {
+            assert!(sim.process_alive(p));
+        }
+        let members = sim
+            .with_process::<GossipServer, _>(dep.gossips[0], |g| g.clique_members())
+            .unwrap();
+        assert_eq!(members.len(), 3, "gossip pool converged: {members:?}");
+    }
+}

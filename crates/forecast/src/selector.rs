@@ -1,0 +1,280 @@
+//! Dynamic forecaster selection.
+//!
+//! The NWS trick: run every method in the battery on every stream, score
+//! each method's one-step-ahead prediction against the measurement that
+//! actually arrives, and let the method with the lowest cumulative error
+//! make the *next* forecast. The winner changes as the series' character
+//! changes — a median wins through spiky contention, exponential smoothing
+//! wins through smooth drift — which is what made one mechanism serviceable
+//! for CPU, network, and (in EveryWare) arbitrary program events.
+
+use crate::methods::{standard_battery, Forecaster};
+
+/// Error metric used to rank methods.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ErrorMetric {
+    /// Mean absolute error — the NWS default; robust to single busts.
+    Mae,
+    /// Mean squared error — punishes large busts harder.
+    Mse,
+}
+
+struct Entry {
+    method: Box<dyn Forecaster>,
+    /// Sum of absolute / squared errors and the count scored.
+    abs_err: f64,
+    sq_err: f64,
+    scored: u64,
+}
+
+/// A forecast and its provenance.
+#[derive(Clone, Debug)]
+pub struct Forecast {
+    /// Predicted next value.
+    pub value: f64,
+    /// Name of the winning method.
+    pub method: String,
+    /// The winner's mean absolute error so far (`None` until scored once).
+    pub mae: Option<f64>,
+    /// The winner's root-mean-squared error so far.
+    pub rmse: Option<f64>,
+}
+
+/// A battery of forecasters with error-ranked selection for one stream.
+pub struct ForecasterSet {
+    entries: Vec<Entry>,
+    metric: ErrorMetric,
+    n: u64,
+}
+
+impl Default for ForecasterSet {
+    fn default() -> Self {
+        Self::standard()
+    }
+}
+
+impl ForecasterSet {
+    /// The standard 17-method battery ranked by MAE.
+    pub fn standard() -> Self {
+        Self::new(standard_battery(), ErrorMetric::Mae)
+    }
+
+    /// A custom battery.
+    pub fn new(methods: Vec<Box<dyn Forecaster>>, metric: ErrorMetric) -> Self {
+        assert!(!methods.is_empty());
+        ForecasterSet {
+            entries: methods
+                .into_iter()
+                .map(|m| Entry {
+                    method: m,
+                    abs_err: 0.0,
+                    sq_err: 0.0,
+                    scored: 0,
+                })
+                .collect(),
+            metric,
+            n: 0,
+        }
+    }
+
+    /// Feed one measurement: score every method's outstanding prediction
+    /// against it, then let every method absorb it.
+    pub fn update(&mut self, value: f64) {
+        for e in &mut self.entries {
+            if let Some(pred) = e.method.predict() {
+                let err = pred - value;
+                e.abs_err += err.abs();
+                e.sq_err += err * err;
+                e.scored += 1;
+            }
+            e.method.update(value);
+        }
+        self.n += 1;
+    }
+
+    /// Number of measurements absorbed.
+    pub fn samples(&self) -> u64 {
+        self.n
+    }
+
+    fn score(&self, e: &Entry) -> f64 {
+        if e.scored == 0 {
+            return f64::INFINITY;
+        }
+        match self.metric {
+            ErrorMetric::Mae => e.abs_err / e.scored as f64,
+            ErrorMetric::Mse => e.sq_err / e.scored as f64,
+        }
+    }
+
+    /// Forecast the next value using the best-scoring method. `None` until
+    /// at least one measurement has been absorbed.
+    pub fn predict(&self) -> Option<Forecast> {
+        let mut best: Option<(f64, &Entry, f64)> = None;
+        for e in &self.entries {
+            let Some(pred) = e.method.predict() else {
+                continue;
+            };
+            let s = self.score(e);
+            // Ties break toward the earlier battery entry (deterministic).
+            let better = match &best {
+                None => true,
+                Some((_, _, bs)) => s < *bs,
+            };
+            if better {
+                best = Some((pred, e, s));
+            }
+        }
+        best.map(|(value, e, _)| Forecast {
+            value,
+            method: e.method.name().to_string(),
+            mae: (e.scored > 0).then(|| e.abs_err / e.scored as f64),
+            rmse: (e.scored > 0).then(|| (e.sq_err / e.scored as f64).sqrt()),
+        })
+    }
+
+    /// The battery-wide MAE leaderboard: `(method, mae)` sorted best-first.
+    /// Methods never scored report `f64::INFINITY`.
+    pub fn leaderboard(&self) -> Vec<(String, f64)> {
+        let mut rows: Vec<(String, f64)> = self
+            .entries
+            .iter()
+            .map(|e| (e.method.name().to_string(), self.score(e)))
+            .collect();
+        rows.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal));
+        rows
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::methods::{ExpSmoothing, LastValue, SlidingMedian};
+    use ew_sim::Xoshiro256;
+
+    #[test]
+    fn empty_set_predicts_none() {
+        let s = ForecasterSet::standard();
+        assert!(s.predict().is_none());
+        assert_eq!(s.samples(), 0);
+    }
+
+    #[test]
+    fn constant_series_predicted_exactly() {
+        let mut s = ForecasterSet::standard();
+        for _ in 0..50 {
+            s.update(7.5);
+        }
+        let f = s.predict().unwrap();
+        assert!((f.value - 7.5).abs() < 1e-9);
+        assert_eq!(f.mae, Some(0.0));
+    }
+
+    #[test]
+    fn selector_beats_worst_method_on_noisy_series() {
+        // Noisy level series: median/mean methods should beat last-value.
+        let mut rng = Xoshiro256::seed_from_u64(3);
+        let mut s = ForecasterSet::standard();
+        let mut last_only = ForecasterSet::new(
+            vec![Box::new(LastValue::default())],
+            ErrorMetric::Mae,
+        );
+        let mut sel_err = 0.0;
+        let mut last_err = 0.0;
+        let mut count = 0;
+        for _ in 0..500 {
+            let v = 10.0 + rng.normal();
+            if let Some(f) = s.predict() {
+                sel_err += (f.value - v).abs();
+                count += 1;
+            }
+            if let Some(f) = last_only.predict() {
+                last_err += (f.value - v).abs();
+            }
+            s.update(v);
+            last_only.update(v);
+        }
+        assert!(count > 400);
+        assert!(
+            sel_err < last_err * 0.85,
+            "selector {sel_err:.1} should clearly beat last-value {last_err:.1}"
+        );
+    }
+
+    #[test]
+    fn selector_switches_method_when_series_character_changes() {
+        let mut s = ForecasterSet::new(
+            vec![
+                Box::new(ExpSmoothing::new(0.05)),
+                Box::new(SlidingMedian::new(5)),
+                Box::new(LastValue::default()),
+            ],
+            ErrorMetric::Mae,
+        );
+        // Smooth constant phase: everything is tied near zero error, but
+        // after a ramp the responsive methods must win the leaderboard.
+        for i in 0..200 {
+            s.update(i as f64 * 2.0);
+        }
+        let lead = s.leaderboard();
+        assert_eq!(
+            lead[0].0, "last",
+            "on a steep ramp last-value has the least lag; got {lead:?}"
+        );
+    }
+
+    #[test]
+    fn mse_metric_punishes_busts_harder() {
+        // One huge bust for method A, many small errors for method B.
+        let mk = |metric| {
+            ForecasterSet::new(
+                vec![
+                    Box::new(LastValue::default()) as Box<dyn Forecaster>,
+                    Box::new(SlidingMedian::new(51)),
+                ],
+                metric,
+            )
+        };
+        let series: Vec<f64> = {
+            let mut v = vec![10.0; 60];
+            v.push(500.0); // one spike: last-value busts once on the spike
+            v.extend(std::iter::repeat(10.0).take(60)); // ...and once after
+            v
+        };
+        let mut mae_set = mk(ErrorMetric::Mae);
+        let mut mse_set = mk(ErrorMetric::Mse);
+        for &x in &series {
+            mae_set.update(x);
+            mse_set.update(x);
+        }
+        // Under MAE the two big busts of last-value are amortized; under
+        // MSE they dominate. Median ranks strictly better under MSE.
+        let mse_lead = mse_set.leaderboard();
+        assert_eq!(mse_lead[0].0, "median_51");
+    }
+
+    #[test]
+    fn leaderboard_sorted_ascending() {
+        let mut s = ForecasterSet::standard();
+        let mut rng = Xoshiro256::seed_from_u64(8);
+        for _ in 0..100 {
+            s.update(5.0 + rng.normal() * 0.1);
+        }
+        let rows = s.leaderboard();
+        for pair in rows.windows(2) {
+            assert!(pair[0].1 <= pair[1].1);
+        }
+        assert_eq!(rows.len(), 17);
+    }
+
+    #[test]
+    fn forecast_reports_provenance() {
+        let mut s = ForecasterSet::standard();
+        for _ in 0..20 {
+            s.update(3.0);
+        }
+        let f = s.predict().unwrap();
+        assert!(!f.method.is_empty());
+        assert!(f.rmse.is_some());
+    }
+}

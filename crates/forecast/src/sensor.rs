@@ -1,0 +1,496 @@
+//! The Network Weather Service, as a pair of simulator processes.
+//!
+//! "The NWS collects performance measurements from Grid computing
+//! resources (processors, networks, etc.) and uses these forecasting
+//! techniques to predict short-term resource availability" (§2.2); the
+//! Ramsey application's components "consult the Network Weather Service —
+//! a distributed dynamic performance forecasting service" (§3.1, Figure 1).
+//!
+//! [`NwsSensor`] probes its peers over the lingua franca (round-trip
+//! latency) and its own host (timed compute — effective CPU rate),
+//! shipping each measurement to an [`NwsServer`], which keeps a
+//! [`ForecasterSet`](crate::selector::ForecasterSet) per named resource and answers forecast queries from
+//! any component.
+
+use ew_proto::sim_net::{packet_from_event, send_packet};
+use ew_proto::wire_struct;
+use ew_proto::{mtype, EventTag, Packet, RpcTracker, WireEncode};
+use ew_sim::{Ctx, Event, Process, ProcessId, SimDuration, SimTime};
+
+use crate::dynbench::DynamicBenchmark;
+use crate::timeout::ForecastTimeout;
+
+/// NWS message types.
+pub mod nm {
+    use super::mtype;
+    /// Sensor ↔ sensor echo probe (request; response echoes the payload).
+    pub const PROBE: u16 = mtype::NWS_BASE;
+    /// Sensor → server measurement report (one-way).
+    pub const REPORT: u16 = mtype::NWS_BASE + 1;
+    /// Component → server forecast query (request).
+    pub const QUERY: u16 = mtype::NWS_BASE + 2;
+}
+
+/// A measurement report body.
+#[derive(Clone, Debug, PartialEq)]
+pub struct NwsReport {
+    /// Resource name, e.g. `"rtt.3.7"` or `"cpu.12"`.
+    pub resource: String,
+    /// Measured value (seconds for RTTs, ops/s for CPU rates).
+    pub value: f64,
+}
+
+wire_struct!(NwsReport { resource, value });
+
+/// A forecast query body.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct NwsQuery {
+    /// Resource name to forecast.
+    pub resource: String,
+}
+
+wire_struct!(NwsQuery { resource });
+
+/// A forecast reply body.
+#[derive(Clone, Debug, PartialEq)]
+pub struct NwsForecastReply {
+    /// Whether the resource has any history.
+    pub found: bool,
+    /// Predicted next value.
+    pub value: f64,
+    /// Winning forecasting method.
+    pub method: String,
+}
+
+wire_struct!(NwsForecastReply {
+    found,
+    value,
+    method
+});
+
+/// Sensor configuration.
+#[derive(Clone, Debug)]
+pub struct SensorConfig {
+    /// Peer sensors to probe (round-trip measurements).
+    pub peers: Vec<u64>,
+    /// The NWS server to report to.
+    pub server: u64,
+    /// Probe period.
+    pub interval: SimDuration,
+    /// Probe payload size (bytes) — measures latency + a slice of
+    /// bandwidth, like the NWS's small-message probes.
+    pub probe_bytes: usize,
+    /// Operations per CPU probe (timed compute chunk).
+    pub cpu_probe_ops: u64,
+}
+
+impl Default for SensorConfig {
+    fn default() -> Self {
+        SensorConfig {
+            peers: Vec::new(),
+            server: 0,
+            interval: SimDuration::from_secs(30),
+            probe_bytes: 256,
+            cpu_probe_ops: 1_000_000,
+        }
+    }
+}
+
+const TIMER_PROBE: u64 = 1;
+const TIMER_TICK: u64 = 2;
+const CPU_PROBE_TAG: u64 = 0xC0;
+
+/// The per-host NWS sensor process.
+pub struct NwsSensor {
+    cfg: SensorConfig,
+    rpc: RpcTracker<u64>, // context = peer addr
+    policy: ForecastTimeout,
+    cpu_probe_started: Option<SimTime>,
+    /// Network probes answered.
+    pub probes_ok: u64,
+    /// Network probes timed out.
+    pub probes_lost: u64,
+}
+
+impl NwsSensor {
+    /// A sensor with the given configuration.
+    pub fn new(cfg: SensorConfig) -> Self {
+        NwsSensor {
+            cfg,
+            rpc: RpcTracker::new(),
+            policy: ForecastTimeout::wan_default(),
+            cpu_probe_started: None,
+            probes_ok: 0,
+            probes_lost: 0,
+        }
+    }
+
+    fn report(&self, ctx: &mut Ctx<'_>, resource: String, value: f64) {
+        let body = NwsReport { resource, value };
+        send_packet(
+            ctx,
+            ProcessId(self.cfg.server as u32),
+            &Packet::oneway(nm::REPORT, body.to_wire()),
+        );
+    }
+
+    fn probe_round(&mut self, ctx: &mut Ctx<'_>) {
+        for &peer in &self.cfg.peers.clone() {
+            let tag = EventTag {
+                peer,
+                mtype: nm::PROBE,
+            };
+            let corr = self.rpc.begin(tag, ctx.now(), &mut self.policy, peer);
+            send_packet(
+                ctx,
+                ProcessId(peer as u32),
+                &Packet::request(nm::PROBE, corr, vec![0u8; self.cfg.probe_bytes]),
+            );
+        }
+        // CPU probe: a timed compute chunk measures the host's effective
+        // guest-visible rate under current ambient load.
+        if self.cpu_probe_started.is_none() {
+            self.cpu_probe_started = Some(ctx.now());
+            ctx.compute(self.cfg.cpu_probe_ops, CPU_PROBE_TAG);
+        }
+        ctx.set_timer(self.cfg.interval, TIMER_PROBE);
+    }
+}
+
+impl Process for NwsSensor {
+    fn on_event(&mut self, ctx: &mut Ctx<'_>, ev: Event) {
+        match &ev {
+            Event::Started => {
+                // Spread sensors out within the first interval.
+                let jitter =
+                    SimDuration::from_millis(ctx.rng().next_below(5_000));
+                ctx.set_timer(jitter, TIMER_PROBE);
+                ctx.set_timer(SimDuration::from_secs(2), TIMER_TICK);
+            }
+            Event::Timer { tag } => match *tag {
+                TIMER_PROBE => self.probe_round(ctx),
+                TIMER_TICK => {
+                    for pending in self.rpc.expire(ctx.now(), &mut self.policy) {
+                        self.probes_lost += 1;
+                        ctx.metric_add("nws.probes_lost", 1.0);
+                        let _ = pending;
+                    }
+                    ctx.set_timer(SimDuration::from_secs(2), TIMER_TICK);
+                }
+                _ => {}
+            },
+            Event::ComputeDone { tag, ops } if *tag == CPU_PROBE_TAG => {
+                if let Some(started) = self.cpu_probe_started.take() {
+                    let elapsed = ctx.now().since(started).as_secs_f64();
+                    if elapsed > 0.0 {
+                        let me = ctx.me().0;
+                        self.report(ctx, format!("cpu.{me}"), *ops as f64 / elapsed);
+                    }
+                }
+            }
+            Event::Message { .. } => {
+                if let Some(Ok((from, pkt))) = packet_from_event(&ev) {
+                    if pkt.mtype != nm::PROBE {
+                        return;
+                    }
+                    if pkt.is_request() {
+                        // Echo the payload back.
+                        send_packet(ctx, from, &Packet::response_to(&pkt, pkt.payload.clone()));
+                    } else if pkt.is_response() {
+                        if let Some((pending, rtt)) =
+                            self.rpc.complete(pkt.corr_id, ctx.now(), &mut self.policy)
+                        {
+                            self.probes_ok += 1;
+                            ctx.metric_add("nws.probes_ok", 1.0);
+                            let me = ctx.me().0;
+                            let peer = pending.context;
+                            let name = format!("rtt.{me}.{peer}");
+                            let secs = rtt.as_secs_f64();
+                            ctx.metric_record(&format!("nws.{name}"), secs);
+                            self.report(ctx, name, secs);
+                        }
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+/// The NWS memory + forecaster service process.
+pub struct NwsServer {
+    streams: DynamicBenchmark<String>,
+    /// Reports absorbed.
+    pub reports: u64,
+    /// Queries answered.
+    pub queries: u64,
+}
+
+impl Default for NwsServer {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl NwsServer {
+    /// An empty server.
+    pub fn new() -> Self {
+        NwsServer {
+            streams: DynamicBenchmark::new(),
+            reports: 0,
+            queries: 0,
+        }
+    }
+
+    /// Driver-side forecast access (components use [`nm::QUERY`]).
+    pub fn forecast(&self, resource: &str) -> Option<crate::selector::Forecast> {
+        self.streams.forecast(&resource.to_string())
+    }
+
+    /// Number of distinct resources tracked.
+    pub fn resource_count(&self) -> usize {
+        self.streams.stream_count()
+    }
+}
+
+impl Process for NwsServer {
+    fn on_event(&mut self, ctx: &mut Ctx<'_>, ev: Event) {
+        let Some(Ok((from, pkt))) = packet_from_event(&ev) else {
+            return;
+        };
+        match (pkt.mtype, pkt.is_request()) {
+            (nm::REPORT, false) => {
+                if let Ok(rep) = pkt.body::<NwsReport>() {
+                    self.streams.observe(rep.resource, rep.value);
+                    self.reports += 1;
+                    ctx.metric_add("nws.reports", 1.0);
+                }
+            }
+            (nm::QUERY, true) => {
+                if let Ok(q) = pkt.body::<NwsQuery>() {
+                    self.queries += 1;
+                    let reply = match self.streams.forecast(&q.resource) {
+                        Some(f) => NwsForecastReply {
+                            found: true,
+                            value: f.value,
+                            method: f.method,
+                        },
+                        None => NwsForecastReply {
+                            found: false,
+                            value: 0.0,
+                            method: String::new(),
+                        },
+                    };
+                    send_packet(ctx, from, &Packet::response_to(&pkt, reply.to_wire()));
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ew_sim::{
+        HostSpec, HostTable, NetModel, Sim, SiteSpec, SpikeLoad,
+    };
+
+    fn world() -> (Sim, Vec<ProcessId>, ProcessId) {
+        let mut net = NetModel::new(0.05);
+        let a = net.add_site(SiteSpec::simple(
+            "a",
+            SimDuration::from_millis(10),
+            1.25e6,
+            0.0,
+        ));
+        let b = net.add_site(SiteSpec {
+            name: "b".into(),
+            lan_latency: SimDuration::from_micros(200),
+            lan_bandwidth: 12.5e6,
+            wan_latency: SimDuration::from_millis(40),
+            wan_bandwidth: 1.25e6,
+            // Load spike on site b in the middle of the run.
+            load: Box::new(SpikeLoad {
+                start: SimTime::from_secs(600),
+                end: SimTime::from_secs(1200),
+                level: 0.8,
+            }),
+        });
+        let mut hosts = HostTable::new();
+        let ha = hosts.add(HostSpec::dedicated("ha", a, 1e8));
+        let hb = hosts.add(HostSpec::dedicated("hb", b, 1e8));
+        let hs = hosts.add(HostSpec::dedicated("server", a, 1e8));
+        let mut sim = Sim::new(net, hosts, 17);
+        let server = sim.spawn("nws-server", hs, Box::new(NwsServer::new()));
+        // Sensors know each other (pids are sequential from the spawn
+        // order, so precompute them).
+        let sa_pid = ProcessId(server.0 + 1);
+        let sb_pid = ProcessId(server.0 + 2);
+        let sa = sim.spawn(
+            "sensor-a",
+            ha,
+            Box::new(NwsSensor::new(SensorConfig {
+                peers: vec![sb_pid.0 as u64],
+                server: server.0 as u64,
+                ..SensorConfig::default()
+            })),
+        );
+        let sb = sim.spawn(
+            "sensor-b",
+            hb,
+            Box::new(NwsSensor::new(SensorConfig {
+                peers: vec![sa_pid.0 as u64],
+                server: server.0 as u64,
+                ..SensorConfig::default()
+            })),
+        );
+        assert_eq!((sa, sb), (sa_pid, sb_pid));
+        (sim, vec![sa, sb], server)
+    }
+
+    #[test]
+    fn sensors_measure_and_server_forecasts_rtt() {
+        let (mut sim, sensors, server) = world();
+        sim.run_until(SimTime::from_secs(500));
+        let (ok, lost) = sim
+            .with_process::<NwsSensor, _>(sensors[0], |s| (s.probes_ok, s.probes_lost))
+            .unwrap();
+        assert!(ok > 10, "probes flowed: {ok}");
+        assert_eq!(lost, 0, "calm network loses nothing");
+        let resource = format!("rtt.{}.{}", sensors[0].0, sensors[1].0);
+        let f = sim
+            .with_process::<NwsServer, _>(server, |s| s.forecast(&resource))
+            .unwrap()
+            .expect("rtt stream exists");
+        // Baseline one-way 10ms + 40ms plus bandwidth/jitter: RTT ≈ 0.1 s.
+        assert!(
+            (0.08..0.2).contains(&f.value),
+            "forecast RTT {} out of range",
+            f.value
+        );
+    }
+
+    #[test]
+    fn cpu_sensor_tracks_host_rate() {
+        let (mut sim, sensors, server) = world();
+        sim.run_until(SimTime::from_secs(500));
+        let resource = format!("cpu.{}", sensors[0].0);
+        let f = sim
+            .with_process::<NwsServer, _>(server, |s| s.forecast(&resource))
+            .unwrap()
+            .expect("cpu stream exists");
+        assert!(
+            (0.5e8..1.1e8).contains(&f.value),
+            "cpu forecast {:.3e} should approximate the 1e8 host",
+            f.value
+        );
+    }
+
+    #[test]
+    fn forecasts_adapt_to_the_load_spike() {
+        let (mut sim, sensors, server) = world();
+        let resource = format!("rtt.{}.{}", sensors[0].0, sensors[1].0);
+        sim.run_until(SimTime::from_secs(550));
+        let calm = sim
+            .with_process::<NwsServer, _>(server, |s| s.forecast(&resource))
+            .unwrap()
+            .expect("stream exists")
+            .value;
+        // Mid-spike: site b's 0.8 load multiplies its latency 5x.
+        sim.run_until(SimTime::from_secs(1150));
+        let loaded = sim
+            .with_process::<NwsServer, _>(server, |s| s.forecast(&resource))
+            .unwrap()
+            .unwrap()
+            .value;
+        assert!(
+            loaded > 2.0 * calm,
+            "forecast must track the spike: {calm:.3} -> {loaded:.3}"
+        );
+        // After the spike the forecast comes back down.
+        sim.run_until(SimTime::from_secs(1800));
+        let recovered = sim
+            .with_process::<NwsServer, _>(server, |s| s.forecast(&resource))
+            .unwrap()
+            .unwrap()
+            .value;
+        assert!(
+            recovered < loaded / 2.0,
+            "forecast must recover: {loaded:.3} -> {recovered:.3}"
+        );
+    }
+
+    #[test]
+    fn query_interface_answers_components() {
+        use ew_sim::Process as _;
+        struct Querier {
+            server: ProcessId,
+            resource: String,
+            pub reply: Option<NwsForecastReply>,
+        }
+        impl Process for Querier {
+            fn on_event(&mut self, ctx: &mut Ctx<'_>, ev: Event) {
+                match &ev {
+                    Event::Started => ctx.set_timer(SimDuration::from_secs(400), 1),
+                    Event::Timer { .. } => {
+                        let q = NwsQuery {
+                            resource: self.resource.clone(),
+                        };
+                        send_packet(
+                            ctx,
+                            self.server,
+                            &Packet::request(nm::QUERY, 1, q.to_wire()),
+                        );
+                    }
+                    _ => {
+                        if let Some(Ok((_, pkt))) = packet_from_event(&ev) {
+                            if let Ok(r) = pkt.body::<NwsForecastReply>() {
+                                self.reply = Some(r);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        let (mut sim, sensors, server) = world();
+        let resource = format!("rtt.{}.{}", sensors[0].0, sensors[1].0);
+        // Reuse a service host for the querier.
+        let host = sim.hosts().iter().next().unwrap().0;
+        let q = sim.spawn(
+            "querier",
+            host,
+            Box::new(Querier {
+                server,
+                resource,
+                reply: None,
+            }),
+        );
+        sim.run_until(SimTime::from_secs(500));
+        let reply = sim
+            .with_process::<Querier, _>(q, |q| q.reply.clone())
+            .unwrap()
+            .expect("query answered");
+        assert!(reply.found);
+        assert!(reply.value > 0.0);
+        assert!(!reply.method.is_empty());
+        // Unknown resources answer found = false.
+        let (mut sim2, _, server2) = world();
+        let host2 = sim2.hosts().iter().next().unwrap().0;
+        let q2 = sim2.spawn(
+            "querier2",
+            host2,
+            Box::new(Querier {
+                server: server2,
+                resource: "rtt.9999.9999".into(),
+                reply: None,
+            }),
+        );
+        sim2.run_until(SimTime::from_secs(500));
+        let reply2 = sim2
+            .with_process::<Querier, _>(q2, |q| q.reply.clone())
+            .unwrap()
+            .expect("query answered");
+        assert!(!reply2.found);
+    }
+}

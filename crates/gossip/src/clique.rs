@@ -1,0 +1,581 @@
+//! The clique protocol.
+//!
+//! "Within the Gossip pool, we used the NWS clique protocol (a
+//! token-passing protocol based on leader-election) to manage network
+//! partitioning and Gossip failure. The clique protocol allows a clique of
+//! processes to dynamically partition itself into subcliques (due to
+//! network or host failure) and then merge when conditions permit" (§2.3,
+//! citing refs \[39\], \[12\], \[1\]).
+//!
+//! [`CliqueState`] is the pure per-member state machine: a token circulates
+//! a sorted ring of members; a member that has not seen the token within
+//! the loss bound calls an election among the peers it can reach and forms
+//! a new-generation subclique from the responders; leaders periodically
+//! probe known peers outside their clique and absorb foreign cliques into
+//! a higher-generation merged clique. Adoption is ordered by
+//! `(generation, leader)` so concurrent merges and elections converge.
+//! Time is passed in, never read, so the machine runs identically under
+//! the simulator and a wall clock.
+
+use std::collections::BTreeSet;
+
+use ew_sim::{SimDuration, SimTime};
+
+use crate::messages::{Election, MergeProbe, Token};
+
+/// Tunables for the protocol.
+#[derive(Clone, Copy, Debug)]
+pub struct CliqueConfig {
+    /// How long a member holds the token before forwarding it.
+    pub hold_time: SimDuration,
+    /// Token-loss bound = `hold_time × members × loss_factor`.
+    pub loss_factor: u64,
+    /// How long an election collects responders.
+    pub election_window: SimDuration,
+    /// How often a leader probes a known peer outside the clique.
+    pub probe_interval: SimDuration,
+}
+
+impl Default for CliqueConfig {
+    fn default() -> Self {
+        CliqueConfig {
+            hold_time: SimDuration::from_secs(2),
+            loss_factor: 4,
+            election_window: SimDuration::from_secs(10),
+            probe_interval: SimDuration::from_secs(30),
+        }
+    }
+}
+
+/// An in-progress election.
+#[derive(Clone, Debug)]
+struct ElectionState {
+    proposed_generation: u64,
+    responders: BTreeSet<u64>,
+    deadline: SimTime,
+}
+
+/// Per-member protocol state.
+#[derive(Clone, Debug)]
+pub struct CliqueState {
+    /// This member's address.
+    pub me: u64,
+    config: CliqueConfig,
+    known_peers: BTreeSet<u64>,
+    members: Vec<u64>,
+    generation: u64,
+    leader: u64,
+    last_token: SimTime,
+    last_probe: SimTime,
+    seq: u64,
+    election: Option<ElectionState>,
+}
+
+impl CliqueState {
+    /// Start as a singleton clique that knows about `well_known` peers.
+    pub fn new(me: u64, well_known: &[u64], config: CliqueConfig, now: SimTime) -> Self {
+        let mut known_peers: BTreeSet<u64> = well_known.iter().copied().collect();
+        known_peers.remove(&me);
+        CliqueState {
+            me,
+            config,
+            known_peers,
+            members: vec![me],
+            generation: 0,
+            leader: me,
+            last_token: now,
+            last_probe: now,
+            seq: 0,
+            election: None,
+        }
+    }
+
+    /// Current sorted membership.
+    pub fn members(&self) -> &[u64] {
+        &self.members
+    }
+
+    /// Current leader.
+    pub fn leader(&self) -> u64 {
+        self.leader
+    }
+
+    /// Current generation.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Whether this member leads its clique.
+    pub fn is_leader(&self) -> bool {
+        self.leader == self.me
+    }
+
+    /// Whether an election is being collected.
+    pub fn election_pending(&self) -> bool {
+        self.election.is_some()
+    }
+
+    /// All peers ever heard of (for probing and elections).
+    pub fn known_peers(&self) -> Vec<u64> {
+        self.known_peers.iter().copied().collect()
+    }
+
+    /// Learn of a peer's existence (announce, sync, or token).
+    pub fn add_known_peer(&mut self, addr: u64) {
+        if addr != self.me {
+            self.known_peers.insert(addr);
+        }
+    }
+
+    /// Ring successor of this member within the clique.
+    pub fn successor(&self) -> Option<u64> {
+        if self.members.len() <= 1 {
+            return None;
+        }
+        let idx = self.members.iter().position(|&m| m == self.me)?;
+        Some(self.members[(idx + 1) % self.members.len()])
+    }
+
+    /// The token-loss bound for the current clique size.
+    pub fn loss_bound(&self) -> SimDuration {
+        self.config.hold_time * (self.members.len() as u64).max(1) * self.config.loss_factor
+    }
+
+    fn adopt(&mut self, generation: u64, leader: u64, members: Vec<u64>, now: SimTime) {
+        for &m in &members {
+            self.add_known_peer(m);
+        }
+        self.generation = generation;
+        self.leader = leader;
+        self.members = members;
+        self.last_token = now;
+        self.election = None;
+    }
+
+    /// Whether `(generation, leader)` outranks the current clique identity.
+    fn outranks(&self, generation: u64, leader: u64) -> bool {
+        (generation, leader) > (self.generation, self.leader)
+    }
+
+    /// Handle an arriving token. Returns `true` if the token was accepted
+    /// (caller should hold it for `hold_time`, then call
+    /// [`CliqueState::forward_token`]); stale tokens return `false` and are
+    /// dropped, which is how superseded generations die out.
+    pub fn on_token(&mut self, tok: &Token, now: SimTime) -> bool {
+        let same_clique = tok.generation == self.generation && tok.leader == self.leader;
+        if same_clique {
+            if !tok.members.contains(&self.me) {
+                return false;
+            }
+            self.last_token = now;
+            self.seq = self.seq.max(tok.seq);
+            self.election = None;
+            return true;
+        }
+        if self.outranks(tok.generation, tok.leader) {
+            if tok.members.contains(&self.me) {
+                self.adopt(tok.generation, tok.leader, tok.members.clone(), now);
+                self.seq = tok.seq;
+                true
+            } else {
+                // A newer clique that expelled us: fall back to singleton
+                // and wait to be re-absorbed by a merge probe.
+                for &m in &tok.members {
+                    self.add_known_peer(m);
+                }
+                self.members = vec![self.me];
+                self.leader = self.me;
+                self.last_token = now;
+                self.election = None;
+                false
+            }
+        } else {
+            false
+        }
+    }
+
+    /// Produce the token to forward to the ring successor (call after the
+    /// hold time elapses). `None` for singleton cliques.
+    pub fn forward_token(&mut self) -> Option<(u64, Token)> {
+        let next = self.successor()?;
+        self.seq += 1;
+        Some((
+            next,
+            Token {
+                generation: self.generation,
+                leader: self.leader,
+                members: self.members.clone(),
+                seq: self.seq,
+            },
+        ))
+    }
+
+    /// Should this member suspect token loss and call an election?
+    pub fn token_lost(&self, now: SimTime) -> bool {
+        self.members.len() > 1
+            && self.election.is_none()
+            && now.since(self.last_token) > self.loss_bound()
+    }
+
+    /// Open an election: returns the call body and the targets (every known
+    /// peer, clique or not — a partition may have cut anywhere).
+    pub fn start_election(&mut self, now: SimTime) -> (Election, Vec<u64>) {
+        let proposed = self.generation + 1;
+        self.election = Some(ElectionState {
+            proposed_generation: proposed,
+            responders: BTreeSet::new(),
+            deadline: now + self.config.election_window,
+        });
+        let mut targets: BTreeSet<u64> = self.known_peers.clone();
+        for &m in &self.members {
+            targets.insert(m);
+        }
+        targets.remove(&self.me);
+        (
+            Election {
+                caller: self.me,
+                generation: proposed,
+            },
+            targets.into_iter().collect(),
+        )
+    }
+
+    /// Handle an election call from a peer. Returns `true` if this member
+    /// endorses (responds to) the call: it does so unless it is itself
+    /// running an election with a *higher* claim — ties broken toward the
+    /// smaller caller address so exactly one concurrent election wins.
+    pub fn on_election_call(&mut self, call: &Election, _now: SimTime) -> bool {
+        self.add_known_peer(call.caller);
+        if call.generation < self.generation {
+            return false; // caller is behind; it will be absorbed later
+        }
+        if let Some(el) = &self.election {
+            let mine = (el.proposed_generation, std::cmp::Reverse(self.me));
+            let theirs = (call.generation, std::cmp::Reverse(call.caller));
+            if mine > theirs {
+                return false;
+            }
+            // Concede: abandon our election.
+            self.election = None;
+        }
+        true
+    }
+
+    /// Record an election response.
+    pub fn on_election_reply(&mut self, from: u64) {
+        if let Some(el) = &mut self.election {
+            el.responders.insert(from);
+        }
+    }
+
+    /// The pending election's deadline, if any.
+    pub fn election_deadline(&self) -> Option<SimTime> {
+        self.election.as_ref().map(|e| e.deadline)
+    }
+
+    /// Close the election at its deadline: form a new clique from the
+    /// responders (plus self), led by self, one generation up. Returns the
+    /// first token to circulate (`None` if nobody responded — the member
+    /// stays a singleton and relies on probing to rejoin).
+    pub fn finish_election(&mut self, now: SimTime) -> Option<(u64, Token)> {
+        let el = self.election.take()?;
+        let mut members: Vec<u64> = el.responders.iter().copied().collect();
+        members.push(self.me);
+        members.sort_unstable();
+        members.dedup();
+        self.adopt(el.proposed_generation, self.me, members, now);
+        self.seq = 0;
+        self.forward_token()
+    }
+
+    /// Should the leader send a merge probe now, and to whom? Picks the
+    /// smallest known peer outside the clique (deterministic; rotation
+    /// comes from peers joining as they are absorbed).
+    pub fn probe_target(&mut self, now: SimTime) -> Option<u64> {
+        if !self.is_leader() || now.since(self.last_probe) < self.config.probe_interval {
+            return None;
+        }
+        let target = self
+            .known_peers
+            .iter()
+            .copied()
+            .find(|p| !self.members.contains(p))?;
+        self.last_probe = now;
+        Some(target)
+    }
+
+    /// Build the probe body for [`CliqueState::probe_target`].
+    pub fn make_probe(&self) -> MergeProbe {
+        MergeProbe {
+            leader: self.me,
+            generation: self.generation,
+            members: self.members.clone(),
+        }
+    }
+
+    /// Handle a merge probe: the probed member answers with its clique's
+    /// identity so the probing leader can absorb it.
+    pub fn on_merge_probe(&mut self, probe: &MergeProbe, _now: SimTime) -> Token {
+        self.add_known_peer(probe.leader);
+        for &m in &probe.members {
+            self.add_known_peer(m);
+        }
+        Token {
+            generation: self.generation,
+            leader: self.leader,
+            members: self.members.clone(),
+            seq: self.seq,
+        }
+    }
+
+    /// Probing leader absorbs the probe response: union membership, one
+    /// generation above both, led by self. Returns the new token to
+    /// circulate (`None` when the foreign clique is already this one).
+    pub fn absorb_merge_response(&mut self, foreign: &Token, now: SimTime) -> Option<(u64, Token)> {
+        let foreign_is_subset = foreign.members.iter().all(|m| self.members.contains(m));
+        if foreign_is_subset {
+            return None;
+        }
+        let mut members = self.members.clone();
+        members.extend_from_slice(&foreign.members);
+        members.sort_unstable();
+        members.dedup();
+        let generation = self.generation.max(foreign.generation) + 1;
+        self.adopt(generation, self.me, members, now);
+        self.seq = 0;
+        self.forward_token()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: u64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    fn cfg() -> CliqueConfig {
+        CliqueConfig::default()
+    }
+
+    fn trio() -> (CliqueState, CliqueState, CliqueState) {
+        // Form a 3-clique {1,2,3} led by 1 by hand.
+        let mk = |me: u64| {
+            let mut c = CliqueState::new(me, &[1, 2, 3], cfg(), t(0));
+            c.adopt(1, 1, vec![1, 2, 3], t(0));
+            c
+        };
+        (mk(1), mk(2), mk(3))
+    }
+
+    #[test]
+    fn singleton_start() {
+        let c = CliqueState::new(5, &[5, 7, 9], cfg(), t(0));
+        assert_eq!(c.members(), &[5]);
+        assert!(c.is_leader());
+        assert_eq!(c.known_peers(), vec![7, 9], "self excluded from peers");
+        assert!(c.successor().is_none());
+        assert!(!c.token_lost(t(1_000_000)), "singletons never suspect loss");
+    }
+
+    #[test]
+    fn ring_successor_wraps() {
+        let (c1, c2, c3) = trio();
+        assert_eq!(c1.successor(), Some(2));
+        assert_eq!(c2.successor(), Some(3));
+        assert_eq!(c3.successor(), Some(1));
+    }
+
+    #[test]
+    fn token_circulation_updates_liveness() {
+        let (mut c1, mut c2, _c3) = trio();
+        let (to, tok) = c1.forward_token().unwrap();
+        assert_eq!(to, 2);
+        assert!(c2.on_token(&tok, t(3)));
+        assert!(!c2.token_lost(t(4)));
+        let (to2, tok2) = c2.forward_token().unwrap();
+        assert_eq!(to2, 3);
+        assert!(tok2.seq > tok.seq);
+    }
+
+    #[test]
+    fn stale_token_rejected() {
+        let (mut c1, _c2, _c3) = trio();
+        let stale = Token {
+            generation: 0,
+            leader: 9,
+            members: vec![1, 9],
+            seq: 5,
+        };
+        assert!(!c1.on_token(&stale, t(1)));
+        assert_eq!(c1.generation(), 1);
+    }
+
+    #[test]
+    fn newer_token_adopted() {
+        let (mut c1, _c2, _c3) = trio();
+        let newer = Token {
+            generation: 5,
+            leader: 2,
+            members: vec![1, 2],
+            seq: 0,
+        };
+        assert!(c1.on_token(&newer, t(1)));
+        assert_eq!(c1.members(), &[1, 2]);
+        assert_eq!(c1.leader(), 2);
+        assert_eq!(c1.generation(), 5);
+    }
+
+    #[test]
+    fn expelled_member_falls_back_to_singleton() {
+        let (_c1, _c2, mut c3) = trio();
+        let expelling = Token {
+            generation: 7,
+            leader: 1,
+            members: vec![1, 2],
+            seq: 0,
+        };
+        assert!(!c3.on_token(&expelling, t(1)));
+        assert_eq!(c3.members(), &[3]);
+        assert!(c3.is_leader());
+    }
+
+    #[test]
+    fn token_loss_triggers_election_flow() {
+        let (_c1, mut c2, mut c3) = trio();
+        // No token for a long time: bound is 2s * 3 members * 4 = 24s.
+        assert!(!c2.token_lost(t(20)));
+        assert!(c2.token_lost(t(25)));
+        let (call, targets) = c2.start_election(t(25));
+        assert_eq!(call.generation, 2);
+        assert_eq!(targets, vec![1, 3]);
+        assert!(c2.election_pending());
+        assert!(!c2.token_lost(t(30)), "no double elections");
+        // 3 endorses (its generation is 1 < call's 2).
+        assert!(c3.on_election_call(&call, t(25)));
+        c2.on_election_reply(3);
+        // 1 is partitioned: no reply. Election closes with {2, 3}.
+        let (to, tok) = c2.finish_election(t(35)).unwrap();
+        assert_eq!(c2.members(), &[2, 3]);
+        assert!(c2.is_leader());
+        assert_eq!(c2.generation(), 2);
+        assert_eq!(to, 3);
+        assert!(c3.on_token(&tok, t(35)));
+        assert_eq!(c3.members(), &[2, 3]);
+        assert_eq!(c3.leader(), 2);
+    }
+
+    #[test]
+    fn empty_election_leaves_singleton() {
+        let (_c1, mut c2, _c3) = trio();
+        c2.start_election(t(25));
+        assert!(c2.finish_election(t(35)).is_none());
+        assert_eq!(c2.members(), &[2]);
+        assert!(c2.is_leader());
+        assert_eq!(c2.generation(), 2);
+    }
+
+    #[test]
+    fn concurrent_elections_one_concedes() {
+        let (_c1, mut c2, mut c3) = trio();
+        let (call2, _) = c2.start_election(t(25));
+        let (call3, _) = c3.start_election(t(25));
+        // Same proposed generation: the smaller caller address wins, so 2's
+        // call makes 3 concede, and 3's call is refused by 2.
+        assert!(c3.on_election_call(&call2, t(25)));
+        assert!(!c3.election_pending(), "3 conceded");
+        assert!(!c2.on_election_call(&call3, t(25)));
+        assert!(c2.election_pending(), "2 still running");
+    }
+
+    #[test]
+    fn election_call_from_behind_refused() {
+        let (mut c1, _c2, _c3) = trio();
+        let behind = Election {
+            caller: 9,
+            generation: 0,
+        };
+        assert!(!c1.on_election_call(&behind, t(1)));
+    }
+
+    #[test]
+    fn merge_probe_and_absorb() {
+        // Two singleton-ish cliques: {1,2} led by 1 (gen 2) and {3} (gen 0).
+        let mut l = CliqueState::new(1, &[2, 3], cfg(), t(0));
+        l.adopt(2, 1, vec![1, 2], t(0));
+        let mut s = CliqueState::new(3, &[1], cfg(), t(0));
+
+        // Leader probes after the probe interval.
+        assert!(l.probe_target(t(10)).is_none(), "too early");
+        let target = l.probe_target(t(31)).unwrap();
+        assert_eq!(target, 3);
+        let probe = l.make_probe();
+        let reply = s.on_merge_probe(&probe, t(31));
+        assert_eq!(reply.members, vec![3]);
+        let (to, tok) = l.absorb_merge_response(&reply, t(32)).unwrap();
+        assert_eq!(l.members(), &[1, 2, 3]);
+        assert_eq!(l.generation(), 3, "max(2,0)+1");
+        assert!(l.is_leader());
+        assert_eq!(to, 2);
+        // The token reaches 3 eventually and it adopts.
+        assert!(s.on_token(&tok, t(33)));
+        assert_eq!(s.members(), &[1, 2, 3]);
+    }
+
+    #[test]
+    fn absorbing_own_members_is_noop() {
+        let (mut c1, _c2, _c3) = trio();
+        let own = Token {
+            generation: 1,
+            leader: 1,
+            members: vec![2, 3],
+            seq: 0,
+        };
+        assert!(c1.absorb_merge_response(&own, t(5)).is_none());
+        assert_eq!(c1.generation(), 1);
+    }
+
+    #[test]
+    fn non_leader_never_probes() {
+        let (_c1, mut c2, _c3) = trio();
+        c2.add_known_peer(99);
+        assert!(c2.probe_target(t(1000)).is_none());
+    }
+
+    #[test]
+    fn partition_then_merge_converges() {
+        // Full lifecycle: {1,2,3} partitions into {1} and {2,3}, then heals.
+        let (mut c1, mut c2, mut c3) = trio();
+        // 2 and 3 stop hearing the token (1 is cut off); 2 elects.
+        let (call, _) = c2.start_election(t(30));
+        assert!(c3.on_election_call(&call, t(30)));
+        c2.on_election_reply(3);
+        let (_, tok) = c2.finish_election(t(40)).unwrap();
+        c3.on_token(&tok, t(40));
+        // 1 also times out and elects alone.
+        let (_c1_call, _) = c1.start_election(t(30));
+        assert!(c1.finish_election(t(40)).is_none());
+        assert_eq!(c1.members(), &[1]);
+        assert_eq!(c1.generation(), 2);
+
+        // Heal: leader 2 probes 1.
+        let target = c2.probe_target(t(70)).unwrap();
+        assert_eq!(target, 1);
+        let reply = c1.on_merge_probe(&c2.make_probe(), t(70));
+        let (_, merged_tok) = c2.absorb_merge_response(&reply, t(71)).unwrap();
+        assert_eq!(c2.members(), &[1, 2, 3]);
+        assert!(c1.on_token(&merged_tok, t(72)) || {
+            // Token first goes to the successor; deliver to 1 as well.
+            c1.on_token(&merged_tok, t(72))
+        });
+        assert_eq!(c1.members(), &[1, 2, 3]);
+        assert_eq!(c1.leader(), 2);
+        c3.on_token(&merged_tok, t(73));
+        assert_eq!(c3.members(), &[1, 2, 3]);
+        assert_eq!(
+            (c1.generation(), c2.generation(), c3.generation()),
+            (3, 3, 3)
+        );
+    }
+}

@@ -1,0 +1,126 @@
+//! State freshness.
+//!
+//! Components registering with a *Gossip* supply "a function that allows a
+//! Gossip to compare the 'freshness' of two different messages having the
+//! same type" (§2.3). State travels as a [`VersionedBlob`]; comparators are
+//! pluggable per state type, with the common cases provided: a monotonic
+//! version counter (the default), and numeric-maximum semantics used by
+//! "largest counter-example found so far"-style state where the freshest
+//! value is the best one, not the latest one.
+
+use std::cmp::Ordering;
+
+use ew_proto::wire_struct;
+#[cfg(test)]
+use ew_proto::{WireDecode, WireEncode};
+
+/// A state value as exchanged between components and Gossips.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct VersionedBlob {
+    /// Writer-assigned version (meaning depends on the comparator).
+    pub version: u64,
+    /// Opaque application payload.
+    pub data: Vec<u8>,
+}
+
+wire_struct!(VersionedBlob { version, data });
+
+impl VersionedBlob {
+    /// Construct.
+    pub fn new(version: u64, data: Vec<u8>) -> Self {
+        VersionedBlob { version, data }
+    }
+
+    /// The empty, never-written state.
+    pub fn empty() -> Self {
+        VersionedBlob {
+            version: 0,
+            data: Vec::new(),
+        }
+    }
+}
+
+/// How a Gossip decides which of two same-type states is fresher.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Comparator {
+    /// Higher `version` wins (monotonic write counter) — the default.
+    VersionCounter,
+    /// Higher `version` wins, where version encodes application *quality*
+    /// (e.g. the vertex count of the best verified counter-example), so
+    /// a better result from anywhere beats a newer-but-worse one.
+    BestValue,
+}
+
+impl Comparator {
+    /// Compare freshness of `a` vs `b`: `Greater` means `a` is fresher.
+    pub fn compare(self, a: &VersionedBlob, b: &VersionedBlob) -> Ordering {
+        // Both provided semantics order by version; they differ in what
+        // the version *means* (write counter vs quality score), which
+        // matters to writers, not to this comparison. Ties compare data
+        // lexicographically so reconciliation is deterministic and
+        // convergent even when two writers pick the same version.
+        a.version
+            .cmp(&b.version)
+            .then_with(|| a.data.cmp(&b.data))
+    }
+
+    /// Wire id for the comparator (registration messages carry it).
+    pub fn wire_id(self) -> u8 {
+        match self {
+            Comparator::VersionCounter => 0,
+            Comparator::BestValue => 1,
+        }
+    }
+
+    /// Inverse of [`Comparator::wire_id`] (unknown ids fall back to the
+    /// default, keeping old servers compatible with newer clients).
+    pub fn from_wire_id(id: u8) -> Comparator {
+        match id {
+            1 => Comparator::BestValue,
+            _ => Comparator::VersionCounter,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wire_round_trip() {
+        let b = VersionedBlob::new(7, vec![1, 2, 3]);
+        assert_eq!(VersionedBlob::from_wire(&b.to_wire()).unwrap(), b);
+    }
+
+    #[test]
+    fn version_counter_orders_by_version() {
+        let old = VersionedBlob::new(1, vec![9]);
+        let new = VersionedBlob::new(2, vec![0]);
+        assert_eq!(Comparator::VersionCounter.compare(&new, &old), Ordering::Greater);
+        assert_eq!(Comparator::VersionCounter.compare(&old, &new), Ordering::Less);
+    }
+
+    #[test]
+    fn ties_break_on_data_deterministically() {
+        let a = VersionedBlob::new(5, vec![1]);
+        let b = VersionedBlob::new(5, vec![2]);
+        assert_eq!(Comparator::VersionCounter.compare(&a, &b), Ordering::Less);
+        assert_eq!(Comparator::VersionCounter.compare(&b, &a), Ordering::Greater);
+        assert_eq!(Comparator::VersionCounter.compare(&a, &a.clone()), Ordering::Equal);
+    }
+
+    #[test]
+    fn comparator_wire_ids_round_trip() {
+        for c in [Comparator::VersionCounter, Comparator::BestValue] {
+            assert_eq!(Comparator::from_wire_id(c.wire_id()), c);
+        }
+        assert_eq!(Comparator::from_wire_id(250), Comparator::VersionCounter);
+    }
+
+    #[test]
+    fn empty_blob_is_least_fresh() {
+        let e = VersionedBlob::empty();
+        let any = VersionedBlob::new(1, vec![]);
+        assert_eq!(Comparator::VersionCounter.compare(&any, &e), Ordering::Greater);
+    }
+}

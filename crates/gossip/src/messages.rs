@@ -1,0 +1,236 @@
+//! Gossip and clique wire messages.
+
+use ew_proto::wire_struct;
+use ew_proto::mtype;
+#[cfg(test)]
+use ew_proto::{WireDecode, WireEncode};
+
+use crate::freshness::VersionedBlob;
+
+/// Message types used by the state-exchange service.
+pub mod gm {
+    use super::mtype;
+    /// Component → Gossip: register for synchronization (request).
+    pub const REGISTER: u16 = mtype::GOSSIP_BASE;
+    /// Gossip → component: send a fresh copy of your state (request).
+    pub const POLL: u16 = mtype::GOSSIP_BASE + 1;
+    /// Gossip → component: fresher state than yours (one-way).
+    pub const PUSH: u16 = mtype::GOSSIP_BASE + 2;
+    /// Gossip ↔ Gossip: exchange latest known states (one-way).
+    pub const SYNC: u16 = mtype::GOSSIP_BASE + 3;
+    /// New Gossip → well-known Gossip: announce membership (one-way,
+    /// relayed to the rest of the pool).
+    pub const ANNOUNCE: u16 = mtype::GOSSIP_BASE + 4;
+    /// Clique token (one-way, circulates the ring).
+    pub const TOKEN: u16 = mtype::CLIQUE_BASE;
+    /// Election call (request).
+    pub const ELECTION: u16 = mtype::CLIQUE_BASE + 1;
+    /// Cross-clique merge probe (request).
+    pub const MERGE_PROBE: u16 = mtype::CLIQUE_BASE + 2;
+}
+
+/// One state type's registration entry.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TypeRegistration {
+    /// Application state type id.
+    pub stype: u16,
+    /// Comparator wire id ([`crate::freshness::Comparator`]).
+    pub comparator: u8,
+}
+
+wire_struct!(TypeRegistration { stype, comparator });
+
+/// Component → Gossip registration body.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Register {
+    /// The component's contact address (simulator process id or hashed
+    /// socket address).
+    pub addr: u64,
+    /// State types the component synchronizes.
+    pub types: Vec<TypeRegistration>,
+}
+
+wire_struct!(Register { addr, types });
+
+/// Gossip → component poll body (request one state type).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Poll {
+    /// State type requested.
+    pub stype: u16,
+}
+
+wire_struct!(Poll { stype });
+
+/// Component → Gossip poll reply / Gossip → component push body.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct StateCarrier {
+    /// State type carried.
+    pub stype: u16,
+    /// The state value.
+    pub blob: VersionedBlob,
+}
+
+wire_struct!(StateCarrier { stype, blob });
+
+/// Gossip ↔ Gossip sync body: the sender's latest view of every type.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SyncBody {
+    /// Sender's contact address.
+    pub from_addr: u64,
+    /// Latest states known to the sender.
+    pub states: Vec<StateCarrier>,
+    /// Component registrations known to the sender (address, types) so the
+    /// pool shares the responsibility map.
+    pub registrations: Vec<Register>,
+    /// Pool peers the sender knows about, so knowledge of the pool spreads
+    /// transitively and any leader can eventually probe any member.
+    pub peers: Vec<u64>,
+}
+
+wire_struct!(SyncBody {
+    from_addr,
+    states,
+    registrations,
+    peers
+});
+
+/// Announce body: a Gossip joining the pool.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Announce {
+    /// The joiner's contact address.
+    pub addr: u64,
+    /// Other pool members the joiner already knows (gossip transitivity).
+    pub known: Vec<u64>,
+}
+
+wire_struct!(Announce { addr, known });
+
+/// Clique token body.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Token {
+    /// Clique generation (bumped by each election / merge).
+    pub generation: u64,
+    /// Leader's address.
+    pub leader: u64,
+    /// Ordered ring membership.
+    pub members: Vec<u64>,
+    /// Monotone token sequence number within the generation.
+    pub seq: u64,
+}
+
+wire_struct!(Token {
+    generation,
+    leader,
+    members,
+    seq
+});
+
+/// Election call body.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Election {
+    /// Caller's address.
+    pub caller: u64,
+    /// Generation the caller is trying to supersede.
+    pub generation: u64,
+}
+
+wire_struct!(Election { caller, generation });
+
+/// Merge probe body: a leader probing a foreign member.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MergeProbe {
+    /// Probing leader's address.
+    pub leader: u64,
+    /// Probing clique's generation.
+    pub generation: u64,
+    /// Probing clique's membership.
+    pub members: Vec<u64>,
+}
+
+wire_struct!(MergeProbe {
+    leader,
+    generation,
+    members
+});
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_bodies_round_trip() {
+        let reg = Register {
+            addr: 42,
+            types: vec![
+                TypeRegistration {
+                    stype: 1,
+                    comparator: 0,
+                },
+                TypeRegistration {
+                    stype: 9,
+                    comparator: 1,
+                },
+            ],
+        };
+        assert_eq!(Register::from_wire(&reg.to_wire()).unwrap(), reg);
+
+        let sync = SyncBody {
+            from_addr: 7,
+            states: vec![StateCarrier {
+                stype: 3,
+                blob: VersionedBlob::new(5, vec![1]),
+            }],
+            registrations: vec![reg.clone()],
+            peers: vec![8, 9],
+        };
+        assert_eq!(SyncBody::from_wire(&sync.to_wire()).unwrap(), sync);
+
+        let tok = Token {
+            generation: 2,
+            leader: 1,
+            members: vec![1, 2, 3],
+            seq: 88,
+        };
+        assert_eq!(Token::from_wire(&tok.to_wire()).unwrap(), tok);
+
+        let el = Election {
+            caller: 4,
+            generation: 2,
+        };
+        assert_eq!(Election::from_wire(&el.to_wire()).unwrap(), el);
+
+        let mp = MergeProbe {
+            leader: 1,
+            generation: 3,
+            members: vec![1, 5],
+        };
+        assert_eq!(MergeProbe::from_wire(&mp.to_wire()).unwrap(), mp);
+
+        let ann = Announce {
+            addr: 12,
+            known: vec![1, 2],
+        };
+        assert_eq!(Announce::from_wire(&ann.to_wire()).unwrap(), ann);
+
+        let poll = Poll { stype: 66 };
+        assert_eq!(Poll::from_wire(&poll.to_wire()).unwrap(), poll);
+    }
+
+    #[test]
+    fn message_type_blocks_distinct() {
+        let all = [
+            gm::REGISTER,
+            gm::POLL,
+            gm::PUSH,
+            gm::SYNC,
+            gm::ANNOUNCE,
+            gm::TOKEN,
+            gm::ELECTION,
+            gm::MERGE_PROBE,
+        ];
+        let mut sorted = all.to_vec();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), all.len());
+    }
+}

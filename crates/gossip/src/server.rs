@@ -1,0 +1,421 @@
+//! The *Gossip* server process.
+//!
+//! "EveryWare state-exchange servers (called Gossips) allow application
+//! processes to register for state synchronization ... Once registered, an
+//! application component periodically receives a request from a Gossip
+//! process to send a fresh copy of its current state" (§2.3). A
+//! [`GossipServer`] is one member of the Gossip pool: it polls the
+//! components it is responsible for (responsibility is partitioned across
+//! the pool by rendezvous hash over the live clique membership), pushes
+//! fresh state to stale components, syncs its state table with its pool
+//! peers, and participates in the clique protocol to survive partitions.
+//!
+//! Poll time-outs are *discovered dynamically* through the forecast-driven
+//! policy (§2.2); construct with [`GossipConfig::static_timeouts`] set to
+//! reproduce the paper's inferior static-time-out baseline.
+
+use ew_forecast::ForecastTimeout;
+use ew_proto::sim_net::{packet_from_event, send_packet};
+use ew_proto::{EventTag, Packet, RpcTracker, StaticTimeout, TimeoutPolicy};
+use ew_sim::{Ctx, Event, Process, ProcessId, SimDuration};
+
+use crate::clique::{CliqueConfig, CliqueState};
+use crate::messages::{gm, Announce, Election, MergeProbe, Poll, Register, StateCarrier, SyncBody, Token};
+use crate::store::{responsible_gossip, GossipStore};
+use ew_proto::WireEncode;
+
+/// Tunables for a Gossip server.
+#[derive(Clone, Debug)]
+pub struct GossipConfig {
+    /// How often responsible components are polled for fresh state.
+    pub poll_interval: SimDuration,
+    /// How often the state table is synced to pool peers.
+    pub sync_interval: SimDuration,
+    /// Bookkeeping granularity (RPC expiry, election deadlines, probing).
+    pub tick_interval: SimDuration,
+    /// Clique protocol tunables.
+    pub clique: CliqueConfig,
+    /// `Some(t)` replaces dynamic time-out discovery with a fixed time-out
+    /// `t` — the §2.2 ablation baseline.
+    pub static_timeouts: Option<SimDuration>,
+}
+
+impl Default for GossipConfig {
+    fn default() -> Self {
+        GossipConfig {
+            poll_interval: SimDuration::from_secs(10),
+            sync_interval: SimDuration::from_secs(15),
+            tick_interval: SimDuration::from_secs(1),
+            clique: CliqueConfig::default(),
+            static_timeouts: None,
+        }
+    }
+}
+
+const TIMER_POLL: u64 = 1;
+const TIMER_SYNC: u64 = 2;
+const TIMER_TICK: u64 = 3;
+const TIMER_TOKEN_HOLD: u64 = 4;
+
+/// What an outstanding RPC was for.
+enum RpcKind {
+    Poll { addr: u64, stype: u16 },
+}
+
+/// One member of the Gossip pool, as a simulator process.
+pub struct GossipServer {
+    cfg: GossipConfig,
+    well_known: Vec<u64>,
+    store: GossipStore,
+    clique: Option<CliqueState>,
+    rpc: RpcTracker<RpcKind>,
+    policy: Box<dyn TimeoutPolicy + Send>,
+    hold_pending: bool,
+    /// Successful poll round-trips (exposed for tests/experiments).
+    pub polls_ok: u64,
+    /// Poll time-outs (the "misjudged availability" count of §2.2).
+    pub polls_timed_out: u64,
+    /// State pushes sent.
+    pub pushes: u64,
+}
+
+impl GossipServer {
+    /// Build a server that will announce itself to `well_known` peer
+    /// addresses (other Gossips' process ids).
+    pub fn new(cfg: GossipConfig, well_known: Vec<u64>) -> Self {
+        let policy: Box<dyn TimeoutPolicy + Send> = match cfg.static_timeouts {
+            Some(t) => Box::new(StaticTimeout(t)),
+            None => Box::new(ForecastTimeout::wan_default()),
+        };
+        GossipServer {
+            cfg,
+            well_known,
+            store: GossipStore::new(),
+            clique: None,
+            rpc: RpcTracker::new(),
+            policy,
+            hold_pending: false,
+            polls_ok: 0,
+            polls_timed_out: 0,
+            pushes: 0,
+        }
+    }
+
+    /// The server's state table (inspection).
+    pub fn store(&self) -> &GossipStore {
+        &self.store
+    }
+
+    /// Current clique membership (empty before start).
+    pub fn clique_members(&self) -> Vec<u64> {
+        self.clique
+            .as_ref()
+            .map(|c| c.members().to_vec())
+            .unwrap_or_default()
+    }
+
+    /// Current clique generation.
+    pub fn clique_generation(&self) -> u64 {
+        self.clique.as_ref().map(|c| c.generation()).unwrap_or(0)
+    }
+
+    fn me_addr(ctx: &Ctx<'_>) -> u64 {
+        ctx.me().0 as u64
+    }
+
+    fn pid(addr: u64) -> ProcessId {
+        ProcessId(addr as u32)
+    }
+
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        let me = Self::me_addr(ctx);
+        self.clique = Some(CliqueState::new(
+            me,
+            &self.well_known,
+            self.cfg.clique,
+            ctx.now(),
+        ));
+        let announce = Announce {
+            addr: me,
+            known: self.well_known.clone(),
+        };
+        for &peer in &self.well_known {
+            if peer != me {
+                send_packet(
+                    ctx,
+                    Self::pid(peer),
+                    &Packet::oneway(gm::ANNOUNCE, announce.to_wire()),
+                );
+            }
+        }
+        // Stagger periodic timers by a deterministic per-process offset so
+        // co-located servers do not fire in lockstep.
+        let jitter = SimDuration::from_millis(ctx.rng().next_below(1000));
+        ctx.set_timer(self.cfg.poll_interval + jitter, TIMER_POLL);
+        ctx.set_timer(self.cfg.sync_interval + jitter, TIMER_SYNC);
+        ctx.set_timer(self.cfg.tick_interval, TIMER_TICK);
+    }
+
+    fn poll_round(&mut self, ctx: &mut Ctx<'_>) {
+        let me = Self::me_addr(ctx);
+        let members = self.clique.as_ref().expect("started").members().to_vec();
+        for comp in self.store.components() {
+            if responsible_gossip(&members, comp) != Some(me) {
+                continue;
+            }
+            for stype in self.store.types_of(comp) {
+                let tag = EventTag {
+                    peer: comp,
+                    mtype: gm::POLL,
+                };
+                let corr = self.rpc.begin(
+                    tag,
+                    ctx.now(),
+                    self.policy.as_mut(),
+                    RpcKind::Poll { addr: comp, stype },
+                );
+                let body = Poll { stype };
+                send_packet(
+                    ctx,
+                    Self::pid(comp),
+                    &Packet::request(gm::POLL, corr, body.to_wire()),
+                );
+                ctx.metric_add("gossip.polls_sent", 1.0);
+            }
+        }
+        ctx.set_timer(self.cfg.poll_interval, TIMER_POLL);
+    }
+
+    fn sync_round(&mut self, ctx: &mut Ctx<'_>) {
+        let me = Self::me_addr(ctx);
+        let body = SyncBody {
+            from_addr: me,
+            states: self.store.snapshot_states(),
+            registrations: self.store.snapshot_registrations(),
+            peers: self.clique.as_ref().expect("started").known_peers(),
+        };
+        let members = self.clique.as_ref().expect("started").members().to_vec();
+        for &peer in &members {
+            if peer != me {
+                send_packet(
+                    ctx,
+                    Self::pid(peer),
+                    &Packet::oneway(gm::SYNC, body.to_wire()),
+                );
+                ctx.metric_add("gossip.syncs_sent", 1.0);
+            }
+        }
+        ctx.set_timer(self.cfg.sync_interval, TIMER_SYNC);
+    }
+
+    fn push_stale(&mut self, ctx: &mut Ctx<'_>, stype: u16) {
+        let me = Self::me_addr(ctx);
+        let members = self.clique.as_ref().expect("started").members().to_vec();
+        for (addr, blob) in self.store.stale_components(stype) {
+            // Only push to components this server is responsible for; a
+            // peer Gossip will cover the rest after the next sync.
+            if responsible_gossip(&members, addr) != Some(me) {
+                continue;
+            }
+            let carrier = StateCarrier {
+                stype,
+                blob: blob.clone(),
+            };
+            send_packet(
+                ctx,
+                Self::pid(addr),
+                &Packet::oneway(gm::PUSH, carrier.to_wire()),
+            );
+            self.store.note_pushed(addr, stype, blob);
+            self.pushes += 1;
+            ctx.metric_add("gossip.pushes", 1.0);
+        }
+    }
+
+    fn tick(&mut self, ctx: &mut Ctx<'_>) {
+        let now = ctx.now();
+        // RPC expiry: the §2.2 "misjudged the availability" counter.
+        for pending in self.rpc.expire(now, self.policy.as_mut()) {
+            match pending.context {
+                RpcKind::Poll { .. } => {
+                    self.polls_timed_out += 1;
+                    ctx.metric_add("gossip.poll_timeouts", 1.0);
+                }
+            }
+        }
+        // Clique bookkeeping.
+        let clique = self.clique.as_mut().expect("started");
+        if clique.token_lost(now) {
+            let (call, targets) = clique.start_election(now);
+            ctx.metric_add("clique.elections", 1.0);
+            for target in targets {
+                send_packet(
+                    ctx,
+                    Self::pid(target),
+                    &Packet::request(gm::ELECTION, 0, call.to_wire()),
+                );
+            }
+        } else if clique.election_deadline().is_some_and(|d| d <= now) {
+            if let Some((to, tok)) = clique.finish_election(now) {
+                send_packet(ctx, Self::pid(to), &Packet::oneway(gm::TOKEN, tok.to_wire()));
+            }
+            ctx.metric_add("clique.elections_closed", 1.0);
+        }
+        if let Some(target) = clique.probe_target(now) {
+            let probe = clique.make_probe();
+            send_packet(
+                ctx,
+                Self::pid(target),
+                &Packet::request(gm::MERGE_PROBE, 0, probe.to_wire()),
+            );
+            ctx.metric_add("clique.probes", 1.0);
+        }
+        ctx.set_timer(self.cfg.tick_interval, TIMER_TICK);
+    }
+
+    fn handle_packet(&mut self, ctx: &mut Ctx<'_>, from: ProcessId, pkt: Packet) {
+        let now = ctx.now();
+        match (pkt.mtype, pkt.is_response()) {
+            (gm::REGISTER, false) => {
+                if let Ok(reg) = pkt.body::<Register>() {
+                    self.store.register(reg.addr, &reg.types);
+                    send_packet(ctx, from, &Packet::response_to(&pkt, Vec::new()));
+                }
+            }
+            (gm::POLL, true) => {
+                if let Some((pending, _rtt)) =
+                    self.rpc.complete(pkt.corr_id, now, self.policy.as_mut())
+                {
+                    let RpcKind::Poll { addr, stype } = pending.context;
+                    if let Ok(carrier) = pkt.body::<StateCarrier>() {
+                        self.polls_ok += 1;
+                        ctx.metric_add("gossip.polls_ok", 1.0);
+                        self.store
+                            .record_component_state(addr, stype, carrier.blob);
+                        self.push_stale(ctx, stype);
+                    }
+                }
+            }
+            (gm::SYNC, false) => {
+                if let Ok(sync) = pkt.body::<SyncBody>() {
+                    let clique = self.clique.as_mut().expect("started");
+                    clique.add_known_peer(sync.from_addr);
+                    for peer in &sync.peers {
+                        clique.add_known_peer(*peer);
+                    }
+                    for reg in &sync.registrations {
+                        self.store.register(reg.addr, &reg.types);
+                    }
+                    let mut freshened = Vec::new();
+                    for carrier in sync.states {
+                        if self.store.absorb(carrier.stype, carrier.blob) {
+                            freshened.push(carrier.stype);
+                        }
+                    }
+                    for stype in freshened {
+                        self.push_stale(ctx, stype);
+                    }
+                }
+            }
+            (gm::ANNOUNCE, false) => {
+                if let Ok(ann) = pkt.body::<Announce>() {
+                    let clique = self.clique.as_mut().expect("started");
+                    let me = clique.me;
+                    let newcomer = !clique.known_peers().contains(&ann.addr) && ann.addr != me;
+                    clique.add_known_peer(ann.addr);
+                    for peer in ann.known {
+                        clique.add_known_peer(peer);
+                    }
+                    // Relay first sightings so pool knowledge is transitive
+                    // ("announced to all other functioning Gossips", §2.3).
+                    if newcomer {
+                        let peers = clique.known_peers();
+                        let relay = Announce {
+                            addr: ann.addr,
+                            known: peers.clone(),
+                        };
+                        for peer in peers {
+                            if peer != ann.addr && ProcessId(peer as u32) != from {
+                                send_packet(
+                                    ctx,
+                                    Self::pid(peer),
+                                    &Packet::oneway(gm::ANNOUNCE, relay.to_wire()),
+                                );
+                            }
+                        }
+                    }
+                }
+            }
+            (gm::TOKEN, false) => {
+                if let Ok(tok) = pkt.body::<Token>() {
+                    let clique = self.clique.as_mut().expect("started");
+                    if clique.on_token(&tok, now) && !self.hold_pending {
+                        self.hold_pending = true;
+                        ctx.set_timer(self.cfg.clique.hold_time, TIMER_TOKEN_HOLD);
+                    }
+                }
+            }
+            (gm::ELECTION, false) => {
+                if let Ok(call) = pkt.body::<Election>() {
+                    let clique = self.clique.as_mut().expect("started");
+                    if clique.on_election_call(&call, now) {
+                        send_packet(ctx, from, &Packet::response_to(&pkt, Vec::new()));
+                    }
+                }
+            }
+            (gm::ELECTION, true) => {
+                let clique = self.clique.as_mut().expect("started");
+                clique.on_election_reply(from.0 as u64);
+            }
+            (gm::MERGE_PROBE, false) => {
+                if let Ok(probe) = pkt.body::<MergeProbe>() {
+                    let clique = self.clique.as_mut().expect("started");
+                    let reply = clique.on_merge_probe(&probe, now);
+                    send_packet(ctx, from, &Packet::response_to(&pkt, reply.to_wire()));
+                }
+            }
+            (gm::MERGE_PROBE, true) => {
+                if let Ok(foreign) = pkt.body::<Token>() {
+                    let clique = self.clique.as_mut().expect("started");
+                    if let Some((to, tok)) = clique.absorb_merge_response(&foreign, now) {
+                        ctx.metric_add("clique.merges", 1.0);
+                        send_packet(ctx, Self::pid(to), &Packet::oneway(gm::TOKEN, tok.to_wire()));
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+impl Process for GossipServer {
+    fn on_event(&mut self, ctx: &mut Ctx<'_>, ev: Event) {
+        match ev {
+            Event::Started => self.on_start(ctx),
+            Event::Timer { tag } => match tag {
+                TIMER_POLL => self.poll_round(ctx),
+                TIMER_SYNC => self.sync_round(ctx),
+                TIMER_TICK => self.tick(ctx),
+                TIMER_TOKEN_HOLD => {
+                    self.hold_pending = false;
+                    if let Some(clique) = self.clique.as_mut() {
+                        if let Some((to, tok)) = clique.forward_token() {
+                            send_packet(
+                                ctx,
+                                Self::pid(to),
+                                &Packet::oneway(gm::TOKEN, tok.to_wire()),
+                            );
+                        }
+                    }
+                }
+                _ => {}
+            },
+            ref ev @ Event::Message { .. } => {
+                if let Some(Ok((from, pkt))) = packet_from_event(ev) {
+                    self.handle_packet(ctx, from, pkt);
+                }
+            }
+            _ => {}
+        }
+    }
+}

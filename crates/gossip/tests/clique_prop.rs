@@ -1,0 +1,167 @@
+//! Property tests for the clique protocol state machine: arbitrary
+//! interleavings of tokens, elections, probes, and merges must preserve
+//! structural invariants — a member always belongs to its own clique, the
+//! membership stays sorted and deduplicated, and generations never move
+//! backwards.
+
+use proptest::prelude::*;
+
+use ew_gossip::messages::{Election, MergeProbe, Token};
+use ew_gossip::{CliqueConfig, CliqueState};
+use ew_sim::SimTime;
+
+#[derive(Clone, Debug)]
+enum Op {
+    Token {
+        generation: u64,
+        leader: u64,
+        members: Vec<u64>,
+    },
+    ElectionCall {
+        caller: u64,
+        generation: u64,
+    },
+    StartElection,
+    ElectionReply(u64),
+    FinishElection,
+    MergeProbe {
+        leader: u64,
+        generation: u64,
+        members: Vec<u64>,
+    },
+    AbsorbMerge {
+        generation: u64,
+        leader: u64,
+        members: Vec<u64>,
+    },
+    ForwardToken,
+}
+
+fn member_ids() -> impl Strategy<Value = Vec<u64>> {
+    proptest::collection::btree_set(0u64..8, 1..6)
+        .prop_map(|s| s.into_iter().collect::<Vec<u64>>())
+}
+
+fn op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0u64..6, 0u64..8, member_ids()).prop_map(|(generation, leader, members)| Op::Token {
+            generation,
+            leader,
+            members
+        }),
+        (0u64..8, 0u64..6).prop_map(|(caller, generation)| Op::ElectionCall {
+            caller,
+            generation
+        }),
+        Just(Op::StartElection),
+        (0u64..8).prop_map(Op::ElectionReply),
+        Just(Op::FinishElection),
+        (0u64..8, 0u64..6, member_ids()).prop_map(|(leader, generation, members)| {
+            Op::MergeProbe {
+                leader,
+                generation,
+                members,
+            }
+        }),
+        (0u64..6, 0u64..8, member_ids()).prop_map(|(generation, leader, members)| {
+            Op::AbsorbMerge {
+                generation,
+                leader,
+                members,
+            }
+        }),
+        Just(Op::ForwardToken),
+    ]
+}
+
+fn invariants(c: &CliqueState) -> Result<(), TestCaseError> {
+    let members = c.members();
+    prop_assert!(
+        members.contains(&c.me),
+        "member {} missing from own clique {:?}",
+        c.me,
+        members
+    );
+    let mut sorted = members.to_vec();
+    sorted.sort_unstable();
+    sorted.dedup();
+    prop_assert_eq!(sorted.as_slice(), members, "membership sorted + deduped");
+    prop_assert!(!c.known_peers().contains(&c.me), "self never a peer");
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn clique_state_invariants_hold_under_arbitrary_inputs(
+        me in 0u64..4,
+        ops in proptest::collection::vec(op(), 0..60),
+    ) {
+        let mut c = CliqueState::new(me, &[0, 1, 2, 3], CliqueConfig::default(), SimTime::ZERO);
+        let mut t = SimTime::ZERO;
+        let mut last_gen = c.generation();
+        for (i, o) in ops.into_iter().enumerate() {
+            t = SimTime::from_secs(i as u64 + 1);
+            match o {
+                Op::Token { generation, leader, members } => {
+                    c.on_token(&Token { generation, leader, members, seq: i as u64 }, t);
+                }
+                Op::ElectionCall { caller, generation } => {
+                    c.on_election_call(&Election { caller, generation }, t);
+                }
+                Op::StartElection => {
+                    if !c.election_pending() {
+                        let _ = c.start_election(t);
+                    }
+                }
+                Op::ElectionReply(from) => c.on_election_reply(from),
+                Op::FinishElection => {
+                    let _ = c.finish_election(t);
+                }
+                Op::MergeProbe { leader, generation, members } => {
+                    let _ = c.on_merge_probe(&MergeProbe { leader, generation, members }, t);
+                }
+                Op::AbsorbMerge { generation, leader, members } => {
+                    let _ = c.absorb_merge_response(
+                        &Token { generation, leader, members, seq: 0 },
+                        t,
+                    );
+                }
+                Op::ForwardToken => {
+                    let _ = c.forward_token();
+                }
+            }
+            invariants(&c)?;
+            // Generations are monotone non-decreasing at each member.
+            prop_assert!(
+                c.generation() >= last_gen || c.members() == [c.me],
+                "generation moved backwards: {} -> {}",
+                last_gen,
+                c.generation()
+            );
+            last_gen = c.generation();
+        }
+    }
+
+    #[test]
+    fn token_adoption_is_idempotent(
+        me in 0u64..4,
+        generation in 1u64..10,
+        members in member_ids(),
+    ) {
+        let mut m = members.clone();
+        if !m.contains(&me) {
+            m.push(me);
+            m.sort_unstable();
+        }
+        let leader = m[0];
+        let tok = Token { generation, leader, members: m.clone(), seq: 1 };
+        let mut c = CliqueState::new(me, &[], CliqueConfig::default(), SimTime::ZERO);
+        c.on_token(&tok, SimTime::from_secs(1));
+        let after_first = (c.generation(), c.leader(), c.members().to_vec());
+        c.on_token(&tok, SimTime::from_secs(2));
+        let after_second = (c.generation(), c.leader(), c.members().to_vec());
+        prop_assert_eq!(after_first, after_second);
+    }
+}

@@ -1,0 +1,27 @@
+//! # ew-proto — the EveryWare lingua franca
+//!
+//! "A portable lingua franca that is designed to allow processes using
+//! different infrastructures and operating systems to communicate" (§2).
+//! The 1998 implementation was C over the most vanilla TCP/IP sockets; this
+//! crate is its Rust reconstruction, split along the paper's own seams:
+//!
+//! * [`wire`] — the explicit big-endian encoding that replaced XDR;
+//! * [`packet`] — typed, checksummed records with request/response flags
+//!   and correlation ids, plus the stream framer;
+//! * [`rpc`] — outstanding-request tracking with pluggable
+//!   [`rpc::TimeoutPolicy`] (static here; forecast-driven in
+//!   `ew-forecast`);
+//! * [`sim_net`] — packets over the `ew-sim` kernel;
+//! * [`tcp`] — packets over real `std::net` TCP for live deployment.
+
+#![warn(missing_docs)]
+
+pub mod packet;
+pub mod rpc;
+pub mod sim_net;
+pub mod tcp;
+pub mod wire;
+
+pub use packet::{flags, mtype, FrameReader, Packet, PacketError};
+pub use rpc::{EventTag, Pending, RpcTracker, StaticTimeout, TimeoutPolicy};
+pub use wire::{WireDecode, WireEncode, WireError, WireReader};

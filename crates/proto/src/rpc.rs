@@ -1,0 +1,257 @@
+//! Request/response correlation and time-out tracking.
+//!
+//! The paper's servers tag each request–response pair with "an identifier
+//! consisting of \[the\] address where the request was serviced, and the
+//! message type of the request" (§2.2), time every exchange, and feed the
+//! timings to the forecasters to *discover* time-outs dynamically. This
+//! module provides the bookkeeping half: correlation-id issue, outstanding
+//! request tracking, RTT measurement on completion, and expiry scanning.
+//! The policy half (what time-out to use) is abstracted as
+//! [`TimeoutPolicy`]; `ew-forecast` supplies the forecast-driven
+//! implementation and a static one exists here for the §2.2 ablation.
+
+use std::collections::HashMap;
+
+use ew_sim::{SimDuration, SimTime};
+
+/// A `(peer, message-type)` event class — the paper's dynamic-benchmark tag.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct EventTag {
+    /// The peer the request was sent to (any stable address will do; the
+    /// simulator uses process ids, TCP uses a hash of the socket address).
+    pub peer: u64,
+    /// The request's message type.
+    pub mtype: u16,
+}
+
+/// Supplies a time-out for each event class and learns from observed RTTs.
+pub trait TimeoutPolicy {
+    /// Time-out to arm when sending a request in this class.
+    fn timeout_for(&mut self, tag: EventTag) -> SimDuration;
+    /// Feed back a completed exchange's round-trip time.
+    fn observe_rtt(&mut self, tag: EventTag, rtt: SimDuration);
+    /// Feed back an expiry (the request went unanswered).
+    fn observe_timeout(&mut self, tag: EventTag);
+}
+
+/// The §2.2 baseline: one fixed time-out for everything, learning nothing.
+/// "Using the alternative of statically determined time-outs, the system
+/// frequently misjudged the availability of the different EveryWare
+/// state-management servers causing needless retries and dynamic
+/// reconfigurations."
+#[derive(Clone, Debug)]
+pub struct StaticTimeout(pub SimDuration);
+
+impl TimeoutPolicy for StaticTimeout {
+    fn timeout_for(&mut self, _tag: EventTag) -> SimDuration {
+        self.0
+    }
+    fn observe_rtt(&mut self, _tag: EventTag, _rtt: SimDuration) {}
+    fn observe_timeout(&mut self, _tag: EventTag) {}
+}
+
+/// One outstanding request.
+#[derive(Clone, Debug)]
+pub struct Pending<M> {
+    /// Correlation id carried by the request packet.
+    pub corr_id: u64,
+    /// Event class of the exchange.
+    pub tag: EventTag,
+    /// When the request was sent.
+    pub sent_at: SimTime,
+    /// When it should be considered lost.
+    pub deadline: SimTime,
+    /// Caller context returned on completion or expiry (e.g. which work
+    /// unit the request concerned).
+    pub context: M,
+}
+
+/// Tracks outstanding requests for one component.
+pub struct RpcTracker<M> {
+    next_corr: u64,
+    outstanding: HashMap<u64, Pending<M>>,
+}
+
+impl<M> Default for RpcTracker<M> {
+    fn default() -> Self {
+        RpcTracker {
+            next_corr: 1,
+            outstanding: HashMap::new(),
+        }
+    }
+}
+
+impl<M> RpcTracker<M> {
+    /// Empty tracker.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register a request about to be sent; returns the correlation id to
+    /// stamp on the packet. The deadline comes from the supplied policy.
+    pub fn begin(
+        &mut self,
+        tag: EventTag,
+        now: SimTime,
+        policy: &mut dyn TimeoutPolicy,
+        context: M,
+    ) -> u64 {
+        let corr_id = self.next_corr;
+        self.next_corr += 1;
+        let timeout = policy.timeout_for(tag);
+        self.outstanding.insert(
+            corr_id,
+            Pending {
+                corr_id,
+                tag,
+                sent_at: now,
+                deadline: now + timeout,
+                context,
+            },
+        );
+        corr_id
+    }
+
+    /// Record the arrival of a response. Returns the pending entry and its
+    /// RTT, and reports the RTT to the policy. Late responses (after
+    /// expiry was already taken) return `None` — exactly the "needless
+    /// retry" case static time-outs provoke.
+    pub fn complete(
+        &mut self,
+        corr_id: u64,
+        now: SimTime,
+        policy: &mut dyn TimeoutPolicy,
+    ) -> Option<(Pending<M>, SimDuration)> {
+        let p = self.outstanding.remove(&corr_id)?;
+        let rtt = now.since(p.sent_at);
+        policy.observe_rtt(p.tag, rtt);
+        Some((p, rtt))
+    }
+
+    /// Remove and return every request whose deadline has passed,
+    /// reporting each expiry to the policy. Results are sorted by
+    /// correlation id for determinism.
+    pub fn expire(&mut self, now: SimTime, policy: &mut dyn TimeoutPolicy) -> Vec<Pending<M>> {
+        let mut expired_ids: Vec<u64> = self
+            .outstanding
+            .iter()
+            .filter(|(_, p)| p.deadline <= now)
+            .map(|(&id, _)| id)
+            .collect();
+        expired_ids.sort_unstable();
+        expired_ids
+            .into_iter()
+            .map(|id| {
+                let p = self.outstanding.remove(&id).expect("listed above");
+                policy.observe_timeout(p.tag);
+                p
+            })
+            .collect()
+    }
+
+    /// The earliest outstanding deadline, if any — when the owner should
+    /// next arm a wake-up timer.
+    pub fn next_deadline(&self) -> Option<SimTime> {
+        self.outstanding.values().map(|p| p.deadline).min()
+    }
+
+    /// Number of requests in flight.
+    pub fn in_flight(&self) -> usize {
+        self.outstanding.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: u64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    fn tag(peer: u64) -> EventTag {
+        EventTag { peer, mtype: 7 }
+    }
+
+    #[test]
+    fn begin_complete_measures_rtt() {
+        let mut rt: RpcTracker<&'static str> = RpcTracker::new();
+        let mut pol = StaticTimeout(SimDuration::from_secs(10));
+        let id = rt.begin(tag(1), t(100), &mut pol, "unit-a");
+        assert_eq!(rt.in_flight(), 1);
+        let (p, rtt) = rt.complete(id, t(103), &mut pol).unwrap();
+        assert_eq!(p.context, "unit-a");
+        assert_eq!(rtt, SimDuration::from_secs(3));
+        assert_eq!(rt.in_flight(), 0);
+    }
+
+    #[test]
+    fn correlation_ids_unique_and_monotonic() {
+        let mut rt: RpcTracker<()> = RpcTracker::new();
+        let mut pol = StaticTimeout(SimDuration::from_secs(1));
+        let a = rt.begin(tag(1), t(0), &mut pol, ());
+        let b = rt.begin(tag(1), t(0), &mut pol, ());
+        let c = rt.begin(tag(2), t(0), &mut pol, ());
+        assert!(a < b && b < c);
+    }
+
+    #[test]
+    fn unknown_completion_is_none() {
+        let mut rt: RpcTracker<()> = RpcTracker::new();
+        let mut pol = StaticTimeout(SimDuration::from_secs(1));
+        assert!(rt.complete(999, t(0), &mut pol).is_none());
+    }
+
+    #[test]
+    fn expiry_removes_and_reports() {
+        struct CountingPolicy {
+            timeouts: u32,
+            rtts: u32,
+        }
+        impl TimeoutPolicy for CountingPolicy {
+            fn timeout_for(&mut self, _t: EventTag) -> SimDuration {
+                SimDuration::from_secs(5)
+            }
+            fn observe_rtt(&mut self, _t: EventTag, _r: SimDuration) {
+                self.rtts += 1;
+            }
+            fn observe_timeout(&mut self, _t: EventTag) {
+                self.timeouts += 1;
+            }
+        }
+        let mut pol = CountingPolicy { timeouts: 0, rtts: 0 };
+        let mut rt: RpcTracker<u32> = RpcTracker::new();
+        let id1 = rt.begin(tag(1), t(0), &mut pol, 1);
+        let _id2 = rt.begin(tag(1), t(3), &mut pol, 2);
+        // At t=5 only the first has expired.
+        let exp = rt.expire(t(5), &mut pol);
+        assert_eq!(exp.len(), 1);
+        assert_eq!(exp[0].corr_id, id1);
+        assert_eq!(exp[0].context, 1);
+        assert_eq!(pol.timeouts, 1);
+        assert_eq!(rt.in_flight(), 1);
+        // Late completion of the expired id yields nothing.
+        assert!(rt.complete(id1, t(6), &mut pol).is_none());
+        assert_eq!(pol.rtts, 0);
+    }
+
+    #[test]
+    fn next_deadline_is_minimum() {
+        let mut rt: RpcTracker<()> = RpcTracker::new();
+        let mut pol = StaticTimeout(SimDuration::from_secs(10));
+        assert!(rt.next_deadline().is_none());
+        rt.begin(tag(1), t(5), &mut pol, ());
+        rt.begin(tag(1), t(2), &mut pol, ());
+        assert_eq!(rt.next_deadline(), Some(t(12)));
+    }
+
+    #[test]
+    fn expire_is_deterministic_order() {
+        let mut rt: RpcTracker<u32> = RpcTracker::new();
+        let mut pol = StaticTimeout(SimDuration::from_secs(1));
+        let ids: Vec<u64> = (0..20).map(|i| rt.begin(tag(i), t(0), &mut pol, i as u32)).collect();
+        let exp = rt.expire(t(10), &mut pol);
+        let got: Vec<u64> = exp.iter().map(|p| p.corr_id).collect();
+        assert_eq!(got, ids, "expired in corr-id order");
+    }
+}

@@ -1,0 +1,29 @@
+//! # ew-ramsey — the Ramsey Number Search application
+//!
+//! The first true Grid application (§3): a heuristic search for
+//! counter-examples that improve the known lower bounds of classical
+//! Ramsey numbers. This crate is the *computational* half — colored
+//! graphs, monochromatic-clique counting, flip-delta evaluation, the
+//! search heuristics, counter-example verification, and the work-unit
+//! descriptors that schedulers hand to clients. The *distributed* half
+//! (clients, schedulers, persistent state, gossip) lives in `ew-sched`,
+//! `ew-state`, and `everyware`.
+
+#![warn(missing_docs)]
+
+pub mod bounds;
+pub mod cliques;
+pub mod graph;
+pub mod parallel;
+pub mod search;
+pub mod work;
+
+pub use bounds::{exact, lower_bound, verify_counter_example, Verification};
+pub use cliques::{count_mono, count_through_edge, count_total, flip_delta, OpsCounter};
+pub use graph::{iter_bits, Color, ColoredGraph};
+pub use parallel::{best_flip_parallel, ParallelSteepest};
+pub use search::{
+    heuristic_by_kind, run_search, Annealing, GreedyLocal, Heuristic, RunReport, SearchState,
+    StepOutcome, TabuSearch,
+};
+pub use work::{execute_work_unit, RamseyProblem, WorkResult, WorkUnit};

@@ -1,0 +1,728 @@
+//! The computational client process.
+//!
+//! Application clients "communicate amongst themselves and with scheduling
+//! servers to receive scheduling directives dynamically" (§3.1). A
+//! [`ComputeClient`] requests work units, executes them in compute chunks
+//! (the simulator charges each chunk against the host's fluctuating
+//! effective speed — that is where "delivered ops" come from), reports
+//! progress and rates periodically, obeys directives (continue / switch
+//! heuristic / abandon-for-migration), ships verified counter-examples to
+//! persistent state, and **fails over to another scheduler** when one stops
+//! answering — the behaviour §5.4 relied on when Condor killed schedulers.
+
+use ew_forecast::ForecastTimeout;
+use ew_proto::sim_net::{packet_from_event, send_packet};
+use ew_proto::{EventTag, Packet, RpcTracker, WireDecode, WireEncode};
+use ew_ramsey::{execute_work_unit, WorkResult, WorkUnit};
+use ew_sim::{Ctx, Event, Process, ProcessId, SimDuration, SimTime};
+use ew_state::messages::{sm, FetchReply, FetchRequest, StoreRequest};
+
+use crate::messages::{scm, Directive, DirectiveKind, ProgressReport, WorkGrant};
+
+/// Client tunables.
+#[derive(Clone, Debug)]
+pub struct ClientConfig {
+    /// Scheduler addresses, in failover order.
+    pub schedulers: Vec<u64>,
+    /// Persistent-state server for counter-examples (validator class 1).
+    pub state_server: Option<u64>,
+    /// Progress-report period.
+    pub report_interval: SimDuration,
+    /// Useful ops per compute chunk (chunk duration = chunk_ops / rate).
+    pub chunk_ops: u64,
+    /// Ops that constitute one heuristic step (for budget accounting).
+    pub ops_per_step: u64,
+    /// Run the search for real at unit completion (small problems only;
+    /// the SC98-scale experiments use synthetic results and real ops
+    /// accounting).
+    pub execute_real: bool,
+    /// Infrastructure label for metrics attribution ("unix", "java", …).
+    pub infra: String,
+    /// Checkpoint unit progress to the persistent state service every this
+    /// many chunks, and resume from the checkpoint after a restart —
+    /// "application-level checkpointing" (§2.3). Requires `state_server`.
+    pub checkpoint_every_chunks: Option<u64>,
+}
+
+impl Default for ClientConfig {
+    fn default() -> Self {
+        ClientConfig {
+            schedulers: Vec::new(),
+            state_server: None,
+            report_interval: SimDuration::from_secs(30),
+            chunk_ops: 10_000_000,
+            ops_per_step: 10_000,
+            execute_real: false,
+            infra: "unix".into(),
+            checkpoint_every_chunks: None,
+        }
+    }
+}
+
+/// What a client checkpoints: the unit it was working and how far it got.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Checkpoint {
+    /// The in-progress unit.
+    pub unit: WorkUnit,
+    /// Steps completed when the checkpoint was cut.
+    pub steps_done: u64,
+    /// Ops completed when the checkpoint was cut.
+    pub ops_done: u64,
+}
+
+ew_proto::wire_struct!(Checkpoint {
+    unit,
+    steps_done,
+    ops_done
+});
+
+const TIMER_REPORT: u64 = 1;
+const TIMER_TICK: u64 = 2;
+const TIMER_RETRY: u64 = 3;
+
+enum Req {
+    GetWork,
+    Report,
+    Result(WorkResult),
+    Store,
+    Checkpoint,
+    RestoreFetch,
+}
+
+struct UnitProgress {
+    unit: WorkUnit,
+    steps_done: u64,
+    ops_done: u64,
+    report_mark_ops: u64,
+    report_mark_at: SimTime,
+}
+
+/// The client process.
+pub struct ComputeClient {
+    cfg: ClientConfig,
+    sched_idx: usize,
+    unit: Option<UnitProgress>,
+    rpc: RpcTracker<Req>,
+    policy: ForecastTimeout,
+    compute_gen: u64,
+    waiting_for_work: bool,
+    chunks_since_checkpoint: u64,
+    /// Total useful ops delivered by this client.
+    pub total_ops: u64,
+    /// Units completed (budget exhausted or solved).
+    pub units_completed: u64,
+    /// Scheduler failovers performed.
+    pub failovers: u64,
+    /// Counter-examples accepted by persistent state.
+    pub stores_accepted: u64,
+    /// Units resumed from a checkpoint after a restart.
+    pub resumes: u64,
+}
+
+impl ComputeClient {
+    /// A client with the given configuration.
+    pub fn new(cfg: ClientConfig) -> Self {
+        assert!(!cfg.schedulers.is_empty(), "client needs a scheduler");
+        ComputeClient {
+            cfg,
+            sched_idx: 0,
+            unit: None,
+            rpc: RpcTracker::new(),
+            policy: ForecastTimeout::wan_default(),
+            compute_gen: 0,
+            waiting_for_work: false,
+            chunks_since_checkpoint: 0,
+            total_ops: 0,
+            units_completed: 0,
+            failovers: 0,
+            stores_accepted: 0,
+            resumes: 0,
+        }
+    }
+
+    /// Checkpoints are keyed by host: the respawned client on the same
+    /// host (a new process id) finds its predecessor's state.
+    fn checkpoint_key(ctx: &Ctx<'_>) -> String {
+        format!("ckpt/host-{}", ctx.host().0)
+    }
+
+    fn write_checkpoint(&mut self, ctx: &mut Ctx<'_>) {
+        let (Some(state), Some(up)) = (self.cfg.state_server, self.unit.as_ref()) else {
+            return;
+        };
+        let ck = Checkpoint {
+            unit: up.unit.clone(),
+            steps_done: up.steps_done,
+            ops_done: up.ops_done,
+        };
+        let req = StoreRequest {
+            key: Self::checkpoint_key(ctx),
+            class: 0,
+            value: ck.to_wire(),
+        };
+        self.send_request(ctx, state, sm::STORE, req.to_wire(), Req::Checkpoint);
+        ctx.metric_add("client.checkpoints", 1.0);
+    }
+
+    /// Invalidate the host's checkpoint (unit finished or migrated away);
+    /// a successor must not resume stale work.
+    fn clear_checkpoint(&mut self, ctx: &mut Ctx<'_>) {
+        let Some(state) = self.cfg.state_server else {
+            return;
+        };
+        if self.cfg.checkpoint_every_chunks.is_none() {
+            return;
+        }
+        let req = StoreRequest {
+            key: Self::checkpoint_key(ctx),
+            class: 0,
+            value: Vec::new(),
+        };
+        self.send_request(ctx, state, sm::STORE, req.to_wire(), Req::Checkpoint);
+    }
+
+    fn try_restore(&mut self, ctx: &mut Ctx<'_>) -> bool {
+        let (Some(state), Some(_)) = (self.cfg.state_server, self.cfg.checkpoint_every_chunks)
+        else {
+            return false;
+        };
+        let req = FetchRequest {
+            key: Self::checkpoint_key(ctx),
+        };
+        self.send_request(ctx, state, sm::FETCH, req.to_wire(), Req::RestoreFetch);
+        true
+    }
+
+    fn scheduler(&self) -> u64 {
+        self.cfg.schedulers[self.sched_idx % self.cfg.schedulers.len()]
+    }
+
+    fn send_request(&mut self, ctx: &mut Ctx<'_>, to: u64, mtype: u16, body: Vec<u8>, req: Req) {
+        let tag = EventTag { peer: to, mtype };
+        let corr = self.rpc.begin(tag, ctx.now(), &mut self.policy, req);
+        send_packet(
+            ctx,
+            ProcessId(to as u32),
+            &Packet::request(mtype, corr, body),
+        );
+    }
+
+    fn request_work(&mut self, ctx: &mut Ctx<'_>) {
+        if self.waiting_for_work {
+            return;
+        }
+        self.waiting_for_work = true;
+        let sched = self.scheduler();
+        self.send_request(ctx, sched, scm::GET_WORK, Vec::new(), Req::GetWork);
+    }
+
+    fn start_chunk(&mut self, ctx: &mut Ctx<'_>) {
+        ctx.compute(self.cfg.chunk_ops, self.compute_gen);
+    }
+
+    fn synth_best(&self, steps: u64) -> u64 {
+        // Synthetic objective trajectory: rapid early improvement that
+        // plateaus, so stall-driven heuristic switches get exercised.
+        1 + 1000 / (1 + steps / 200)
+    }
+
+    fn finish_unit(&mut self, ctx: &mut Ctx<'_>) {
+        let Some(up) = self.unit.take() else { return };
+        self.compute_gen += 1;
+        self.chunks_since_checkpoint = 0;
+        self.clear_checkpoint(ctx);
+        let result = if self.cfg.execute_real {
+            execute_work_unit(&up.unit)
+        } else {
+            WorkResult {
+                unit_id: up.unit.id,
+                steps: up.steps_done,
+                ops: up.ops_done,
+                best_count: self.synth_best(up.steps_done),
+                counter_example: Vec::new(),
+                final_graph: up.unit.start_graph.clone(),
+            }
+        };
+        self.units_completed += 1;
+        if !result.counter_example.is_empty() {
+            if let Some(state) = self.cfg.state_server {
+                let store = StoreRequest {
+                    key: format!("ramsey/best/{}", up.unit.problem.k),
+                    class: 1,
+                    value: result.counter_example.clone(),
+                };
+                self.send_request(ctx, state, sm::STORE, store.to_wire(), Req::Store);
+            }
+        }
+        let sched = self.scheduler();
+        self.send_request(
+            ctx,
+            sched,
+            scm::RESULT,
+            result.to_wire(),
+            Req::Result(result),
+        );
+        self.request_work(ctx);
+    }
+
+    fn send_report(&mut self, ctx: &mut Ctx<'_>) {
+        let now = ctx.now();
+        let me = ctx.me().0 as u64;
+        let report = {
+            let Some(up) = self.unit.as_mut() else { return };
+            let elapsed = now.since(up.report_mark_at).as_secs_f64();
+            if elapsed <= 0.0 {
+                return;
+            }
+            let rate = (up.ops_done - up.report_mark_ops) as f64 / elapsed;
+            up.report_mark_ops = up.ops_done;
+            up.report_mark_at = now;
+            let steps_done = up.steps_done;
+            ProgressReport {
+                client: me,
+                unit_id: up.unit.id,
+                steps_done,
+                ops_done: up.ops_done,
+                best_count: 1 + 1000 / (1 + steps_done / 200),
+                rate,
+                graph: up.unit.start_graph.clone(),
+                infra: self.cfg.infra.clone(),
+            }
+        };
+        let sched = self.scheduler();
+        self.send_request(ctx, sched, scm::REPORT, report.to_wire(), Req::Report);
+    }
+
+    fn on_grant(&mut self, ctx: &mut Ctx<'_>, grant: WorkGrant) {
+        self.waiting_for_work = false;
+        if !grant.granted {
+            ctx.set_timer(SimDuration::from_secs(10), TIMER_RETRY);
+            return;
+        }
+        self.unit = Some(UnitProgress {
+            unit: grant.unit,
+            steps_done: 0,
+            ops_done: 0,
+            report_mark_ops: 0,
+            report_mark_at: ctx.now(),
+        });
+        self.start_chunk(ctx);
+    }
+
+    fn on_directive(&mut self, ctx: &mut Ctx<'_>, d: Directive) {
+        match DirectiveKind::from_wire_id(d.kind) {
+            DirectiveKind::Continue => {}
+            DirectiveKind::SwitchHeuristic => {
+                if let Some(up) = self.unit.as_mut() {
+                    up.unit.heuristic = d.heuristic;
+                    ctx.metric_add("client.switches", 1.0);
+                }
+            }
+            DirectiveKind::Abandon => {
+                // The unit migrates; invalidate in-flight compute and the
+                // host checkpoint.
+                self.unit = None;
+                self.compute_gen += 1;
+                self.chunks_since_checkpoint = 0;
+                self.clear_checkpoint(ctx);
+                ctx.metric_add("client.abandons", 1.0);
+                self.request_work(ctx);
+            }
+        }
+    }
+
+    fn tick(&mut self, ctx: &mut Ctx<'_>) {
+        let expired = self.rpc.expire(ctx.now(), &mut self.policy);
+        for pending in expired {
+            match pending.context {
+                Req::GetWork => {
+                    // Scheduler unreachable: fail over and re-request.
+                    self.sched_idx += 1;
+                    self.failovers += 1;
+                    ctx.metric_add("client.failovers", 1.0);
+                    self.waiting_for_work = false;
+                    self.request_work(ctx);
+                }
+                Req::Report => {
+                    // Reports are periodic; the next one will try the next
+                    // scheduler if this one is gone.
+                    self.sched_idx += 1;
+                    self.failovers += 1;
+                    ctx.metric_add("client.failovers", 1.0);
+                }
+                Req::Result(result) => {
+                    // Results matter: retry against the next scheduler.
+                    self.sched_idx += 1;
+                    self.failovers += 1;
+                    ctx.metric_add("client.failovers", 1.0);
+                    let sched = self.scheduler();
+                    self.send_request(
+                        ctx,
+                        sched,
+                        scm::RESULT,
+                        result.to_wire(),
+                        Req::Result(result),
+                    );
+                }
+                Req::Store | Req::Checkpoint => {
+                    ctx.metric_add("client.store_timeouts", 1.0);
+                }
+                Req::RestoreFetch => {
+                    // State service unreachable: start fresh.
+                    self.request_work(ctx);
+                }
+            }
+        }
+        ctx.set_timer(SimDuration::from_secs(2), TIMER_TICK);
+    }
+}
+
+impl Process for ComputeClient {
+    fn on_event(&mut self, ctx: &mut Ctx<'_>, ev: Event) {
+        match &ev {
+            Event::Started => {
+                // Restart path first: a checkpoint from a predecessor on
+                // this host resumes its unit instead of asking for new
+                // work ("application-level checkpointing", §2.3).
+                if !self.try_restore(ctx) {
+                    self.request_work(ctx);
+                }
+                ctx.set_timer(self.cfg.report_interval, TIMER_REPORT);
+                ctx.set_timer(SimDuration::from_secs(2), TIMER_TICK);
+            }
+            Event::Timer { tag } => match *tag {
+                TIMER_REPORT => {
+                    self.send_report(ctx);
+                    ctx.set_timer(self.cfg.report_interval, TIMER_REPORT);
+                }
+                TIMER_TICK => self.tick(ctx),
+                TIMER_RETRY => self.request_work(ctx),
+                _ => {}
+            },
+            Event::ComputeDone { tag, ops } => {
+                if *tag != self.compute_gen {
+                    return; // stale chunk from an abandoned unit
+                }
+                let infra = self.cfg.infra.clone();
+                self.total_ops += ops;
+                ctx.metric_add("ops.total", *ops as f64);
+                ctx.metric_add(&format!("ops.{infra}"), *ops as f64);
+                ctx.metric_record(&format!("ops_series.{infra}"), *ops as f64);
+                let done = {
+                    let steps_per_chunk = (self.cfg.chunk_ops / self.cfg.ops_per_step).max(1);
+                    let Some(up) = self.unit.as_mut() else { return };
+                    up.ops_done += ops;
+                    up.steps_done += steps_per_chunk;
+                    up.steps_done >= up.unit.step_budget
+                };
+                if done {
+                    self.finish_unit(ctx);
+                } else {
+                    if let Some(every) = self.cfg.checkpoint_every_chunks {
+                        self.chunks_since_checkpoint += 1;
+                        if self.chunks_since_checkpoint >= every {
+                            self.chunks_since_checkpoint = 0;
+                            self.write_checkpoint(ctx);
+                        }
+                    }
+                    self.start_chunk(ctx);
+                }
+            }
+            Event::Message { .. } => {
+                if let Some(Ok((_from, pkt))) = packet_from_event(&ev) {
+                    if !pkt.is_response() {
+                        return;
+                    }
+                    let Some((pending, _rtt)) =
+                        self.rpc.complete(pkt.corr_id, ctx.now(), &mut self.policy)
+                    else {
+                        return;
+                    };
+                    match pending.context {
+                        Req::GetWork => {
+                            if let Ok(grant) = pkt.body::<WorkGrant>() {
+                                self.on_grant(ctx, grant);
+                            }
+                        }
+                        Req::Report => {
+                            if let Ok(d) = pkt.body::<Directive>() {
+                                self.on_directive(ctx, d);
+                            }
+                        }
+                        Req::Result(_) => {}
+                        Req::Checkpoint => {}
+                        Req::RestoreFetch => {
+                            let resumed = match pkt.body::<FetchReply>() {
+                                Ok(reply) if reply.found && !reply.value.is_empty() => {
+                                    match Checkpoint::from_wire(&reply.value) {
+                                        Ok(ck) if ck.steps_done < ck.unit.step_budget => {
+                                            self.resumes += 1;
+                                            ctx.metric_add("client.resumes", 1.0);
+                                            self.unit = Some(UnitProgress {
+                                                unit: ck.unit,
+                                                steps_done: ck.steps_done,
+                                                ops_done: ck.ops_done,
+                                                report_mark_ops: ck.ops_done,
+                                                report_mark_at: ctx.now(),
+                                            });
+                                            self.start_chunk(ctx);
+                                            true
+                                        }
+                                        _ => false,
+                                    }
+                                }
+                                _ => false,
+                            };
+                            if !resumed {
+                                self.request_work(ctx);
+                            }
+                        }
+                        Req::Store => {
+                            if let Ok(reply) = pkt.body::<ew_state::StoreReply>() {
+                                if reply.accepted {
+                                    self.stores_accepted += 1;
+                                    ctx.metric_add("client.stores_accepted", 1.0);
+                                } else {
+                                    ctx.metric_add("client.stores_rejected", 1.0);
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::server::{SchedulerConfig, SchedulerServer};
+    use ew_ramsey::RamseyProblem;
+    use ew_sim::{
+        AvailabilitySchedule, HostSpec, HostTable, NetModel, Sim, SimTime, SiteSpec,
+    };
+
+    fn world(n_hosts: usize, speed: f64) -> (Sim, Vec<ew_sim::HostId>) {
+        let mut net = NetModel::new(0.05);
+        let mut hosts = HostTable::new();
+        let site = net.add_site(SiteSpec::simple(
+            "s",
+            SimDuration::from_millis(20),
+            1.25e6,
+            0.0,
+        ));
+        let hids = (0..n_hosts)
+            .map(|i| hosts.add(HostSpec::dedicated(&format!("h{i}"), site, speed)))
+            .collect();
+        (Sim::new(net, hosts, 3), hids)
+    }
+
+    fn sched_cfg() -> SchedulerConfig {
+        SchedulerConfig {
+            problem: RamseyProblem { k: 4, n: 17 },
+            step_budget: 1_000,
+            ..SchedulerConfig::default()
+        }
+    }
+
+    fn client_cfg(sched: u64) -> ClientConfig {
+        ClientConfig {
+            schedulers: vec![sched],
+            report_interval: SimDuration::from_secs(30),
+            chunk_ops: 10_000_000,
+            ops_per_step: 100_000, // 100 steps per chunk
+            ..ClientConfig::default()
+        }
+    }
+
+    #[test]
+    fn client_computes_and_completes_units() {
+        let (mut sim, hids) = world(2, 1e8);
+        let s = sim.spawn("sched", hids[0], Box::new(SchedulerServer::new(sched_cfg())));
+        let c = sim.spawn(
+            "client",
+            hids[1],
+            Box::new(ComputeClient::new(client_cfg(s.0 as u64))),
+        );
+        sim.run_until(SimTime::from_secs(600));
+        let (ops, units) = sim
+            .with_process::<ComputeClient, _>(c, |c| (c.total_ops, c.units_completed))
+            .unwrap();
+        // 1e8 ops/s for 600s ≈ 6e10 ops (minus protocol gaps).
+        assert!(ops > 3e10 as u64, "got {ops}");
+        // One unit = 1000 steps = 10 chunks = ~1s compute; many complete.
+        assert!(units > 100, "got {units}");
+        let results = sim
+            .with_process::<SchedulerServer, _>(s, |s| s.results.len())
+            .unwrap();
+        assert!(results as u64 >= units - 1);
+        assert!(sim.metrics().counter("ops.total") as u64 == ops);
+        assert!(sim.metrics().counter("ops.unix") as u64 == ops);
+    }
+
+    #[test]
+    fn client_fails_over_when_scheduler_host_dies() {
+        let mut net = NetModel::new(0.05);
+        let mut hosts = HostTable::new();
+        let site = net.add_site(SiteSpec::simple(
+            "s",
+            SimDuration::from_millis(20),
+            1.25e6,
+            0.0,
+        ));
+        let h_sched1 = {
+            let mut h = HostSpec::dedicated("sched1", site, 1e8);
+            h.availability = AvailabilitySchedule {
+                transitions: vec![(SimTime::from_secs(100), false)],
+            };
+            hosts.add(h)
+        };
+        let h_sched2 = hosts.add(HostSpec::dedicated("sched2", site, 1e8));
+        let h_client = hosts.add(HostSpec::dedicated("client", site, 1e8));
+        let mut sim = Sim::new(net, hosts, 9);
+        let s1 = sim.spawn("s1", h_sched1, Box::new(SchedulerServer::new(sched_cfg())));
+        let s2 = sim.spawn("s2", h_sched2, Box::new(SchedulerServer::new(sched_cfg())));
+        let c = sim.spawn(
+            "client",
+            h_client,
+            Box::new(ComputeClient::new(ClientConfig {
+                schedulers: vec![s1.0 as u64, s2.0 as u64],
+                ..client_cfg(s1.0 as u64)
+            })),
+        );
+        sim.run_until(SimTime::from_secs(600));
+        let (failovers, units) = sim
+            .with_process::<ComputeClient, _>(c, |c| (c.failovers, c.units_completed))
+            .unwrap();
+        assert!(failovers >= 1, "client must notice the dead scheduler");
+        assert!(units > 50, "work continues on the backup scheduler: {units}");
+        let s2_results = sim
+            .with_process::<SchedulerServer, _>(s2, |s| s.results.len())
+            .unwrap();
+        assert!(s2_results > 0, "backup scheduler received results");
+    }
+
+    #[test]
+    fn real_execution_stores_verified_counter_example() {
+        use ew_state::PersistentStateServer;
+        let (mut sim, hids) = world(3, 1e8);
+        let s = sim.spawn(
+            "sched",
+            hids[0],
+            Box::new(SchedulerServer::new(SchedulerConfig {
+                problem: RamseyProblem { k: 3, n: 5 },
+                step_budget: 500,
+                ..SchedulerConfig::default()
+            })),
+        );
+        let mut pss = PersistentStateServer::new("sdsc", 1 << 20);
+        pss.register_validator(
+            1,
+            Box::new(|key, bytes| {
+                // The real Ramsey sanity check, as wired by the toolkit.
+                let k: usize = key
+                    .rsplit('/')
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or("bad key")?;
+                let g = ew_ramsey::ColoredGraph::from_bytes(bytes)
+                    .ok_or("not a graph")?;
+                let mut ops = ew_ramsey::OpsCounter::new();
+                match ew_ramsey::verify_counter_example(&g, k, &mut ops) {
+                    ew_ramsey::Verification::Valid { .. } => Ok(()),
+                    ew_ramsey::Verification::Invalid { violations } => {
+                        Err(format!("{violations} monochromatic cliques"))
+                    }
+                }
+            }),
+        );
+        let p = sim.spawn("state", hids[1], Box::new(pss));
+        let c = sim.spawn(
+            "client",
+            hids[2],
+            Box::new(ComputeClient::new(ClientConfig {
+                state_server: Some(p.0 as u64),
+                execute_real: true,
+                chunk_ops: 1_000_000,
+                ops_per_step: 10_000, // 100 steps/chunk, 5 chunks per unit
+                ..client_cfg(s.0 as u64)
+            })),
+        );
+        sim.run_until(SimTime::from_secs(120));
+        let accepted = sim
+            .with_process::<ComputeClient, _>(c, |c| c.stores_accepted)
+            .unwrap();
+        assert!(accepted >= 1, "a real R(3)>5 witness must be stored");
+        let stored = sim
+            .with_process::<PersistentStateServer, _>(p, |s| {
+                s.get("ramsey/best/3").cloned()
+            })
+            .unwrap()
+            .expect("key present");
+        let g = ew_ramsey::ColoredGraph::from_bytes(&stored).unwrap();
+        let mut ops = ew_ramsey::OpsCounter::new();
+        assert!(matches!(
+            ew_ramsey::verify_counter_example(&g, 3, &mut ops),
+            ew_ramsey::Verification::Valid { n: 5, .. }
+        ));
+    }
+
+    #[test]
+    fn suddenly_contended_client_work_migrates() {
+        // Three equal hosts; one collapses under background load at t=400
+        // (an owner reclaiming cycles). The scheduler must detect the
+        // anomaly against the client's own baseline and migrate its unit.
+        use ew_sim::{LoadTrace, SpikeLoad};
+        let mut net = NetModel::new(0.05);
+        let mut hosts = HostTable::new();
+        let site = net.add_site(SiteSpec::simple(
+            "s",
+            SimDuration::from_millis(20),
+            1.25e6,
+            0.0,
+        ));
+        let h0 = hosts.add(HostSpec::dedicated("sched", site, 1e8));
+        let hf1 = hosts.add(HostSpec::dedicated("fast1", site, 1e8));
+        let hf2 = hosts.add(HostSpec::dedicated("fast2", site, 1e8));
+        let hs = {
+            let mut h = HostSpec::dedicated("contended", site, 1e8);
+            let spike: Box<dyn LoadTrace> = Box::new(SpikeLoad {
+                start: SimTime::from_secs(400),
+                end: SimTime::from_secs(1200),
+                level: 0.97,
+            });
+            h.cpu_load = spike;
+            hosts.add(h)
+        };
+        let mut sim = Sim::new(net, hosts, 13);
+        let s = sim.spawn(
+            "sched",
+            h0,
+            Box::new(SchedulerServer::new(SchedulerConfig {
+                step_budget: 100_000, // long units so migration can trigger
+                ..sched_cfg()
+            })),
+        );
+        for (name, h) in [("f1", hf1), ("f2", hf2), ("contended", hs)] {
+            sim.spawn(
+                name,
+                h,
+                Box::new(ComputeClient::new(ClientConfig {
+                    chunk_ops: 10_000_000,
+                    ..client_cfg(s.0 as u64)
+                })),
+            );
+        }
+        sim.run_until(SimTime::from_secs(1200));
+        let abandons = sim
+            .with_process::<SchedulerServer, _>(s, |s| s.issued_abandon)
+            .unwrap();
+        assert!(
+            abandons >= 1,
+            "the suddenly-30x-slower client's unit must be migrated"
+        );
+        assert!(sim.metrics().counter("client.abandons") >= 1.0);
+    }
+}

@@ -1,0 +1,158 @@
+//! Scheduler wire messages.
+
+use ew_proto::wire_struct;
+use ew_proto::mtype;
+#[cfg(test)]
+use ew_proto::{WireDecode, WireEncode};
+use ew_ramsey::WorkUnit;
+
+/// Message types for the scheduling service.
+pub mod scm {
+    use super::mtype;
+    /// Client → scheduler: give me work (request; response = [`super::WorkGrant`]).
+    pub const GET_WORK: u16 = mtype::SCHED_BASE;
+    /// Client → scheduler: progress report (request; response = [`super::Directive`]).
+    pub const REPORT: u16 = mtype::SCHED_BASE + 1;
+    /// Client → scheduler: completed unit result (request; empty ack).
+    pub const RESULT: u16 = mtype::SCHED_BASE + 2;
+}
+
+/// Response to a work request.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct WorkGrant {
+    /// Whether a unit was granted (`false` = idle, retry later).
+    pub granted: bool,
+    /// The unit (meaningful only when granted).
+    pub unit: WorkUnit,
+}
+
+wire_struct!(WorkGrant { granted, unit });
+
+/// A client's periodic progress report (§3.1.1: "Each client periodically
+/// reports computational progress to a scheduling server").
+#[derive(Clone, Debug, PartialEq)]
+pub struct ProgressReport {
+    /// Reporting client's address.
+    pub client: u64,
+    /// Unit being worked.
+    pub unit_id: u64,
+    /// Heuristic steps done so far on this unit.
+    pub steps_done: u64,
+    /// Useful integer ops done so far on this unit.
+    pub ops_done: u64,
+    /// Best (lowest) objective reached on this unit.
+    pub best_count: u64,
+    /// Most recent computational rate in ops/second.
+    pub rate: f64,
+    /// Current coloring (so the scheduler can migrate the work).
+    pub graph: Vec<u8>,
+    /// Infrastructure label ("unix", "condor", …) for the logging service.
+    pub infra: String,
+}
+
+wire_struct!(ProgressReport {
+    client,
+    unit_id,
+    steps_done,
+    ops_done,
+    best_count,
+    rate,
+    graph,
+    infra
+});
+
+/// Directive kinds (§3.1.1: "servers are programmed to issue different
+/// control directives based on the type of algorithm the client is
+/// executing, how much progress the client has made, and the most recent
+/// computational rate of the client").
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DirectiveKind {
+    /// Keep going.
+    Continue,
+    /// Switch to the named heuristic (progress has stalled).
+    SwitchHeuristic,
+    /// Abandon the unit; its workload is being migrated to a faster host.
+    Abandon,
+}
+
+impl DirectiveKind {
+    /// Wire id.
+    pub fn wire_id(self) -> u8 {
+        match self {
+            DirectiveKind::Continue => 0,
+            DirectiveKind::SwitchHeuristic => 1,
+            DirectiveKind::Abandon => 2,
+        }
+    }
+    /// From wire id (unknown = Continue).
+    pub fn from_wire_id(id: u8) -> Self {
+        match id {
+            1 => DirectiveKind::SwitchHeuristic,
+            2 => DirectiveKind::Abandon,
+            _ => DirectiveKind::Continue,
+        }
+    }
+}
+
+/// Response to a progress report.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Directive {
+    /// What to do ([`DirectiveKind`] wire id).
+    pub kind: u8,
+    /// Heuristic to switch to (meaningful for `SwitchHeuristic`).
+    pub heuristic: u8,
+}
+
+wire_struct!(Directive { kind, heuristic });
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ew_ramsey::RamseyProblem;
+
+    #[test]
+    fn bodies_round_trip() {
+        let g = WorkGrant {
+            granted: true,
+            unit: WorkUnit {
+                id: 3,
+                problem: RamseyProblem { k: 5, n: 43 },
+                heuristic: 1,
+                seed: 7,
+                step_budget: 100,
+                start_graph: vec![],
+            },
+        };
+        assert_eq!(WorkGrant::from_wire(&g.to_wire()).unwrap(), g);
+
+        let r = ProgressReport {
+            client: 9,
+            unit_id: 3,
+            steps_done: 50,
+            ops_done: 1_000_000,
+            best_count: 12,
+            rate: 1.5e6,
+            graph: vec![1],
+            infra: "condor".into(),
+        };
+        assert_eq!(ProgressReport::from_wire(&r.to_wire()).unwrap(), r);
+
+        let d = Directive {
+            kind: DirectiveKind::SwitchHeuristic.wire_id(),
+            heuristic: 2,
+        };
+        assert_eq!(Directive::from_wire(&d.to_wire()).unwrap(), d);
+    }
+
+    #[test]
+    fn directive_kind_round_trip() {
+        for k in [
+            DirectiveKind::Continue,
+            DirectiveKind::SwitchHeuristic,
+            DirectiveKind::Abandon,
+        ] {
+            assert_eq!(DirectiveKind::from_wire_id(k.wire_id()), k);
+        }
+        assert_eq!(DirectiveKind::from_wire_id(99), DirectiveKind::Continue);
+    }
+}

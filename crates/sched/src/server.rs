@@ -1,0 +1,684 @@
+//! The scheduling server.
+//!
+//! §3.1.1: a collection of cooperating but independent scheduling servers
+//! controls application execution dynamically. Each client reports progress
+//! periodically; the server issues directives based on the algorithm the
+//! client runs, its progress, and its computational rate. Work migration is
+//! forecast-driven: "Rather than basing that prediction solely on the last
+//! performance measurement for each client, the scheduler uses the NWS
+//! lightweight forecasting facilities" — set
+//! [`SchedulerConfig::use_forecasts`] to `false` for the last-measurement
+//! baseline (ablation).
+
+use std::collections::HashMap;
+
+use ew_forecast::DynamicBenchmark;
+use ew_gossip::{Comparator, GossipClient, VersionedBlob};
+use ew_proto::sim_net::{packet_from_event, send_packet};
+use ew_proto::{Packet, WireEncode};
+use ew_ramsey::{RamseyProblem, WorkResult, WorkUnit};
+use ew_sim::{Ctx, Event, Process, ProcessId, SimDuration, SimTime};
+use ew_state::{sm, LogRecord};
+
+/// State type the schedulers synchronize through the Gossip pool: the best
+/// (lowest-objective) coloring seen anywhere. Version is
+/// `u64::MAX - best_count` so the `BestValue` comparator prefers lower
+/// objectives ("volatile-but-replicated state", §3.1.2).
+pub const STYPE_BEST_FOUND: u16 = 0x1100;
+
+use crate::messages::{scm, Directive, DirectiveKind, ProgressReport, WorkGrant};
+
+/// Scheduler tunables.
+#[derive(Clone, Debug)]
+pub struct SchedulerConfig {
+    /// The problem instance being searched.
+    pub problem: RamseyProblem,
+    /// Steps per issued work unit.
+    pub step_budget: u64,
+    /// Heuristic kinds to rotate across fresh units.
+    pub heuristic_mix: Vec<u8>,
+    /// Reports with no objective improvement before a switch directive.
+    pub stall_reports: u32,
+    /// A client whose (forecast) rate falls below `migration_factor` ×
+    /// its *own demonstrated* rate is anomalously slow (contention, not
+    /// heterogeneity — a browser applet is never "slow" by its own
+    /// standard) and is told to abandon so its unit migrates to a machine
+    /// the scheduler predicts will be faster (§3.1.1).
+    pub migration_factor: f64,
+    /// Forecast rates with the NWS battery (`true`, the paper's design) or
+    /// use the last report only (`false`, the ablation baseline).
+    pub use_forecasts: bool,
+    /// Base RNG salt for unit seeds (keeps schedulers independent).
+    pub seed_salt: u64,
+}
+
+impl Default for SchedulerConfig {
+    fn default() -> Self {
+        SchedulerConfig {
+            problem: RamseyProblem { k: 5, n: 43 },
+            step_budget: 2_000,
+            heuristic_mix: vec![0, 1, 2],
+            stall_reports: 3,
+            migration_factor: 0.45,
+            use_forecasts: true,
+            seed_salt: 0,
+        }
+    }
+}
+
+struct Outstanding {
+    client: u64,
+    heuristic: u8,
+    last_best: u64,
+    stall_count: u32,
+    last_graph: Vec<u8>,
+    assigned_at: SimTime,
+}
+
+/// The scheduling server process.
+pub struct SchedulerServer {
+    cfg: SchedulerConfig,
+    next_unit: u64,
+    outstanding: HashMap<u64, Outstanding>,
+    /// Units abandoned by slow clients, awaiting reassignment.
+    migration_queue: Vec<WorkUnit>,
+    rates: DynamicBenchmark<u64>,
+    last_rate: HashMap<u64, f64>,
+    /// Cached per-client rate estimate, refreshed on each report (forecast
+    /// or last value, per config). Cached so the per-report migration
+    /// decision is O(active clients), not O(clients × battery).
+    estimates: HashMap<u64, f64>,
+    /// Slowly-decaying per-client demonstrated rate (the baseline that
+    /// defines "anomalously slow").
+    baselines: HashMap<u64, f64>,
+    last_seen: HashMap<u64, SimTime>,
+    reports_since_purge: u32,
+    /// Completed results received.
+    pub results: Vec<WorkResult>,
+    /// Serialized counter-examples received.
+    pub counter_examples: Vec<Vec<u8>>,
+    /// Directives issued, by kind, for inspection.
+    pub issued_continue: u64,
+    /// Switch directives issued.
+    pub issued_switch: u64,
+    /// Abandon (migration) directives issued for anomaly migrations.
+    pub issued_abandon: u64,
+    /// Abandon directives issued for unknown units (stale resumes,
+    /// already-migrated work, restarted schedulers).
+    pub issued_unknown: u64,
+    gossip: Option<(u64, GossipClient)>,
+    /// Logging server to forward per-report performance records to
+    /// (§3.1.3: "Before the information is discarded, it is forwarded to
+    /// a logging server so that it can be recorded").
+    log_server: Option<u64>,
+    /// Best objective seen pool-wide (via results and gossip sync).
+    pub best_known: Option<(u64, Vec<u8>)>,
+}
+
+impl SchedulerServer {
+    /// A scheduler with the given configuration.
+    pub fn new(cfg: SchedulerConfig) -> Self {
+        SchedulerServer {
+            cfg,
+            next_unit: 1,
+            outstanding: HashMap::new(),
+            migration_queue: Vec::new(),
+            rates: DynamicBenchmark::new(),
+            last_rate: HashMap::new(),
+            estimates: HashMap::new(),
+            baselines: HashMap::new(),
+            last_seen: HashMap::new(),
+            reports_since_purge: 0,
+            results: Vec::new(),
+            counter_examples: Vec::new(),
+            issued_continue: 0,
+            issued_switch: 0,
+            issued_abandon: 0,
+            issued_unknown: 0,
+            gossip: None,
+            log_server: None,
+            best_known: None,
+        }
+    }
+
+    /// Forward each progress report's performance record to a logging
+    /// server before discarding it.
+    pub fn with_log_server(mut self, addr: u64) -> Self {
+        self.log_server = Some(addr);
+        self
+    }
+
+    /// Synchronize the best-found state through a Gossip server: the
+    /// scheduler registers [`STYPE_BEST_FOUND`] with a `BestValue`
+    /// comparator, publishes improvements, and absorbs fresher state pushed
+    /// by the pool.
+    pub fn with_gossip(mut self, gossip_addr: u64) -> Self {
+        self.gossip = Some((
+            gossip_addr,
+            GossipClient::new(vec![(STYPE_BEST_FOUND, Comparator::BestValue)]),
+        ));
+        self
+    }
+
+    fn note_best(&mut self, best_count: u64, graph: Vec<u8>) {
+        let better = match &self.best_known {
+            None => true,
+            Some((cur, _)) => best_count < *cur,
+        };
+        if better {
+            self.best_known = Some((best_count, graph.clone()));
+            if let Some((_, client)) = self.gossip.as_mut() {
+                client.set_local(
+                    STYPE_BEST_FOUND,
+                    VersionedBlob::new(u64::MAX - best_count, graph),
+                );
+            }
+        }
+    }
+
+    /// Units currently assigned.
+    pub fn outstanding_count(&self) -> usize {
+        self.outstanding.len()
+    }
+
+    /// Units waiting for migration pickup.
+    pub fn migration_queue_len(&self) -> usize {
+        self.migration_queue.len()
+    }
+
+    /// The client a unit is currently assigned to.
+    pub fn client_of(&self, unit_id: u64) -> Option<u64> {
+        self.outstanding.get(&unit_id).map(|o| o.client)
+    }
+
+    fn fresh_unit(&mut self) -> WorkUnit {
+        let id = self.next_unit;
+        self.next_unit += 1;
+        let heuristic = self.cfg.heuristic_mix
+            [(id as usize) % self.cfg.heuristic_mix.len().max(1)];
+        WorkUnit {
+            id,
+            problem: self.cfg.problem,
+            heuristic,
+            seed: self
+                .cfg
+                .seed_salt
+                .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                .wrapping_add(id),
+            step_budget: self.cfg.step_budget,
+            start_graph: Vec::new(),
+        }
+    }
+
+    fn grant_work(&mut self, now: SimTime, client: u64) -> WorkUnit {
+        // Size the unit to the client's forecast rate ("servers are
+        // programmed to issue different control directives based on ...
+        // the most recent computational rate of the client", §3.1.1): a
+        // browser applet gets a unit it can finish in roughly the same
+        // wall time as a supercomputer node, and the migration rule below
+        // then fires on *anomalies* (a host suddenly slowed by load), not
+        // on the pool's permanent heterogeneity.
+        let scale = match (self.rate_estimate(client), self.pool_median_rate()) {
+            (Some(est), Some(median)) if median > 0.0 => {
+                (est / median).clamp(0.02, 4.0)
+            }
+            _ => 1.0,
+        };
+        let budget = ((self.cfg.step_budget as f64 * scale) as u64).max(100);
+        let unit = if let Some(mut u) = self.migration_queue.pop() {
+            // Migrated unit keeps its id and graph, gets a fresh budget.
+            u.step_budget = budget;
+            u
+        } else {
+            let mut u = self.fresh_unit();
+            u.step_budget = budget;
+            u
+        };
+        self.outstanding.insert(
+            unit.id,
+            Outstanding {
+                client,
+                heuristic: unit.heuristic,
+                last_best: u64::MAX,
+                stall_count: 0,
+                last_graph: unit.start_graph.clone(),
+                assigned_at: now,
+            },
+        );
+        unit
+    }
+
+    /// The rate estimate used for migration decisions (reads the cache).
+    fn rate_estimate(&self, client: u64) -> Option<f64> {
+        if self.cfg.use_forecasts {
+            self.estimates.get(&client).copied()
+        } else {
+            self.last_rate.get(&client).copied()
+        }
+    }
+
+    fn pool_median_rate(&self) -> Option<f64> {
+        let source: Vec<f64> = if self.cfg.use_forecasts {
+            self.estimates.values().copied().collect()
+        } else {
+            self.last_rate.values().copied().collect()
+        };
+        if source.is_empty() {
+            return None;
+        }
+        let mut rates = source;
+        rates.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        Some(rates[rates.len() / 2])
+    }
+
+    /// Forget clients that have not reported recently: churned hosts never
+    /// come back under the same address, and a 12-hour run would otherwise
+    /// accumulate thousands of dead entries that every migration decision
+    /// has to scan.
+    fn purge_stale_clients(&mut self, now: SimTime) {
+        const STALE: SimDuration = SimDuration::from_secs(600);
+        let stale: Vec<u64> = self
+            .last_seen
+            .iter()
+            .filter(|(_, &seen)| now.since(seen) > STALE)
+            .map(|(&c, _)| c)
+            .collect();
+        for c in stale {
+            self.last_seen.remove(&c);
+            self.last_rate.remove(&c);
+            self.estimates.remove(&c);
+            self.baselines.remove(&c);
+            self.rates.forget(&c);
+        }
+    }
+
+    fn handle_report(&mut self, now: SimTime, report: ProgressReport) -> Directive {
+        self.rates.observe(report.client, report.rate);
+        self.last_rate.insert(report.client, report.rate);
+        self.last_seen.insert(report.client, now);
+        let baseline = self
+            .baselines
+            .entry(report.client)
+            .or_insert(report.rate);
+        *baseline = (*baseline * 0.995).max(report.rate);
+        if self.cfg.use_forecasts {
+            if let Some(f) = self.rates.forecast(&report.client) {
+                self.estimates.insert(report.client, f.value);
+            }
+        }
+        self.reports_since_purge += 1;
+        if self.reports_since_purge >= 256 {
+            self.reports_since_purge = 0;
+            self.purge_stale_clients(now);
+        }
+        let median = self.pool_median_rate();
+        let est = self.rate_estimate(report.client);
+
+        if !self.outstanding.contains_key(&report.unit_id) {
+            // Unknown unit (scheduler restarted, a stale checkpoint
+            // resumed, or the unit was already migrated): put the client
+            // back to work.
+            self.issued_unknown += 1;
+            return Directive {
+                kind: DirectiveKind::Abandon.wire_id(),
+                heuristic: 0,
+            };
+        }
+
+        // Migration: the client is running far below its own demonstrated
+        // rate — an anomaly (ambient contention), not the pool's permanent
+        // heterogeneity — and the pool has visibly faster capacity to move
+        // the unit to.
+        let baseline = self.baselines.get(&report.client).copied();
+        let migrate = match (est, baseline, median) {
+            (Some(est), Some(base), Some(median)) => {
+                est < self.cfg.migration_factor * base
+                    && median > 2.0 * est
+                    && self.last_rate.len() >= 3
+            }
+            _ => false,
+        };
+        if migrate {
+            let out = self.outstanding.remove(&report.unit_id).expect("present");
+            self.migration_queue.push(WorkUnit {
+                id: report.unit_id,
+                problem: self.cfg.problem,
+                heuristic: out.heuristic,
+                seed: report.unit_id ^ 0xABCD,
+                step_budget: self.cfg.step_budget,
+                start_graph: report.graph,
+            });
+            self.issued_abandon += 1;
+            return Directive {
+                kind: DirectiveKind::Abandon.wire_id(),
+                heuristic: 0,
+            };
+        }
+
+        let out = self.outstanding.get_mut(&report.unit_id).expect("present");
+        out.last_graph = report.graph.clone();
+        out.assigned_at = now;
+
+        // Stall detection: no objective improvement across reports.
+        if report.best_count < out.last_best {
+            out.last_best = report.best_count;
+            out.stall_count = 0;
+        } else {
+            out.stall_count += 1;
+            if out.stall_count >= self.cfg.stall_reports {
+                out.stall_count = 0;
+                let mix = &self.cfg.heuristic_mix;
+                let cur_pos = mix.iter().position(|&h| h == out.heuristic).unwrap_or(0);
+                let next = mix[(cur_pos + 1) % mix.len().max(1)];
+                out.heuristic = next;
+                self.issued_switch += 1;
+                return Directive {
+                    kind: DirectiveKind::SwitchHeuristic.wire_id(),
+                    heuristic: next,
+                };
+            }
+        }
+        self.issued_continue += 1;
+        Directive {
+            kind: DirectiveKind::Continue.wire_id(),
+            heuristic: out.heuristic,
+        }
+    }
+
+    fn handle_result(&mut self, result: WorkResult) {
+        self.outstanding.remove(&result.unit_id);
+        if !result.counter_example.is_empty() {
+            self.counter_examples.push(result.counter_example.clone());
+        }
+        self.note_best(result.best_count, result.final_graph.clone());
+        self.results.push(result);
+    }
+}
+
+impl Process for SchedulerServer {
+    fn on_event(&mut self, ctx: &mut Ctx<'_>, ev: Event) {
+        if let Event::Started = ev {
+            if let Some((addr, client)) = self.gossip.as_mut() {
+                let gossip_pid = ProcessId(*addr as u32);
+                client.register(ctx, gossip_pid);
+            }
+            return;
+        }
+        let Some(Ok((from, pkt))) = packet_from_event(&ev) else {
+            return;
+        };
+        // Gossip-service traffic (polls for / pushes of the best-found
+        // state) is handled by the embedded client.
+        if let Some((_, client)) = self.gossip.as_mut() {
+            if client.handle_packet(ctx, from, &pkt) {
+                let updates = client.drain_updates();
+                for (stype, blob) in updates {
+                    if stype == STYPE_BEST_FOUND {
+                        let count = u64::MAX - blob.version;
+                        let better = match &self.best_known {
+                            None => true,
+                            Some((cur, _)) => count < *cur,
+                        };
+                        if better {
+                            self.best_known = Some((count, blob.data));
+                        }
+                    }
+                }
+                return;
+            }
+        }
+        if !pkt.is_request() {
+            return;
+        }
+        match pkt.mtype {
+            scm::GET_WORK => {
+                let unit = self.grant_work(ctx.now(), from.0 as u64);
+                ctx.metric_add("sched.grants", 1.0);
+                let grant = WorkGrant {
+                    granted: true,
+                    unit,
+                };
+                send_packet(ctx, from, &Packet::response_to(&pkt, grant.to_wire()));
+            }
+            scm::REPORT => {
+                if let Ok(report) = pkt.body::<ProgressReport>() {
+                    ctx.metric_add("sched.reports", 1.0);
+                    if let Some(log) = self.log_server {
+                        let rec = LogRecord {
+                            source: report.client,
+                            category: format!("rate.{}", report.infra),
+                            text: format!("unit {} best {}", report.unit_id, report.best_count),
+                            value: report.rate,
+                        };
+                        send_packet(
+                            ctx,
+                            ProcessId(log as u32),
+                            &Packet::oneway(sm::LOG, rec.to_wire()),
+                        );
+                    }
+                    let directive = self.handle_report(ctx.now(), report);
+                    send_packet(ctx, from, &Packet::response_to(&pkt, directive.to_wire()));
+                }
+            }
+            scm::RESULT => {
+                if let Ok(result) = pkt.body::<WorkResult>() {
+                    ctx.metric_add("sched.results", 1.0);
+                    self.handle_result(result);
+                    send_packet(ctx, from, &Packet::response_to(&pkt, Vec::new()));
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(client: u64, unit_id: u64, best: u64, rate: f64) -> ProgressReport {
+        ProgressReport {
+            client,
+            unit_id,
+            steps_done: 10,
+            ops_done: 1000,
+            best_count: best,
+            rate,
+            graph: vec![9],
+            infra: "unix".into(),
+        }
+    }
+
+    fn t(s: u64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    #[test]
+    fn fresh_units_rotate_heuristics_and_ids() {
+        let mut s = SchedulerServer::new(SchedulerConfig::default());
+        let a = s.grant_work(t(0), 1);
+        let b = s.grant_work(t(0), 2);
+        let c = s.grant_work(t(0), 3);
+        assert_eq!((a.id, b.id, c.id), (1, 2, 3));
+        assert_eq!(a.heuristic, 1); // mix[1 % 3]
+        assert_eq!(b.heuristic, 2);
+        assert_eq!(c.heuristic, 0);
+        assert_eq!(s.outstanding_count(), 3);
+        assert_ne!(a.seed, b.seed);
+    }
+
+    #[test]
+    fn improving_clients_told_to_continue() {
+        let mut s = SchedulerServer::new(SchedulerConfig::default());
+        let u = s.grant_work(t(0), 1);
+        for best in [100, 90, 80, 70] {
+            let d = s.handle_report(t(1), report(1, u.id, best, 1e6));
+            assert_eq!(DirectiveKind::from_wire_id(d.kind), DirectiveKind::Continue);
+        }
+        assert_eq!(s.issued_continue, 4);
+    }
+
+    #[test]
+    fn stalled_clients_told_to_switch_heuristic() {
+        let mut s = SchedulerServer::new(SchedulerConfig::default());
+        let u = s.grant_work(t(0), 1);
+        let start_h = u.heuristic;
+        s.handle_report(t(1), report(1, u.id, 50, 1e6));
+        // Three reports with no improvement → switch.
+        let mut kinds = Vec::new();
+        for _ in 0..3 {
+            let d = s.handle_report(t(2), report(1, u.id, 50, 1e6));
+            kinds.push(DirectiveKind::from_wire_id(d.kind));
+        }
+        assert_eq!(
+            kinds,
+            vec![
+                DirectiveKind::Continue,
+                DirectiveKind::Continue,
+                DirectiveKind::SwitchHeuristic
+            ]
+        );
+        assert_eq!(s.issued_switch, 1);
+        // The switched heuristic differs from the original.
+        let d = s.handle_report(t(3), report(1, u.id, 50, 1e6));
+        let _ = d;
+        assert_ne!(
+            s.outstanding.get(&u.id).map(|o| o.heuristic),
+            Some(start_h)
+        );
+    }
+
+    #[test]
+    fn anomalously_slow_client_is_migrated_and_unit_reassigned_with_graph() {
+        let mut s = SchedulerServer::new(SchedulerConfig::default());
+        let u1 = s.grant_work(t(0), 1);
+        let u2 = s.grant_work(t(0), 2);
+        let u3 = s.grant_work(t(0), 3);
+        // All three clients demonstrate ~1e7 ops/s, so each one's baseline
+        // is established high.
+        for _ in 0..10 {
+            s.handle_report(t(1), report(1, u1.id, 100, 1e7));
+            s.handle_report(t(1), report(2, u2.id, 100, 1e7));
+            s.handle_report(t(1), report(3, u3.id, 100, 1e7));
+        }
+        // Client 3 collapses to 1e3 (its host got reclaimed-by-load): a
+        // clear anomaly against its own baseline. A couple of reports let
+        // the forecast track the collapse.
+        let slow_graph = report(3, u3.id, 100, 1e3).graph;
+        let mut last = Directive { kind: 0, heuristic: 0 };
+        for _ in 0..12 {
+            last = s.handle_report(t(2), report(3, u3.id, 100, 1e3));
+            if DirectiveKind::from_wire_id(last.kind) == DirectiveKind::Abandon {
+                break;
+            }
+        }
+        assert_eq!(DirectiveKind::from_wire_id(last.kind), DirectiveKind::Abandon);
+        assert_eq!(s.migration_queue_len(), 1);
+        // Next requester inherits the unit, graph and all.
+        let migrated = s.grant_work(t(3), 4);
+        assert_eq!(migrated.id, u3.id);
+        assert_eq!(migrated.start_graph, slow_graph);
+        assert_eq!(s.migration_queue_len(), 0);
+    }
+
+    #[test]
+    fn permanently_slow_client_is_not_migrated() {
+        // A browser applet is slow by nature, not anomalously: it keeps
+        // its work (the Grid uses *everything*, §2).
+        let mut s = SchedulerServer::new(SchedulerConfig::default());
+        let u1 = s.grant_work(t(0), 1);
+        let u2 = s.grant_work(t(0), 2);
+        let u3 = s.grant_work(t(0), 3);
+        for _ in 0..10 {
+            s.handle_report(t(1), report(1, u1.id, 100, 1e8));
+            s.handle_report(t(1), report(2, u2.id, 100, 1e8));
+            let d = s.handle_report(t(1), report(3, u3.id, 100, 1e5));
+            // Stalled progress may earn a heuristic switch, but never a
+            // migration: slow-by-nature is not slow-by-anomaly.
+            assert_ne!(
+                DirectiveKind::from_wire_id(d.kind),
+                DirectiveKind::Abandon,
+                "steady slow client keeps its unit"
+            );
+        }
+        assert_eq!(s.issued_abandon, 0);
+    }
+
+    #[test]
+    fn unit_budgets_scale_with_client_rate() {
+        let mut s = SchedulerServer::new(SchedulerConfig::default());
+        let u1 = s.grant_work(t(0), 1);
+        let u2 = s.grant_work(t(0), 2);
+        for _ in 0..5 {
+            s.handle_report(t(1), report(1, u1.id, 100, 1e8));
+            s.handle_report(t(1), report(2, u2.id, 100, 1e5));
+        }
+        let fast_unit = s.grant_work(t(2), 1);
+        let slow_unit = s.grant_work(t(2), 2);
+        assert!(
+            fast_unit.step_budget >= 15 * slow_unit.step_budget,
+            "budgets track the 1000x rate spread (clamped at 0.02 and the \
+             100-step floor): {} vs {}",
+            fast_unit.step_budget,
+            slow_unit.step_budget
+        );
+    }
+
+    #[test]
+    fn last_value_baseline_skips_forecasting() {
+        let cfg = SchedulerConfig {
+            use_forecasts: false,
+            ..SchedulerConfig::default()
+        };
+        let mut s = SchedulerServer::new(cfg);
+        let u = s.grant_work(t(0), 1);
+        s.handle_report(t(1), report(1, u.id, 100, 5e6));
+        assert_eq!(s.rate_estimate(1), Some(5e6), "exactly the last report");
+        // One wild sample fully determines the estimate (the weakness the
+        // paper's forecast-driven design avoids).
+        s.handle_report(t(2), report(1, u.id, 90, 1.0));
+        assert_eq!(s.rate_estimate(1), Some(1.0));
+    }
+
+    #[test]
+    fn forecast_estimate_resists_one_wild_sample() {
+        let mut s = SchedulerServer::new(SchedulerConfig::default());
+        let u = s.grant_work(t(0), 1);
+        // A realistically noisy rate stream: median-family forecasters win
+        // the battery here, which is what buys glitch robustness.
+        for i in 0..30 {
+            let rate = if i % 2 == 0 { 0.9e6 } else { 1.1e6 };
+            s.handle_report(t(1), report(1, u.id, 100, rate));
+        }
+        s.handle_report(t(2), report(1, u.id, 90, 1.0)); // glitch
+        let est = s.rate_estimate(1).unwrap();
+        assert!(
+            est > 1e5,
+            "forecast should shrug off a single glitch, got {est}"
+        );
+    }
+
+    #[test]
+    fn results_and_counter_examples_collected() {
+        let mut s = SchedulerServer::new(SchedulerConfig::default());
+        let u = s.grant_work(t(0), 1);
+        s.handle_result(WorkResult {
+            unit_id: u.id,
+            steps: 100,
+            ops: 1_000,
+            best_count: 0,
+            counter_example: vec![1, 2],
+            final_graph: vec![1, 2],
+        });
+        assert_eq!(s.results.len(), 1);
+        assert_eq!(s.counter_examples, vec![vec![1, 2]]);
+        assert_eq!(s.outstanding_count(), 0);
+    }
+
+    #[test]
+    fn report_for_unknown_unit_gets_abandon() {
+        let mut s = SchedulerServer::new(SchedulerConfig::default());
+        let d = s.handle_report(t(0), report(1, 999, 5, 1e6));
+        assert_eq!(DirectiveKind::from_wire_id(d.kind), DirectiveKind::Abandon);
+    }
+}

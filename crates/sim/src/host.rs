@@ -1,0 +1,161 @@
+//! Host model.
+//!
+//! A host is a CPU with a site, a peak integer-operation rate, a background
+//! CPU-load trace, and an availability schedule. The SC98 pool spanned five
+//! orders of magnitude of per-host speed — from interpreted Java applets at
+//! ~1.1e5 ops/s to the Tera MTA and the NT Superclusters (§5.6, Figure 4a) —
+//! so speed is a plain `f64` rate rather than an enum of machine classes.
+
+use crate::net::SiteId;
+use crate::time::{SimDuration, SimTime};
+use crate::trace::{AvailabilitySchedule, ConstantLoad, LoadTrace};
+
+/// Identifies a host within a [`HostTable`].
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct HostId(pub u32);
+
+/// Static description of one host.
+pub struct HostSpec {
+    /// Human-readable name ("ncsa-nt-017", "tera-mta", …).
+    pub name: String,
+    /// Site the host lives at.
+    pub site: SiteId,
+    /// Peak useful integer operations per second delivered to a guest
+    /// application when the host is otherwise idle.
+    pub speed_ops: f64,
+    /// Background CPU load trace; the guest receives the remainder.
+    pub cpu_load: Box<dyn LoadTrace>,
+    /// Up/down schedule.
+    pub availability: AvailabilitySchedule,
+}
+
+impl HostSpec {
+    /// A dedicated, always-up host with no competing load.
+    pub fn dedicated(name: &str, site: SiteId, speed_ops: f64) -> Self {
+        HostSpec {
+            name: name.to_string(),
+            site,
+            speed_ops,
+            cpu_load: Box::new(ConstantLoad(0.0)),
+            availability: AvailabilitySchedule::always_up(),
+        }
+    }
+
+    /// Effective guest-visible rate at `t` (ops/second).
+    pub fn effective_rate(&self, t: SimTime) -> f64 {
+        let load = self.cpu_load.load(t).clamp(0.0, 0.999);
+        self.speed_ops * (1.0 - load)
+    }
+
+    /// Time to execute `ops` useful operations starting at `t`, assuming
+    /// the load level observed at `t` holds for the duration (compute
+    /// chunks are seconds; load dynamics are minutes).
+    pub fn compute_time(&self, ops: u64, t: SimTime) -> SimDuration {
+        let rate = self.effective_rate(t).max(1.0);
+        SimDuration::from_secs_f64(ops as f64 / rate)
+    }
+}
+
+/// The set of hosts in a simulation.
+#[derive(Default)]
+pub struct HostTable {
+    hosts: Vec<HostSpec>,
+}
+
+impl HostTable {
+    /// Empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register a host, returning its id.
+    pub fn add(&mut self, spec: HostSpec) -> HostId {
+        assert!(self.hosts.len() < u32::MAX as usize, "too many hosts");
+        self.hosts.push(spec);
+        HostId(self.hosts.len() as u32 - 1)
+    }
+
+    /// Host metadata.
+    pub fn get(&self, id: HostId) -> &HostSpec {
+        &self.hosts[id.0 as usize]
+    }
+
+    /// Number of registered hosts.
+    pub fn len(&self) -> usize {
+        self.hosts.len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.hosts.is_empty()
+    }
+
+    /// Iterate `(id, spec)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (HostId, &HostSpec)> {
+        self.hosts
+            .iter()
+            .enumerate()
+            .map(|(i, h)| (HostId(i as u32), h))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::SpikeLoad;
+
+    #[test]
+    fn dedicated_host_delivers_peak() {
+        let h = HostSpec::dedicated("x", SiteId(0), 1e8);
+        assert_eq!(h.effective_rate(SimTime::ZERO), 1e8);
+        let t = h.compute_time(1e8 as u64, SimTime::ZERO);
+        assert!((t.as_secs_f64() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn load_steals_cycles() {
+        let h = HostSpec {
+            name: "busy".into(),
+            site: SiteId(0),
+            speed_ops: 1e6,
+            cpu_load: Box::new(SpikeLoad {
+                start: SimTime::from_secs(10),
+                end: SimTime::from_secs(20),
+                level: 0.75,
+            }),
+            availability: AvailabilitySchedule::always_up(),
+        };
+        assert_eq!(h.effective_rate(SimTime::ZERO), 1e6);
+        assert!((h.effective_rate(SimTime::from_secs(15)) - 2.5e5).abs() < 1.0);
+        let slow = h.compute_time(1_000_000, SimTime::from_secs(15));
+        assert!((slow.as_secs_f64() - 4.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn compute_time_never_divides_by_zero() {
+        let h = HostSpec {
+            name: "swamped".into(),
+            site: SiteId(0),
+            speed_ops: 0.0,
+            cpu_load: Box::new(ConstantLoad(0.999)),
+            availability: AvailabilitySchedule::always_up(),
+        };
+        // Rate floors at 1 op/s; a 10-op chunk takes 10 simulated seconds.
+        let t = h.compute_time(10, SimTime::ZERO);
+        assert!((t.as_secs_f64() - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn table_assigns_sequential_ids() {
+        let mut tbl = HostTable::new();
+        let a = tbl.add(HostSpec::dedicated("a", SiteId(0), 1.0));
+        let b = tbl.add(HostSpec::dedicated("b", SiteId(0), 2.0));
+        assert_eq!(a, HostId(0));
+        assert_eq!(b, HostId(1));
+        assert_eq!(tbl.len(), 2);
+        assert!(!tbl.is_empty());
+        assert_eq!(tbl.get(b).name, "b");
+        let ids: Vec<_> = tbl.iter().map(|(id, _)| id).collect();
+        assert_eq!(ids, vec![a, b]);
+    }
+}

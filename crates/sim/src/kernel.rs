@@ -1,0 +1,989 @@
+//! Discrete-event kernel.
+//!
+//! Every simulated EveryWare component — Gossip servers, schedulers,
+//! persistent state managers, application clients, infrastructure
+//! supervisors — is a [`Process`]: a single-threaded state machine driven by
+//! delivered [`Event`]s. This mirrors the paper's implementation rule that
+//! all services be single-threaded ("all of the application-specific
+//! services were single threaded", §5.1): a process never blocks, it only
+//! reacts, sets timers, sends messages, and requests compute.
+//!
+//! Determinism: events are ordered by `(time, sequence-number)`; all
+//! randomness flows from per-process streams derived from one master seed.
+//! Two runs with the same seed produce identical event orders and metrics.
+
+use std::any::Any;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+
+use crate::host::{HostId, HostTable};
+use crate::net::NetModel;
+use crate::rng::{StreamSeeder, Xoshiro256};
+use crate::time::{SimDuration, SimTime};
+
+/// Identifies a process for the lifetime of a simulation. Ids are never
+/// reused; a dead process's id stays dead.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct ProcessId(pub u32);
+
+/// Everything a process can be woken by.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Event {
+    /// First event a process receives, immediately after spawn.
+    Started,
+    /// A timer set with [`Ctx::set_timer`] fired.
+    Timer {
+        /// The tag passed to `set_timer`.
+        tag: u64,
+    },
+    /// A message arrived from another process.
+    Message {
+        /// Sending process.
+        from: ProcessId,
+        /// Application-level message type (the lingua franca rides here).
+        mtype: u32,
+        /// Opaque payload bytes.
+        payload: Vec<u8>,
+    },
+    /// A compute request issued with [`Ctx::compute`] finished.
+    ComputeDone {
+        /// The tag passed to `compute`.
+        tag: u64,
+        /// The operation count that was executed.
+        ops: u64,
+    },
+    /// A watched host changed availability (delivered only to processes
+    /// registered via [`Ctx::watch_host`]; processes *on* a dying host are
+    /// killed without warning, as Condor's vanilla universe does, §5.4).
+    HostStateChanged {
+        /// The host in question.
+        host: HostId,
+        /// `true` if the host just came up.
+        up: bool,
+    },
+}
+
+/// A simulated component. Implementations must also be `Any` so drivers can
+/// inspect final state after a run via [`Sim::with_process`].
+pub trait Process: Any {
+    /// React to one event. Never blocks.
+    fn on_event(&mut self, ctx: &mut Ctx<'_>, ev: Event);
+}
+
+#[derive(Debug)]
+enum Target {
+    Proc(ProcessId),
+    HostTransition(HostId, bool),
+}
+
+struct Scheduled {
+    time: SimTime,
+    seq: u64,
+    target: Target,
+    ev: Option<Event>,
+}
+
+impl PartialEq for Scheduled {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl Eq for Scheduled {}
+impl PartialOrd for Scheduled {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Scheduled {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.time, self.seq).cmp(&(other.time, other.seq))
+    }
+}
+
+struct ProcMeta {
+    name: String,
+    host: HostId,
+    alive: bool,
+    rng: Xoshiro256,
+}
+
+/// Named counters and time series collected during a run; the raw material
+/// for every figure in EXPERIMENTS.md.
+#[derive(Default)]
+pub struct Metrics {
+    counters: HashMap<String, f64>,
+    series: HashMap<String, Vec<(SimTime, f64)>>,
+}
+
+impl Metrics {
+    /// Add `v` to the named counter (creating it at zero).
+    pub fn add(&mut self, name: &str, v: f64) {
+        *self.counters.entry(name.to_string()).or_insert(0.0) += v;
+    }
+
+    /// Append a `(t, v)` point to the named series.
+    pub fn record(&mut self, name: &str, t: SimTime, v: f64) {
+        self.series
+            .entry(name.to_string())
+            .or_default()
+            .push((t, v));
+    }
+
+    /// Current counter value (zero if never touched).
+    pub fn counter(&self, name: &str) -> f64 {
+        self.counters.get(name).copied().unwrap_or(0.0)
+    }
+
+    /// The recorded series (empty if never touched).
+    pub fn series(&self, name: &str) -> &[(SimTime, f64)] {
+        self.series.get(name).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// All counter names, sorted.
+    pub fn counter_names(&self) -> Vec<&str> {
+        let mut names: Vec<&str> = self.counters.keys().map(String::as_str).collect();
+        names.sort_unstable();
+        names
+    }
+
+    /// All series names, sorted.
+    pub fn series_names(&self) -> Vec<&str> {
+        let mut names: Vec<&str> = self.series.keys().map(String::as_str).collect();
+        names.sort_unstable();
+        names
+    }
+}
+
+struct Shared {
+    now: SimTime,
+    seq: u64,
+    queue: BinaryHeap<Reverse<Scheduled>>,
+    net: NetModel,
+    hosts: HostTable,
+    host_up: Vec<bool>,
+    meta: Vec<ProcMeta>,
+    watchers: HashMap<HostId, Vec<ProcessId>>,
+    seeder: StreamSeeder,
+    net_rng: Xoshiro256,
+    metrics: Metrics,
+    pending_spawns: Vec<(ProcessId, Box<dyn Process>)>,
+    pending_exits: Vec<ProcessId>,
+    events_dispatched: u64,
+}
+
+impl Shared {
+    fn push(&mut self, time: SimTime, target: Target, ev: Option<Event>) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.queue.push(Reverse(Scheduled {
+            time,
+            seq,
+            target,
+            ev,
+        }));
+    }
+
+    fn reserve_pid(&mut self, name: &str, host: HostId) -> ProcessId {
+        let pid = ProcessId(self.meta.len() as u32);
+        let rng = self.seeder.stream(0x5eed_0000_0000_0000 ^ pid.0 as u64);
+        self.meta.push(ProcMeta {
+            name: name.to_string(),
+            host,
+            alive: true,
+            rng,
+        });
+        pid
+    }
+}
+
+/// The per-event capability handle passed to [`Process::on_event`].
+pub struct Ctx<'a> {
+    shared: &'a mut Shared,
+    me: ProcessId,
+}
+
+impl<'a> Ctx<'a> {
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.shared.now
+    }
+
+    /// This process's id.
+    pub fn me(&self) -> ProcessId {
+        self.me
+    }
+
+    /// This process's host.
+    pub fn host(&self) -> HostId {
+        self.shared.meta[self.me.0 as usize].host
+    }
+
+    /// This process's registered name.
+    pub fn name(&self) -> &str {
+        &self.shared.meta[self.me.0 as usize].name
+    }
+
+    /// This process's deterministic random stream.
+    pub fn rng(&mut self) -> &mut Xoshiro256 {
+        &mut self.shared.meta[self.me.0 as usize].rng
+    }
+
+    /// Deliver `Event::Timer { tag }` to this process after `after`.
+    ///
+    /// There is no cancellation: processes that re-arm timers should carry a
+    /// generation number in the tag and ignore stale firings.
+    pub fn set_timer(&mut self, after: SimDuration, tag: u64) {
+        let at = self.shared.now + after;
+        self.shared.push(at, Target::Proc(self.me), Some(Event::Timer { tag }));
+    }
+
+    /// Send a message to another process through the network model.
+    ///
+    /// Delivery is best-effort, exactly as the paper's TCP-without-keepalive
+    /// transport was in practice: a partition drops the message silently, a
+    /// dead destination swallows it, and the sender discovers the loss only
+    /// through its own (forecast-derived) time-outs.
+    pub fn send(&mut self, to: ProcessId, mtype: u32, payload: Vec<u8>) {
+        let from_host = self.shared.meta[self.me.0 as usize].host;
+        let Some(to_meta) = self.shared.meta.get(to.0 as usize) else {
+            self.shared.metrics.add("net.send_to_unknown", 1.0);
+            return;
+        };
+        let to_host = to_meta.host;
+        let from_site = self.shared.hosts.get(from_host).site;
+        let to_site = self.shared.hosts.get(to_host).site;
+        let bytes = payload.len() + 32; // packet header overhead
+        let now = self.shared.now;
+        match self
+            .shared
+            .net
+            .delay(from_site, to_site, bytes, now, &mut self.shared.net_rng)
+        {
+            None => {
+                self.shared.metrics.add("net.dropped_partition", 1.0);
+            }
+            Some(d) => {
+                self.shared.metrics.add("net.messages", 1.0);
+                self.shared.metrics.add("net.bytes", bytes as f64);
+                self.shared.push(
+                    now + d,
+                    Target::Proc(to),
+                    Some(Event::Message {
+                        from: self.me,
+                        mtype,
+                        payload,
+                    }),
+                );
+            }
+        }
+    }
+
+    /// Execute `ops` useful operations on this host; `Event::ComputeDone`
+    /// arrives when they finish. The host's speed and instantaneous
+    /// background load determine the duration.
+    pub fn compute(&mut self, ops: u64, tag: u64) {
+        let host = self.shared.meta[self.me.0 as usize].host;
+        let d = self.shared.hosts.get(host).compute_time(ops, self.shared.now);
+        let at = self.shared.now + d;
+        self.shared
+            .push(at, Target::Proc(self.me), Some(Event::ComputeDone { tag, ops }));
+    }
+
+    /// Spawn a new process on `host`. It receives `Event::Started` at the
+    /// current instant (after the current event finishes dispatching). The
+    /// id is valid immediately.
+    pub fn spawn(&mut self, name: &str, host: HostId, p: Box<dyn Process>) -> ProcessId {
+        let pid = self.shared.reserve_pid(name, host);
+        self.shared.pending_spawns.push((pid, p));
+        self.shared
+            .push(self.shared.now, Target::Proc(pid), Some(Event::Started));
+        pid
+    }
+
+    /// Subscribe this process to `HostStateChanged` events for `host`.
+    pub fn watch_host(&mut self, host: HostId) {
+        let me = self.me;
+        let list = self.shared.watchers.entry(host).or_default();
+        if !list.contains(&me) {
+            list.push(me);
+        }
+    }
+
+    /// Terminate this process after the current event completes.
+    pub fn exit(&mut self) {
+        self.shared.pending_exits.push(self.me);
+    }
+
+    /// Whether `pid` is currently alive. Grid components cannot actually
+    /// observe this (they must time out); it is intended for infrastructure
+    /// supervisor models, which stand in for e.g. the Condor central
+    /// manager.
+    pub fn is_alive(&self, pid: ProcessId) -> bool {
+        self.shared
+            .meta
+            .get(pid.0 as usize)
+            .map(|m| m.alive)
+            .unwrap_or(false)
+    }
+
+    /// Whether `host` is currently up (again: supervisor-only knowledge).
+    pub fn host_up(&self, host: HostId) -> bool {
+        self.shared.host_up[host.0 as usize]
+    }
+
+    /// The host a process runs on.
+    pub fn host_of(&self, pid: ProcessId) -> Option<HostId> {
+        self.shared.meta.get(pid.0 as usize).map(|m| m.host)
+    }
+
+    /// Peak speed (ops/s) of a host — directory metadata, as published by
+    /// e.g. the Globus MDS (§5.2).
+    pub fn host_speed(&self, host: HostId) -> f64 {
+        self.shared.hosts.get(host).speed_ops
+    }
+
+    /// Add to a named metric counter.
+    pub fn metric_add(&mut self, name: &str, v: f64) {
+        self.shared.metrics.add(name, v);
+    }
+
+    /// Record a point on a named metric series.
+    pub fn metric_record(&mut self, name: &str, v: f64) {
+        let now = self.shared.now;
+        self.shared.metrics.record(name, now, v);
+    }
+}
+
+/// Outcome of a [`Sim::run_until`] call.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct RunStats {
+    /// Events dispatched during this call.
+    pub events: u64,
+    /// Simulated time at return.
+    pub now: SimTime,
+}
+
+/// The simulator: owns the network, hosts, processes, queue, and metrics.
+pub struct Sim {
+    shared: Shared,
+    procs: Vec<Option<Box<dyn Process>>>,
+    transitions_scheduled: bool,
+}
+
+impl Sim {
+    /// Build a simulator over the given network and host table, seeding all
+    /// randomness from `seed`.
+    pub fn new(net: NetModel, hosts: HostTable, seed: u64) -> Self {
+        let seeder = StreamSeeder::new(seed);
+        let net_rng = seeder.stream_named("kernel.net");
+        let host_up = vec![true; hosts.len()];
+        Sim {
+            shared: Shared {
+                now: SimTime::ZERO,
+                seq: 0,
+                queue: BinaryHeap::new(),
+                net,
+                hosts,
+                host_up,
+                meta: Vec::new(),
+                watchers: HashMap::new(),
+                seeder,
+                net_rng,
+                metrics: Metrics::default(),
+                pending_spawns: Vec::new(),
+                pending_exits: Vec::new(),
+                events_dispatched: 0,
+            },
+            procs: Vec::new(),
+            transitions_scheduled: false,
+        }
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.shared.now
+    }
+
+    /// Spawn a process before or between runs.
+    pub fn spawn(&mut self, name: &str, host: HostId, p: Box<dyn Process>) -> ProcessId {
+        let pid = self.shared.reserve_pid(name, host);
+        self.procs.push(Some(Box::new(Tombstone)));
+        self.procs[pid.0 as usize] = Some(p);
+        self.shared
+            .push(self.shared.now, Target::Proc(pid), Some(Event::Started));
+        pid
+    }
+
+    /// Collected metrics.
+    pub fn metrics(&self) -> &Metrics {
+        &self.shared.metrics
+    }
+
+    /// Whether a process is alive.
+    pub fn process_alive(&self, pid: ProcessId) -> bool {
+        self.shared
+            .meta
+            .get(pid.0 as usize)
+            .map(|m| m.alive)
+            .unwrap_or(false)
+    }
+
+    /// Name a process was spawned with.
+    pub fn process_name(&self, pid: ProcessId) -> Option<&str> {
+        self.shared.meta.get(pid.0 as usize).map(|m| m.name.as_str())
+    }
+
+    /// Host table (read-only).
+    pub fn hosts(&self) -> &HostTable {
+        &self.shared.hosts
+    }
+
+    /// Inspect a process's concrete state (used by experiment drivers to
+    /// read final counters). Returns `None` if the process is gone or has a
+    /// different concrete type.
+    pub fn with_process<T: 'static, R>(
+        &self,
+        pid: ProcessId,
+        f: impl FnOnce(&T) -> R,
+    ) -> Option<R> {
+        let b = self.procs.get(pid.0 as usize)?.as_ref()?;
+        let any: &dyn Any = b.as_ref();
+        any.downcast_ref::<T>().map(f)
+    }
+
+    fn schedule_host_transitions(&mut self) {
+        if self.transitions_scheduled {
+            return;
+        }
+        self.transitions_scheduled = true;
+        let mut scheduled = Vec::new();
+        for (hid, spec) in self.shared.hosts.iter() {
+            for &(t, up) in &spec.availability.transitions {
+                scheduled.push((t, hid, up));
+            }
+        }
+        for (t, hid, up) in scheduled {
+            if t == SimTime::ZERO && !up {
+                self.shared.host_up[hid.0 as usize] = false;
+            } else {
+                self.shared.push(t, Target::HostTransition(hid, up), None);
+            }
+        }
+    }
+
+    fn apply_host_transition(&mut self, host: HostId, up: bool) {
+        let was = self.shared.host_up[host.0 as usize];
+        if was == up {
+            return;
+        }
+        self.shared.host_up[host.0 as usize] = up;
+        self.shared
+            .metrics
+            .add(if up { "hosts.came_up" } else { "hosts.went_down" }, 1.0);
+        if !up {
+            // Kill every process on the host, without warning.
+            for (i, m) in self.shared.meta.iter_mut().enumerate() {
+                if m.alive && m.host == host {
+                    m.alive = false;
+                    self.procs[i] = None;
+                    self.shared.metrics.add("procs.killed_by_host_down", 1.0);
+                }
+            }
+        }
+        // Notify watchers (infrastructure supervisors).
+        let watchers = self
+            .shared
+            .watchers
+            .get(&host)
+            .cloned()
+            .unwrap_or_default();
+        let now = self.shared.now;
+        for w in watchers {
+            if self.shared.meta[w.0 as usize].alive {
+                self.shared.push(
+                    now,
+                    Target::Proc(w),
+                    Some(Event::HostStateChanged { host, up }),
+                );
+            }
+        }
+    }
+
+    fn integrate_pending(&mut self) {
+        let spawns = std::mem::take(&mut self.shared.pending_spawns);
+        for (pid, p) in spawns {
+            while self.procs.len() <= pid.0 as usize {
+                self.procs.push(None);
+            }
+            self.procs[pid.0 as usize] = Some(p);
+        }
+        let exits = std::mem::take(&mut self.shared.pending_exits);
+        for pid in exits {
+            if self.shared.meta[pid.0 as usize].alive {
+                self.shared.meta[pid.0 as usize].alive = false;
+                self.procs[pid.0 as usize] = None;
+                self.shared.metrics.add("procs.exited", 1.0);
+            }
+        }
+    }
+
+    /// Run the event loop until simulated time `t_end` (events at exactly
+    /// `t_end` are dispatched). Returns dispatch statistics.
+    pub fn run_until(&mut self, t_end: SimTime) -> RunStats {
+        self.schedule_host_transitions();
+        let start_events = self.shared.events_dispatched;
+        loop {
+            let Some(Reverse(top)) = self.shared.queue.peek() else {
+                break;
+            };
+            if top.time > t_end {
+                break;
+            }
+            let Reverse(sch) = self.shared.queue.pop().unwrap();
+            debug_assert!(sch.time >= self.shared.now, "time went backwards");
+            self.shared.now = sch.time;
+            match sch.target {
+                Target::HostTransition(h, up) => {
+                    self.apply_host_transition(h, up);
+                }
+                Target::Proc(pid) => {
+                    let idx = pid.0 as usize;
+                    let deliverable = self.shared.meta[idx].alive
+                        && self.shared.host_up[self.shared.meta[idx].host.0 as usize];
+                    if deliverable {
+                        if let Some(mut p) = self.procs[idx].take() {
+                            let ev = sch.ev.expect("process events carry payloads");
+                            self.shared.events_dispatched += 1;
+                            {
+                                let mut ctx = Ctx {
+                                    shared: &mut self.shared,
+                                    me: pid,
+                                };
+                                p.on_event(&mut ctx, ev);
+                            }
+                            // The process may have exited or been re-slotted;
+                            // only put it back if the slot is still empty.
+                            if self.procs[idx].is_none() {
+                                self.procs[idx] = Some(p);
+                            }
+                        }
+                    } else {
+                        self.shared.metrics.add("events.dropped_dead_dest", 1.0);
+                    }
+                }
+            }
+            self.integrate_pending();
+        }
+        self.shared.now = t_end;
+        RunStats {
+            events: self.shared.events_dispatched - start_events,
+            now: self.shared.now,
+        }
+    }
+
+    /// Drain every remaining event regardless of time. Intended for tests;
+    /// most components re-arm timers forever, so prefer [`Sim::run_until`].
+    pub fn run_to_exhaustion(&mut self, max_events: u64) -> RunStats {
+        self.schedule_host_transitions();
+        let start_events = self.shared.events_dispatched;
+        while self.shared.events_dispatched - start_events < max_events {
+            let next = match self.shared.queue.peek() {
+                Some(Reverse(s)) => s.time,
+                None => break,
+            };
+            self.run_until(next);
+        }
+        RunStats {
+            events: self.shared.events_dispatched - start_events,
+            now: self.shared.now,
+        }
+    }
+}
+
+/// Placeholder stored while a slot is being initialized.
+struct Tombstone;
+impl Process for Tombstone {
+    fn on_event(&mut self, _ctx: &mut Ctx<'_>, _ev: Event) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::host::HostSpec;
+    use crate::net::SiteSpec;
+    use crate::trace::AvailabilitySchedule;
+
+    fn small_world() -> (Sim, HostId, HostId) {
+        let mut net = NetModel::new(0.0);
+        let s = net.add_site(SiteSpec::simple(
+            "s",
+            SimDuration::from_millis(10),
+            1.25e6,
+            0.0,
+        ));
+        let mut hosts = HostTable::new();
+        let h0 = hosts.add(HostSpec::dedicated("h0", s, 1e6));
+        let h1 = hosts.add(HostSpec::dedicated("h1", s, 2e6));
+        (Sim::new(net, hosts, 42), h0, h1)
+    }
+
+    struct Echo {
+        got: Vec<(u32, Vec<u8>)>,
+    }
+    impl Process for Echo {
+        fn on_event(&mut self, ctx: &mut Ctx<'_>, ev: Event) {
+            if let Event::Message {
+                from,
+                mtype,
+                payload,
+            } = ev
+            {
+                self.got.push((mtype, payload.clone()));
+                ctx.send(from, mtype + 1, payload);
+            }
+        }
+    }
+
+    struct Pinger {
+        peer: ProcessId,
+        replies: u32,
+    }
+    impl Process for Pinger {
+        fn on_event(&mut self, ctx: &mut Ctx<'_>, ev: Event) {
+            match ev {
+                Event::Started => ctx.send(self.peer, 10, b"ping".to_vec()),
+                Event::Message { mtype, .. } => {
+                    assert_eq!(mtype, 11);
+                    self.replies += 1;
+                }
+                _ => {}
+            }
+        }
+    }
+
+    #[test]
+    fn ping_pong_round_trip() {
+        let (mut sim, h0, h1) = small_world();
+        let echo = sim.spawn("echo", h1, Box::new(Echo { got: vec![] }));
+        let pinger = sim.spawn("pinger", h0, Box::new(Pinger { peer: echo, replies: 0 }));
+        sim.run_until(SimTime::from_secs(1));
+        let replies = sim
+            .with_process::<Pinger, _>(pinger, |p| p.replies)
+            .unwrap();
+        assert_eq!(replies, 1);
+        let got = sim.with_process::<Echo, _>(echo, |e| e.got.clone()).unwrap();
+        assert_eq!(got, vec![(10, b"ping".to_vec())]);
+        assert!(sim.metrics().counter("net.messages") >= 2.0);
+    }
+
+    struct TimerCounter {
+        fired: Vec<u64>,
+    }
+    impl Process for TimerCounter {
+        fn on_event(&mut self, ctx: &mut Ctx<'_>, ev: Event) {
+            match ev {
+                Event::Started => {
+                    ctx.set_timer(SimDuration::from_secs(3), 3);
+                    ctx.set_timer(SimDuration::from_secs(1), 1);
+                    ctx.set_timer(SimDuration::from_secs(2), 2);
+                }
+                Event::Timer { tag } => self.fired.push(tag),
+                _ => {}
+            }
+        }
+    }
+
+    #[test]
+    fn timers_fire_in_time_order() {
+        let (mut sim, h0, _) = small_world();
+        let p = sim.spawn("t", h0, Box::new(TimerCounter { fired: vec![] }));
+        sim.run_until(SimTime::from_secs(10));
+        let fired = sim
+            .with_process::<TimerCounter, _>(p, |t| t.fired.clone())
+            .unwrap();
+        assert_eq!(fired, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn run_until_is_resumable_and_time_monotonic() {
+        let (mut sim, h0, _) = small_world();
+        let p = sim.spawn("t", h0, Box::new(TimerCounter { fired: vec![] }));
+        sim.run_until(SimTime::from_millis(1500));
+        let mid = sim
+            .with_process::<TimerCounter, _>(p, |t| t.fired.clone())
+            .unwrap();
+        assert_eq!(mid, vec![1]);
+        assert_eq!(sim.now(), SimTime::from_millis(1500));
+        sim.run_until(SimTime::from_secs(10));
+        let done = sim
+            .with_process::<TimerCounter, _>(p, |t| t.fired.clone())
+            .unwrap();
+        assert_eq!(done, vec![1, 2, 3]);
+    }
+
+    struct Computer {
+        done_at: Option<SimTime>,
+    }
+    impl Process for Computer {
+        fn on_event(&mut self, ctx: &mut Ctx<'_>, ev: Event) {
+            match ev {
+                Event::Started => ctx.compute(2_000_000, 7),
+                Event::ComputeDone { tag, ops } => {
+                    assert_eq!(tag, 7);
+                    assert_eq!(ops, 2_000_000);
+                    self.done_at = Some(ctx.now());
+                }
+                _ => {}
+            }
+        }
+    }
+
+    #[test]
+    fn compute_time_scales_with_host_speed() {
+        let (mut sim, h0, h1) = small_world(); // h0: 1e6 ops/s, h1: 2e6 ops/s
+        let slow = sim.spawn("slow", h0, Box::new(Computer { done_at: None }));
+        let fast = sim.spawn("fast", h1, Box::new(Computer { done_at: None }));
+        sim.run_until(SimTime::from_secs(5));
+        let t_slow = sim
+            .with_process::<Computer, _>(slow, |c| c.done_at)
+            .unwrap()
+            .unwrap();
+        let t_fast = sim
+            .with_process::<Computer, _>(fast, |c| c.done_at)
+            .unwrap()
+            .unwrap();
+        assert!((t_slow.as_secs_f64() - 2.0).abs() < 1e-6);
+        assert!((t_fast.as_secs_f64() - 1.0).abs() < 1e-6);
+    }
+
+    struct Spawner {
+        child: Option<ProcessId>,
+    }
+    impl Process for Spawner {
+        fn on_event(&mut self, ctx: &mut Ctx<'_>, ev: Event) {
+            if let Event::Started = ev {
+                let host = ctx.host();
+                self.child = Some(ctx.spawn("child", host, Box::new(TimerCounter { fired: vec![] })));
+            }
+        }
+    }
+
+    #[test]
+    fn dynamic_spawn_runs_child() {
+        let (mut sim, h0, _) = small_world();
+        let p = sim.spawn("spawner", h0, Box::new(Spawner { child: None }));
+        sim.run_until(SimTime::from_secs(10));
+        let child = sim.with_process::<Spawner, _>(p, |s| s.child).unwrap().unwrap();
+        let fired = sim
+            .with_process::<TimerCounter, _>(child, |t| t.fired.clone())
+            .unwrap();
+        assert_eq!(fired, vec![1, 2, 3]);
+    }
+
+    struct ExitAfterOne;
+    impl Process for ExitAfterOne {
+        fn on_event(&mut self, ctx: &mut Ctx<'_>, ev: Event) {
+            match ev {
+                Event::Started => {
+                    ctx.set_timer(SimDuration::from_secs(1), 0);
+                    ctx.set_timer(SimDuration::from_secs(2), 1);
+                }
+                Event::Timer { tag } => {
+                    assert_eq!(tag, 0, "second timer must not be delivered after exit");
+                    ctx.exit();
+                }
+                _ => {}
+            }
+        }
+    }
+
+    #[test]
+    fn exit_stops_delivery() {
+        let (mut sim, h0, _) = small_world();
+        let p = sim.spawn("x", h0, Box::new(ExitAfterOne));
+        sim.run_until(SimTime::from_secs(10));
+        assert!(!sim.process_alive(p));
+        assert_eq!(sim.metrics().counter("procs.exited"), 1.0);
+        assert!(sim.metrics().counter("events.dropped_dead_dest") >= 1.0);
+    }
+
+    fn world_with_flaky_host() -> (Sim, HostId, HostId) {
+        let mut net = NetModel::new(0.0);
+        let s = net.add_site(SiteSpec::simple(
+            "s",
+            SimDuration::from_millis(10),
+            1.25e6,
+            0.0,
+        ));
+        let mut hosts = HostTable::new();
+        let stable = hosts.add(HostSpec::dedicated("stable", s, 1e6));
+        let mut flaky = HostSpec::dedicated("flaky", s, 1e6);
+        flaky.availability = AvailabilitySchedule {
+            transitions: vec![
+                (SimTime::from_secs(5), false),
+                (SimTime::from_secs(8), true),
+            ],
+        };
+        let flaky = hosts.add(flaky);
+        (Sim::new(net, hosts, 7), stable, flaky)
+    }
+
+    struct Watcher {
+        target: HostId,
+        seen: Vec<(SimTime, bool)>,
+    }
+    impl Process for Watcher {
+        fn on_event(&mut self, ctx: &mut Ctx<'_>, ev: Event) {
+            match ev {
+                Event::Started => ctx.watch_host(self.target),
+                Event::HostStateChanged { host, up } => {
+                    assert_eq!(host, self.target);
+                    self.seen.push((ctx.now(), up));
+                }
+                _ => {}
+            }
+        }
+    }
+
+    #[test]
+    fn host_down_kills_processes_and_notifies_watchers() {
+        let (mut sim, stable, flaky) = world_with_flaky_host();
+        let victim = sim.spawn("victim", flaky, Box::new(TimerCounter { fired: vec![] }));
+        let watcher = sim.spawn(
+            "watcher",
+            stable,
+            Box::new(Watcher {
+                target: flaky,
+                seen: vec![],
+            }),
+        );
+        sim.run_until(SimTime::from_secs(20));
+        assert!(!sim.process_alive(victim), "victim killed at t=5");
+        // Victim fired timers at 1s and 2s, died before 3s.
+        assert_eq!(sim.metrics().counter("procs.killed_by_host_down"), 1.0);
+        let seen = sim
+            .with_process::<Watcher, _>(watcher, |w| w.seen.clone())
+            .unwrap();
+        assert_eq!(
+            seen,
+            vec![
+                (SimTime::from_secs(5), false),
+                (SimTime::from_secs(8), true)
+            ]
+        );
+    }
+
+    #[test]
+    fn messages_to_dead_processes_vanish() {
+        let (mut sim, stable, flaky) = world_with_flaky_host();
+        let victim = sim.spawn("victim", flaky, Box::new(Echo { got: vec![] }));
+        struct LatePinger {
+            peer: ProcessId,
+            replies: u32,
+        }
+        impl Process for LatePinger {
+            fn on_event(&mut self, ctx: &mut Ctx<'_>, ev: Event) {
+                match ev {
+                    Event::Started => ctx.set_timer(SimDuration::from_secs(6), 0),
+                    Event::Timer { .. } => ctx.send(self.peer, 10, b"late".to_vec()),
+                    Event::Message { .. } => self.replies += 1,
+                    _ => {}
+                }
+            }
+        }
+        let pinger = sim.spawn(
+            "late",
+            stable,
+            Box::new(LatePinger {
+                peer: victim,
+                replies: 0,
+            }),
+        );
+        sim.run_until(SimTime::from_secs(7));
+        let replies = sim
+            .with_process::<LatePinger, _>(pinger, |p| p.replies)
+            .unwrap();
+        assert_eq!(replies, 0, "message sent at t=6 to host down since t=5 is lost");
+        assert!(sim.metrics().counter("events.dropped_dead_dest") >= 1.0);
+    }
+
+    #[test]
+    fn determinism_same_seed_same_metrics() {
+        let run = |seed: u64| {
+            let mut net = NetModel::new(0.3);
+            let s = net.add_site(SiteSpec::simple(
+                "s",
+                SimDuration::from_millis(10),
+                1.25e6,
+                0.0,
+            ));
+            let mut hosts = HostTable::new();
+            let h0 = hosts.add(HostSpec::dedicated("h0", s, 1e6));
+            let h1 = hosts.add(HostSpec::dedicated("h1", s, 1e6));
+            let mut sim = Sim::new(net, hosts, seed);
+            struct Chatter {
+                peer: Option<ProcessId>,
+                count: u32,
+            }
+            impl Process for Chatter {
+                fn on_event(&mut self, ctx: &mut Ctx<'_>, ev: Event) {
+                    match ev {
+                        Event::Started => ctx.set_timer(SimDuration::from_millis(100), 0),
+                        Event::Timer { .. } => {
+                            if let Some(p) = self.peer {
+                                let n = ctx.rng().next_below(100);
+                                ctx.send(p, n as u32, vec![0u8; n as usize]);
+                            }
+                            ctx.set_timer(SimDuration::from_millis(100), 0);
+                        }
+                        Event::Message { .. } => self.count += 1,
+                        _ => {}
+                    }
+                }
+            }
+            let a = sim.spawn("a", h0, Box::new(Chatter { peer: None, count: 0 }));
+            let b = sim.spawn("b", h1, Box::new(Chatter { peer: Some(a), count: 0 }));
+            let _ = b;
+            sim.run_until(SimTime::from_secs(30));
+            (
+                sim.metrics().counter("net.messages"),
+                sim.metrics().counter("net.bytes"),
+                sim.with_process::<Chatter, _>(a, |c| c.count).unwrap(),
+            )
+        };
+        assert_eq!(run(123), run(123));
+        assert_ne!(run(123).1, run(456).1, "different seeds should differ in bytes");
+    }
+
+    #[test]
+    fn run_stats_count_events() {
+        let (mut sim, h0, _) = small_world();
+        sim.spawn("t", h0, Box::new(TimerCounter { fired: vec![] }));
+        let stats = sim.run_until(SimTime::from_secs(10));
+        // Started + 3 timers.
+        assert_eq!(stats.events, 4);
+        assert_eq!(stats.now, SimTime::from_secs(10));
+    }
+
+    #[test]
+    fn with_process_wrong_type_is_none() {
+        let (mut sim, h0, _) = small_world();
+        let p = sim.spawn("t", h0, Box::new(TimerCounter { fired: vec![] }));
+        sim.run_until(SimTime::from_secs(1));
+        assert!(sim.with_process::<Echo, _>(p, |_| ()).is_none());
+    }
+
+    #[test]
+    fn metrics_api() {
+        let mut m = Metrics::default();
+        m.add("x", 1.0);
+        m.add("x", 2.0);
+        m.record("s", SimTime::from_secs(1), 10.0);
+        assert_eq!(m.counter("x"), 3.0);
+        assert_eq!(m.counter("missing"), 0.0);
+        assert_eq!(m.series("s"), &[(SimTime::from_secs(1), 10.0)]);
+        assert!(m.series("missing").is_empty());
+        assert_eq!(m.counter_names(), vec!["x"]);
+        assert_eq!(m.series_names(), vec!["s"]);
+    }
+}

@@ -1,0 +1,330 @@
+//! Network model.
+//!
+//! Hosts live at *sites* (a machine room, a Condor pool, the SC98 show
+//! floor). Traffic inside a site crosses its LAN; traffic between sites
+//! crosses both sites' WAN access links. Each site carries a background
+//! [`LoadTrace`] that eats into available bandwidth
+//! and stretches latency — the simulator's rendering of the paper's
+//! observation that "network performance on the exhibit floor varied
+//! dramatically, particularly as SCINet was reconfigured on-the-fly" (§2.2).
+//!
+//! Partitions make a site (or site pair) unreachable for an interval; the
+//! clique protocol (ew-gossip) is exercised against exactly these.
+
+use crate::rng::Xoshiro256;
+use crate::time::{SimDuration, SimTime};
+use crate::trace::{ConstantLoad, LoadTrace};
+
+/// Identifies a site within a [`NetModel`].
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct SiteId(pub u16);
+
+/// Static description of one site's connectivity.
+pub struct SiteSpec {
+    /// Human-readable name ("SDSC", "NCSA-NT", "SC98-floor", …).
+    pub name: String,
+    /// One-way latency between two hosts in the same site.
+    pub lan_latency: SimDuration,
+    /// LAN bandwidth in bytes/second.
+    pub lan_bandwidth: f64,
+    /// One-way latency from a host to the site's WAN egress.
+    pub wan_latency: SimDuration,
+    /// WAN access bandwidth in bytes/second.
+    pub wan_bandwidth: f64,
+    /// Background network load at this site.
+    pub load: Box<dyn LoadTrace>,
+}
+
+impl SiteSpec {
+    /// A well-connected site with constant (possibly zero) background load.
+    pub fn simple(name: &str, wan_latency: SimDuration, wan_bandwidth: f64, load: f64) -> Self {
+        SiteSpec {
+            name: name.to_string(),
+            lan_latency: SimDuration::from_micros(200),
+            lan_bandwidth: 12.5e6, // 100 Mbit switched Ethernet
+            wan_latency,
+            wan_bandwidth,
+            load: Box::new(ConstantLoad(load)),
+        }
+    }
+}
+
+/// A connectivity failure: while active, no traffic crosses it.
+#[derive(Clone, Copy, Debug)]
+pub struct Partition {
+    /// One side of the cut.
+    pub a: SiteId,
+    /// The other side; `None` isolates site `a` from every other site.
+    pub b: Option<SiteId>,
+    /// Start of the outage (inclusive).
+    pub from: SimTime,
+    /// End of the outage (exclusive).
+    pub until: SimTime,
+}
+
+impl Partition {
+    /// Whether this partition cuts traffic between `x` and `y` at `now`.
+    pub fn cuts(&self, x: SiteId, y: SiteId, now: SimTime) -> bool {
+        if now < self.from || now >= self.until || x == y {
+            return false;
+        }
+        match self.b {
+            Some(b) => (self.a == x && b == y) || (self.a == y && b == x),
+            None => self.a == x || self.a == y,
+        }
+    }
+}
+
+/// The whole network: sites, partitions, and a jitter level.
+pub struct NetModel {
+    sites: Vec<SiteSpec>,
+    partitions: Vec<Partition>,
+    /// Multiplicative log-normal-ish jitter scale (0 disables jitter).
+    pub jitter: f64,
+}
+
+impl NetModel {
+    /// Build an empty network with the given jitter fraction.
+    pub fn new(jitter: f64) -> Self {
+        NetModel {
+            sites: Vec::new(),
+            partitions: Vec::new(),
+            jitter,
+        }
+    }
+
+    /// Register a site, returning its id.
+    pub fn add_site(&mut self, spec: SiteSpec) -> SiteId {
+        assert!(self.sites.len() < u16::MAX as usize, "too many sites");
+        self.sites.push(spec);
+        SiteId(self.sites.len() as u16 - 1)
+    }
+
+    /// Schedule a partition.
+    pub fn add_partition(&mut self, p: Partition) {
+        self.partitions.push(p);
+    }
+
+    /// Number of registered sites.
+    pub fn site_count(&self) -> usize {
+        self.sites.len()
+    }
+
+    /// Site metadata.
+    pub fn site(&self, id: SiteId) -> &SiteSpec {
+        &self.sites[id.0 as usize]
+    }
+
+    /// Whether sites `a` and `b` can currently exchange traffic.
+    pub fn reachable(&self, a: SiteId, b: SiteId, now: SimTime) -> bool {
+        !self.partitions.iter().any(|p| p.cuts(a, b, now))
+    }
+
+    /// One-way delivery delay for `bytes` from a host at `from` to a host
+    /// at `to`, or `None` if a partition drops the message.
+    ///
+    /// Background load shrinks usable bandwidth to `bw * (1 - load)` and
+    /// stretches latency by `1 / (1 - load)` — a standard M/M/1-flavored
+    /// congestion approximation, sampled at send time (message flights are
+    /// short relative to the 5-minute load dynamics the figures average
+    /// over).
+    pub fn delay(
+        &self,
+        from: SiteId,
+        to: SiteId,
+        bytes: usize,
+        now: SimTime,
+        rng: &mut Xoshiro256,
+    ) -> Option<SimDuration> {
+        if !self.reachable(from, to, now) {
+            return None;
+        }
+        let base = if from == to {
+            let s = self.site(from);
+            let load = s.load.load(now).clamp(0.0, 0.999);
+            s.lan_latency.as_secs_f64() / (1.0 - load)
+                + bytes as f64 / (s.lan_bandwidth * (1.0 - load))
+        } else {
+            let (sa, sb) = (self.site(from), self.site(to));
+            let (la, lb) = (
+                sa.load.load(now).clamp(0.0, 0.999),
+                sb.load.load(now).clamp(0.0, 0.999),
+            );
+            let lat = sa.wan_latency.as_secs_f64() / (1.0 - la)
+                + sb.wan_latency.as_secs_f64() / (1.0 - lb);
+            let bw = (sa.wan_bandwidth * (1.0 - la)).min(sb.wan_bandwidth * (1.0 - lb));
+            lat + bytes as f64 / bw.max(1.0)
+        };
+        let jittered = if self.jitter > 0.0 {
+            base * (1.0 + self.jitter * rng.next_f64())
+        } else {
+            base
+        };
+        Some(SimDuration::from_secs_f64(jittered.max(1e-6)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::SpikeLoad;
+
+    fn two_site_net() -> (NetModel, SiteId, SiteId) {
+        let mut net = NetModel::new(0.0);
+        let a = net.add_site(SiteSpec::simple(
+            "a",
+            SimDuration::from_millis(10),
+            1.25e6,
+            0.0,
+        ));
+        let b = net.add_site(SiteSpec::simple(
+            "b",
+            SimDuration::from_millis(20),
+            1.25e6,
+            0.0,
+        ));
+        (net, a, b)
+    }
+
+    #[test]
+    fn lan_faster_than_wan() {
+        let (net, a, b) = two_site_net();
+        let mut rng = Xoshiro256::seed_from_u64(1);
+        let lan = net.delay(a, a, 1000, SimTime::ZERO, &mut rng).unwrap();
+        let wan = net.delay(a, b, 1000, SimTime::ZERO, &mut rng).unwrap();
+        assert!(lan < wan, "lan {lan:?} should beat wan {wan:?}");
+    }
+
+    #[test]
+    fn wan_delay_matches_model() {
+        let (net, a, b) = two_site_net();
+        let mut rng = Xoshiro256::seed_from_u64(1);
+        // 10ms + 20ms latency + 1250 bytes / 1.25 MB/s = 31 ms.
+        let d = net.delay(a, b, 1250, SimTime::ZERO, &mut rng).unwrap();
+        assert!(
+            (d.as_secs_f64() - 0.031).abs() < 1e-6,
+            "got {:?}",
+            d.as_secs_f64()
+        );
+    }
+
+    #[test]
+    fn larger_messages_take_longer() {
+        let (net, a, b) = two_site_net();
+        let mut rng = Xoshiro256::seed_from_u64(1);
+        let small = net.delay(a, b, 100, SimTime::ZERO, &mut rng).unwrap();
+        let big = net.delay(a, b, 1_000_000, SimTime::ZERO, &mut rng).unwrap();
+        assert!(big > small * 10);
+    }
+
+    #[test]
+    fn load_inflates_delay() {
+        let mut net = NetModel::new(0.0);
+        let a = net.add_site(SiteSpec {
+            name: "loaded".into(),
+            lan_latency: SimDuration::from_micros(200),
+            lan_bandwidth: 12.5e6,
+            wan_latency: SimDuration::from_millis(10),
+            wan_bandwidth: 1.25e6,
+            load: Box::new(SpikeLoad {
+                start: SimTime::from_secs(100),
+                end: SimTime::from_secs(200),
+                level: 0.9,
+            }),
+        });
+        let b = net.add_site(SiteSpec::simple(
+            "calm",
+            SimDuration::from_millis(10),
+            1.25e6,
+            0.0,
+        ));
+        let mut rng = Xoshiro256::seed_from_u64(1);
+        let before = net.delay(a, b, 1000, SimTime::from_secs(50), &mut rng).unwrap();
+        let during = net
+            .delay(a, b, 1000, SimTime::from_secs(150), &mut rng)
+            .unwrap();
+        assert!(
+            during.as_secs_f64() > 5.0 * before.as_secs_f64(),
+            "90% load should inflate delay ~10x: {before:?} -> {during:?}"
+        );
+    }
+
+    #[test]
+    fn pairwise_partition_drops_only_that_pair() {
+        let (mut net, a, b) = two_site_net();
+        let c = net.add_site(SiteSpec::simple(
+            "c",
+            SimDuration::from_millis(5),
+            1.25e6,
+            0.0,
+        ));
+        net.add_partition(Partition {
+            a,
+            b: Some(b),
+            from: SimTime::from_secs(10),
+            until: SimTime::from_secs(20),
+        });
+        let mut rng = Xoshiro256::seed_from_u64(1);
+        let t_in = SimTime::from_secs(15);
+        assert!(net.delay(a, b, 10, t_in, &mut rng).is_none());
+        assert!(net.delay(b, a, 10, t_in, &mut rng).is_none());
+        assert!(net.delay(a, c, 10, t_in, &mut rng).is_some());
+        assert!(net.delay(a, b, 10, SimTime::from_secs(25), &mut rng).is_some());
+    }
+
+    #[test]
+    fn isolation_partition_cuts_all_wan_but_not_lan() {
+        let (mut net, a, b) = two_site_net();
+        net.add_partition(Partition {
+            a,
+            b: None,
+            from: SimTime::ZERO,
+            until: SimTime::from_secs(100),
+        });
+        let mut rng = Xoshiro256::seed_from_u64(1);
+        assert!(net.delay(a, b, 10, SimTime::from_secs(5), &mut rng).is_none());
+        // Intra-site traffic survives isolation.
+        assert!(net.delay(a, a, 10, SimTime::from_secs(5), &mut rng).is_some());
+    }
+
+    #[test]
+    fn jitter_varies_but_never_shrinks_below_base() {
+        let mut net = NetModel::new(0.5);
+        let a = net.add_site(SiteSpec::simple(
+            "a",
+            SimDuration::from_millis(10),
+            1.25e6,
+            0.0,
+        ));
+        let b = net.add_site(SiteSpec::simple(
+            "b",
+            SimDuration::from_millis(10),
+            1.25e6,
+            0.0,
+        ));
+        let mut rng = Xoshiro256::seed_from_u64(3);
+        let base = 0.02 + 100.0 / 1.25e6;
+        let mut distinct = std::collections::HashSet::new();
+        for _ in 0..32 {
+            let d = net.delay(a, b, 100, SimTime::ZERO, &mut rng).unwrap();
+            assert!(d.as_secs_f64() >= base - 1e-9);
+            assert!(d.as_secs_f64() <= base * 1.5 + 1e-9);
+            distinct.insert(d.as_micros());
+        }
+        assert!(distinct.len() > 16, "jitter should vary the delay");
+    }
+
+    #[test]
+    fn reachable_reflects_partitions() {
+        let (mut net, a, b) = two_site_net();
+        assert!(net.reachable(a, b, SimTime::ZERO));
+        net.add_partition(Partition {
+            a,
+            b: Some(b),
+            from: SimTime::ZERO,
+            until: SimTime::from_secs(1),
+        });
+        assert!(!net.reachable(a, b, SimTime::ZERO));
+        assert!(net.reachable(a, a, SimTime::ZERO), "same site always reachable");
+    }
+}

@@ -1,0 +1,136 @@
+//! Property tests for the simulator's network and availability models:
+//! the physical sanity conditions every higher layer leans on.
+
+use proptest::prelude::*;
+
+use ew_sim::{
+    AvailabilitySchedule, NetModel, Partition, SimDuration, SimTime, SiteId, SiteSpec,
+    Xoshiro256,
+};
+
+fn net_with(n_sites: u16) -> NetModel {
+    let mut net = NetModel::new(0.0);
+    for i in 0..n_sites {
+        net.add_site(SiteSpec::simple(
+            &format!("s{i}"),
+            SimDuration::from_millis(5 + i as u64 * 3),
+            1.25e6,
+            (i as f64 * 0.07) % 0.5,
+        ));
+    }
+    net
+}
+
+proptest! {
+    #[test]
+    fn delay_is_monotone_in_message_size(
+        sites in 2u16..6,
+        a in 0u16..6,
+        b in 0u16..6,
+        small in 1usize..10_000,
+        extra in 1usize..100_000,
+        t in 0u64..10_000,
+    ) {
+        let net = net_with(sites);
+        let (a, b) = (SiteId(a % sites), SiteId(b % sites));
+        let now = SimTime::from_secs(t);
+        let mut rng = Xoshiro256::seed_from_u64(1);
+        let d_small = net.delay(a, b, small, now, &mut rng).unwrap();
+        let d_big = net.delay(a, b, small + extra, now, &mut rng).unwrap();
+        prop_assert!(d_big >= d_small);
+    }
+
+    #[test]
+    fn delay_is_symmetric_without_jitter(
+        sites in 2u16..6,
+        a in 0u16..6,
+        b in 0u16..6,
+        bytes in 0usize..100_000,
+        t in 0u64..10_000,
+    ) {
+        let net = net_with(sites);
+        let (a, b) = (SiteId(a % sites), SiteId(b % sites));
+        let now = SimTime::from_secs(t);
+        let mut rng = Xoshiro256::seed_from_u64(2);
+        let ab = net.delay(a, b, bytes, now, &mut rng);
+        let ba = net.delay(b, a, bytes, now, &mut rng);
+        prop_assert_eq!(ab, ba);
+    }
+
+    #[test]
+    fn partitions_cut_symmetrically_and_only_in_window(
+        from_s in 0u64..1000,
+        len in 1u64..1000,
+        bytes in 0usize..1000,
+    ) {
+        let mut net = net_with(3);
+        let (a, b, c) = (SiteId(0), SiteId(1), SiteId(2));
+        let from = SimTime::from_secs(from_s);
+        let until = SimTime::from_secs(from_s + len);
+        net.add_partition(Partition { a, b: Some(b), from, until });
+        let mut rng = Xoshiro256::seed_from_u64(3);
+        let inside = SimTime::from_secs(from_s + len / 2);
+        prop_assert!(net.delay(a, b, bytes, inside, &mut rng).is_none());
+        prop_assert!(net.delay(b, a, bytes, inside, &mut rng).is_none());
+        prop_assert!(net.delay(a, c, bytes, inside, &mut rng).is_some());
+        let after = SimTime::from_secs(from_s + len);
+        prop_assert!(net.delay(a, b, bytes, after, &mut rng).is_some());
+        if from_s > 0 {
+            let before = SimTime::from_secs(from_s - 1);
+            prop_assert!(net.delay(a, b, bytes, before, &mut rng).is_some());
+        }
+    }
+
+    #[test]
+    fn jitter_bounded_and_non_negative(
+        jitter in 0.0f64..1.0,
+        bytes in 0usize..10_000,
+        seed: u64,
+    ) {
+        let mut net = NetModel::new(jitter);
+        let a = net.add_site(SiteSpec::simple("a", SimDuration::from_millis(10), 1.25e6, 0.0));
+        let b = net.add_site(SiteSpec::simple("b", SimDuration::from_millis(10), 1.25e6, 0.0));
+        let base = 0.02 + bytes as f64 / 1.25e6;
+        let mut rng = Xoshiro256::seed_from_u64(seed);
+        for _ in 0..8 {
+            let d = net.delay(a, b, bytes, SimTime::ZERO, &mut rng).unwrap().as_secs_f64();
+            prop_assert!(d >= base - 1e-9);
+            prop_assert!(d <= base * (1.0 + jitter) + 1e-9);
+        }
+    }
+
+    #[test]
+    fn churn_uptime_never_exceeds_horizon(
+        seed: u64,
+        mean_up in 10u64..1000,
+        mean_down in 10u64..1000,
+        starts_up: bool,
+    ) {
+        let mut rng = Xoshiro256::seed_from_u64(seed);
+        let horizon = SimDuration::from_secs(5_000);
+        let sched = AvailabilitySchedule::exponential_churn(
+            &mut rng,
+            horizon,
+            SimDuration::from_secs(mean_up),
+            SimDuration::from_secs(mean_down),
+            starts_up,
+        );
+        let up = sched.uptime(horizon);
+        prop_assert!(up <= horizon);
+        // Transitions strictly alternate.
+        for pair in sched.transitions.windows(2) {
+            prop_assert_ne!(pair[0].1, pair[1].1);
+            prop_assert!(pair[0].0 <= pair[1].0);
+        }
+        // is_up_at agrees with the last transition before the probe point.
+        let probe = SimTime::from_secs(2_500);
+        let expect = sched
+            .transitions
+            .iter()
+            .take_while(|&&(t, _)| t <= probe)
+            .last()
+            .map(|&(_, u)| u)
+            .unwrap_or(true);
+        prop_assert_eq!(sched.is_up_at(probe), expect);
+    }
+}

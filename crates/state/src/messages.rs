@@ -1,0 +1,116 @@
+//! Wire bodies for the persistent-state and logging services.
+
+use ew_proto::mtype;
+use ew_proto::wire_struct;
+#[cfg(test)]
+use ew_proto::{WireDecode, WireEncode};
+
+/// Message types for the persistent state service.
+pub mod sm {
+    use super::mtype;
+    /// Store a value (request; response carries [`super::StoreReply`]).
+    pub const STORE: u16 = mtype::STATE_BASE;
+    /// Fetch a value (request; response carries [`super::FetchReply`]).
+    pub const FETCH: u16 = mtype::STATE_BASE + 1;
+    /// Append a log record (one-way).
+    pub const LOG: u16 = mtype::LOG_BASE;
+}
+
+/// Store request body.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct StoreRequest {
+    /// Key within the store's namespace.
+    pub key: String,
+    /// Validator class the value must satisfy (0 = none; the Ramsey
+    /// application registers its counter-example check under class 1).
+    pub class: u16,
+    /// The bytes to persist.
+    pub value: Vec<u8>,
+}
+
+wire_struct!(StoreRequest { key, class, value });
+
+/// Store response body.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct StoreReply {
+    /// Whether the value was accepted and persisted.
+    pub accepted: bool,
+    /// Diagnostic when rejected (sanity check failure, over capacity, …).
+    pub reason: String,
+}
+
+wire_struct!(StoreReply { accepted, reason });
+
+/// Fetch request body.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FetchRequest {
+    /// Key to read.
+    pub key: String,
+}
+
+wire_struct!(FetchRequest { key });
+
+/// Fetch response body.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FetchReply {
+    /// Whether the key existed.
+    pub found: bool,
+    /// The stored bytes (empty when not found).
+    pub value: Vec<u8>,
+}
+
+wire_struct!(FetchReply { found, value });
+
+/// A log record (one-way body).
+#[derive(Clone, Debug, PartialEq)]
+pub struct LogRecord {
+    /// Originating component address.
+    pub source: u64,
+    /// Category ("perf", "sched", "error", …).
+    pub category: String,
+    /// Free text.
+    pub text: String,
+    /// Optional numeric value (rates, counts) for later analysis.
+    pub value: f64,
+}
+
+wire_struct!(LogRecord {
+    source,
+    category,
+    text,
+    value
+});
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bodies_round_trip() {
+        let s = StoreRequest {
+            key: "ramsey/best/5".into(),
+            class: 1,
+            value: vec![1, 2, 3],
+        };
+        assert_eq!(StoreRequest::from_wire(&s.to_wire()).unwrap(), s);
+        let r = StoreReply {
+            accepted: false,
+            reason: "not a counter-example".into(),
+        };
+        assert_eq!(StoreReply::from_wire(&r.to_wire()).unwrap(), r);
+        let f = FetchRequest { key: "k".into() };
+        assert_eq!(FetchRequest::from_wire(&f.to_wire()).unwrap(), f);
+        let fr = FetchReply {
+            found: true,
+            value: vec![7],
+        };
+        assert_eq!(FetchReply::from_wire(&fr.to_wire()).unwrap(), fr);
+        let l = LogRecord {
+            source: 4,
+            category: "perf".into(),
+            text: "rate".into(),
+            value: 2.39e9,
+        };
+        assert_eq!(LogRecord::from_wire(&l.to_wire()).unwrap(), l);
+    }
+}

@@ -1,0 +1,245 @@
+//! Persistent state managers.
+//!
+//! §3.1.2 gives three reasons these are a separate service: a bounded
+//! file-system footprint (sites restrict guest disk), placement on
+//! *trusted* hosts (SDSC's backed-up, secured filesystems), and "run-time
+//! sanity checks on all persistent state accesses" — a claimed Ramsey
+//! counter-example is verified before it is accepted. [`PersistentStateServer`]
+//! implements all three: a byte-capacity bound, a trusted-site label, and
+//! pluggable per-class validators.
+
+use std::collections::BTreeMap;
+
+use ew_proto::sim_net::{packet_from_event, send_packet};
+use ew_proto::{Packet, WireEncode};
+use ew_sim::{Ctx, Event, Process, ProcessId};
+
+use crate::messages::{sm, FetchReply, FetchRequest, StoreReply, StoreRequest};
+
+/// Checks a value before it is persisted. Returns `Err(reason)` to reject.
+pub type Validator = Box<dyn Fn(&str, &[u8]) -> Result<(), String> + Send>;
+
+/// The persistent-state service process.
+pub struct PersistentStateServer {
+    /// Human-readable site label ("SDSC: taped + secured").
+    pub site_label: String,
+    /// Maximum total stored bytes (the footprint bound).
+    pub capacity: usize,
+    validators: BTreeMap<u16, Validator>,
+    data: BTreeMap<String, Vec<u8>>,
+    used: usize,
+    /// Accepted store operations.
+    pub stores_ok: u64,
+    /// Rejected store operations (validation or capacity).
+    pub stores_rejected: u64,
+}
+
+impl PersistentStateServer {
+    /// A server with the given capacity bound.
+    pub fn new(site_label: &str, capacity: usize) -> Self {
+        PersistentStateServer {
+            site_label: site_label.to_string(),
+            capacity,
+            validators: BTreeMap::new(),
+            data: BTreeMap::new(),
+            used: 0,
+            stores_ok: 0,
+            stores_rejected: 0,
+        }
+    }
+
+    /// Register the sanity check for a validator class.
+    pub fn register_validator(&mut self, class: u16, v: Validator) {
+        self.validators.insert(class, v);
+    }
+
+    /// Bytes currently stored.
+    pub fn used(&self) -> usize {
+        self.used
+    }
+
+    /// Direct read access (driver-side inspection).
+    pub fn get(&self, key: &str) -> Option<&Vec<u8>> {
+        self.data.get(key)
+    }
+
+    /// Number of stored keys.
+    pub fn key_count(&self) -> usize {
+        self.data.len()
+    }
+
+    fn try_store(&mut self, req: &StoreRequest) -> StoreReply {
+        if req.class != 0 {
+            match self.validators.get(&req.class) {
+                None => {
+                    self.stores_rejected += 1;
+                    return StoreReply {
+                        accepted: false,
+                        reason: format!("no validator registered for class {}", req.class),
+                    };
+                }
+                Some(v) => {
+                    if let Err(reason) = v(&req.key, &req.value) {
+                        self.stores_rejected += 1;
+                        return StoreReply {
+                            accepted: false,
+                            reason,
+                        };
+                    }
+                }
+            }
+        }
+        let old = self.data.get(&req.key).map(|v| v.len()).unwrap_or(0);
+        let new_used = self.used - old + req.value.len();
+        if new_used > self.capacity {
+            self.stores_rejected += 1;
+            return StoreReply {
+                accepted: false,
+                reason: format!(
+                    "capacity exceeded: {new_used} > {} bytes at {}",
+                    self.capacity, self.site_label
+                ),
+            };
+        }
+        self.data.insert(req.key.clone(), req.value.clone());
+        self.used = new_used;
+        self.stores_ok += 1;
+        StoreReply {
+            accepted: true,
+            reason: String::new(),
+        }
+    }
+
+    fn handle(&mut self, ctx: &mut Ctx<'_>, from: ProcessId, pkt: Packet) {
+        match pkt.mtype {
+            sm::STORE if pkt.is_request() => {
+                let reply = match pkt.body::<StoreRequest>() {
+                    Ok(req) => {
+                        let r = self.try_store(&req);
+                        ctx.metric_add(
+                            if r.accepted {
+                                "state.stores_ok"
+                            } else {
+                                "state.stores_rejected"
+                            },
+                            1.0,
+                        );
+                        r
+                    }
+                    Err(e) => StoreReply {
+                        accepted: false,
+                        reason: format!("malformed request: {e}"),
+                    },
+                };
+                send_packet(ctx, from, &Packet::response_to(&pkt, reply.to_wire()));
+            }
+            sm::FETCH if pkt.is_request() => {
+                let reply = match pkt.body::<FetchRequest>() {
+                    Ok(req) => match self.data.get(&req.key) {
+                        Some(v) => FetchReply {
+                            found: true,
+                            value: v.clone(),
+                        },
+                        None => FetchReply {
+                            found: false,
+                            value: Vec::new(),
+                        },
+                    },
+                    Err(_) => FetchReply {
+                        found: false,
+                        value: Vec::new(),
+                    },
+                };
+                ctx.metric_add("state.fetches", 1.0);
+                send_packet(ctx, from, &Packet::response_to(&pkt, reply.to_wire()));
+            }
+            _ => {}
+        }
+    }
+}
+
+impl Process for PersistentStateServer {
+    fn on_event(&mut self, ctx: &mut Ctx<'_>, ev: Event) {
+        if let Some(Ok((from, pkt))) = packet_from_event(&ev) {
+            self.handle(ctx, from, pkt);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn server() -> PersistentStateServer {
+        let mut s = PersistentStateServer::new("test-site", 100);
+        s.register_validator(
+            1,
+            Box::new(|_key, bytes| {
+                if bytes.first() == Some(&0xAA) {
+                    Ok(())
+                } else {
+                    Err("must start with 0xAA".into())
+                }
+            }),
+        );
+        s
+    }
+
+    fn store(key: &str, class: u16, value: Vec<u8>) -> StoreRequest {
+        StoreRequest {
+            key: key.into(),
+            class,
+            value,
+        }
+    }
+
+    #[test]
+    fn accepts_valid_and_rejects_invalid() {
+        let mut s = server();
+        let ok = s.try_store(&store("a", 1, vec![0xAA, 1]));
+        assert!(ok.accepted);
+        let bad = s.try_store(&store("b", 1, vec![0x00]));
+        assert!(!bad.accepted);
+        assert!(bad.reason.contains("0xAA"));
+        assert_eq!(s.stores_ok, 1);
+        assert_eq!(s.stores_rejected, 1);
+        assert_eq!(s.key_count(), 1);
+    }
+
+    #[test]
+    fn class_zero_skips_validation() {
+        let mut s = server();
+        assert!(s.try_store(&store("raw", 0, vec![0x00])).accepted);
+    }
+
+    #[test]
+    fn unknown_class_rejected() {
+        let mut s = server();
+        let r = s.try_store(&store("x", 9, vec![0xAA]));
+        assert!(!r.accepted);
+        assert!(r.reason.contains("no validator"));
+    }
+
+    #[test]
+    fn capacity_enforced_and_overwrite_accounted() {
+        let mut s = server();
+        assert!(s.try_store(&store("a", 0, vec![0; 60])).accepted);
+        assert_eq!(s.used(), 60);
+        let too_big = s.try_store(&store("b", 0, vec![0; 50]));
+        assert!(!too_big.accepted);
+        assert!(too_big.reason.contains("capacity"));
+        // Overwriting "a" with something smaller frees space.
+        assert!(s.try_store(&store("a", 0, vec![0; 10])).accepted);
+        assert_eq!(s.used(), 10);
+        assert!(s.try_store(&store("b", 0, vec![0; 50])).accepted);
+        assert_eq!(s.used(), 60);
+    }
+
+    #[test]
+    fn get_reads_back() {
+        let mut s = server();
+        s.try_store(&store("k", 0, vec![1, 2, 3]));
+        assert_eq!(s.get("k"), Some(&vec![1, 2, 3]));
+        assert!(s.get("missing").is_none());
+    }
+}

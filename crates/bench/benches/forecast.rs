@@ -53,7 +53,7 @@ fn bench_dynamic_benchmark(c: &mut Criterion) {
                 let mut t = SimTime::ZERO;
                 for i in 0..200u64 {
                     db.begin((1, 0x101), i, t);
-                    t = t + SimDuration::from_millis(100);
+                    t += SimDuration::from_millis(100);
                     db.end((1, 0x101), i, t);
                 }
                 db

@@ -26,28 +26,20 @@ fn store_with(n: usize) -> GossipStore {
 fn bench_reconciliation(c: &mut Criterion) {
     let mut group = c.benchmark_group("gossip_reconciliation");
     for n in [4usize, 16, 64, 256] {
-        group.bench_with_input(
-            BenchmarkId::new("pairwise_n2_prototype", n),
-            &n,
-            |b, &n| {
-                b.iter_batched(
-                    || store_with(n),
-                    |mut s| s.pairwise_reconcile(1),
-                    BatchSize::SmallInput,
-                )
-            },
-        );
-        group.bench_with_input(
-            BenchmarkId::new("optimized_linear_pass", n),
-            &n,
-            |b, &n| {
-                b.iter_batched(
-                    || store_with(n),
-                    |mut s| s.stale_components(1),
-                    BatchSize::SmallInput,
-                )
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("pairwise_n2_prototype", n), &n, |b, &n| {
+            b.iter_batched(
+                || store_with(n),
+                |mut s| s.pairwise_reconcile(1),
+                BatchSize::SmallInput,
+            )
+        });
+        group.bench_with_input(BenchmarkId::new("optimized_linear_pass", n), &n, |b, &n| {
+            b.iter_batched(
+                || store_with(n),
+                |mut s| s.stale_components(1),
+                BatchSize::SmallInput,
+            )
+        });
     }
     group.finish();
 }

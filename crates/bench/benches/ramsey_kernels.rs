@@ -99,7 +99,11 @@ fn bench_parallel_heuristic(c: &mut Criterion) {
         b.iter_batched(
             || {
                 let mut rng = Xoshiro256::seed_from_u64(11);
-                (SearchState::random(43, 5, &mut rng), ParallelSteepest::default(), rng)
+                (
+                    SearchState::random(43, 5, &mut rng),
+                    ParallelSteepest::default(),
+                    rng,
+                )
             },
             |(mut st, mut h, mut rng)| {
                 h.step(&mut st, &mut rng);

@@ -31,7 +31,10 @@ fn bench_migration_ablation(c: &mut Criterion) {
     // ablation is visible in bench logs, while timing the simulation.
     let mut g = c.benchmark_group("sc98_migration_ablation");
     g.sample_size(10);
-    for (name, forecasts) in [("forecast_migration", true), ("last_value_migration", false)] {
+    for (name, forecasts) in [
+        ("forecast_migration", true),
+        ("last_value_migration", false),
+    ] {
         g.bench_function(name, |b| {
             b.iter_batched(
                 || Sc98Config {

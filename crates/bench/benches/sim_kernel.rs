@@ -6,8 +6,8 @@
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
 
 use ew_sim::{
-    Ctx, Event, HostSpec, HostTable, NetModel, Process, ProcessId, Sim, SimDuration, SimTime,
-    SiteSpec,
+    CounterId, Ctx, Event, HostSpec, HostTable, NetModel, Process, ProcessId, SeriesId, Sim,
+    SimDuration, SimTime, SiteSpec,
 };
 
 struct Pinger {
@@ -44,7 +44,14 @@ fn ping_pong_world() -> Sim {
     let h0 = hosts.add(HostSpec::dedicated("a", site, 1e8));
     let h1 = hosts.add(HostSpec::dedicated("b", site, 1e8));
     let mut sim = Sim::new(net, hosts, 1);
-    let a = sim.spawn("a", h0, Box::new(Pinger { peer: None, count: 0 }));
+    let a = sim.spawn(
+        "a",
+        h0,
+        Box::new(Pinger {
+            peer: None,
+            count: 0,
+        }),
+    );
     sim.spawn(
         "b",
         h1,
@@ -64,6 +71,96 @@ fn bench_message_events(c: &mut Criterion) {
     g.bench_function("ping_pong_10k_events", |b| {
         b.iter_batched(
             ping_pong_world,
+            |mut sim| {
+                sim.run_until(SimTime::from_secs(100));
+                sim
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+/// A pinger that also exercises the telemetry hot path the way real
+/// components do: one counter bump and one series sample per message.
+struct MeteredPinger {
+    peer: Option<ProcessId>,
+    tele: Option<(CounterId, SeriesId)>,
+}
+
+impl Process for MeteredPinger {
+    fn on_event(&mut self, ctx: &mut Ctx<'_>, ev: Event) {
+        match ev {
+            Event::Started => {
+                self.tele = Some((ctx.counter("bench.pings"), ctx.series("bench.rtt")));
+                if let Some(p) = self.peer {
+                    ctx.send(p, 1, vec![0u8; 64]);
+                }
+            }
+            Event::Message { from, .. } => {
+                let (pings, rtt) = self.tele.expect("started");
+                ctx.inc(pings);
+                ctx.record(rtt, ctx.now().as_secs_f64());
+                ctx.send(from, 1, vec![0u8; 64]);
+            }
+            _ => {}
+        }
+    }
+}
+
+fn metered_world(traced: bool) -> Sim {
+    let mut net = NetModel::new(0.1);
+    let site = net.add_site(SiteSpec::simple(
+        "s",
+        SimDuration::from_millis(5),
+        1.25e7,
+        0.1,
+    ));
+    let mut hosts = HostTable::new();
+    let h0 = hosts.add(HostSpec::dedicated("a", site, 1e8));
+    let h1 = hosts.add(HostSpec::dedicated("b", site, 1e8));
+    let mut sim = Sim::new(net, hosts, 1);
+    if traced {
+        sim.enable_tracing(1 << 16);
+    }
+    let a = sim.spawn(
+        "a",
+        h0,
+        Box::new(MeteredPinger {
+            peer: None,
+            tele: None,
+        }),
+    );
+    sim.spawn(
+        "b",
+        h1,
+        Box::new(MeteredPinger {
+            peer: Some(a),
+            tele: None,
+        }),
+    );
+    sim
+}
+
+/// The acceptance check for the interned-handle redesign: recording
+/// through handles must cost ≈ nothing on top of dispatch, and enabling
+/// span tracing must stay within a few percent of the untraced run.
+fn bench_telemetry_overhead(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sim_kernel");
+    g.throughput(Throughput::Elements(10_000));
+    g.bench_function("metered_ping_pong_10k_events", |b| {
+        b.iter_batched(
+            || metered_world(false),
+            |mut sim| {
+                sim.run_until(SimTime::from_secs(100));
+                sim
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.bench_function("metered_ping_pong_10k_events_traced", |b| {
+        b.iter_batched(
+            || metered_world(true),
             |mut sim| {
                 sim.run_until(SimTime::from_secs(100));
                 sim
@@ -117,5 +214,10 @@ fn bench_compute_events(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_message_events, bench_compute_events);
+criterion_group!(
+    benches,
+    bench_message_events,
+    bench_telemetry_overhead,
+    bench_compute_events
+);
 criterion_main!(benches);

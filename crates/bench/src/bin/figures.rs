@@ -6,15 +6,16 @@
 //! ```
 //!
 //! Subcommands: `fig2`, `fig3a`, `fig3b`, `fig3c`, `java`, `timeout`,
-//! `condor`, `scaling`, `criteria`, `all`. `--short` runs a 2-hour window
-//! instead of the full 12 hours (for smoke tests). `--seed N` reseeds.
-//! Markdown goes to stdout; JSON artifacts go to `results/`.
+//! `condor`, `scaling`, `criteria`, `health`, `all`. `--short` runs a
+//! 2-hour window instead of the full 12 hours (for smoke tests).
+//! `--seed N` reseeds. `--trace PATH` turns on span tracing for the SC98
+//! run and writes the records to PATH as JSONL (the simulation itself is
+//! bit-identical with tracing on or off). Markdown goes to stdout; JSON
+//! artifacts go to `results/`.
 
 use std::collections::BTreeMap;
 
-use everyware::{
-    mean, run_sc98, Sc98Config, Sc98Report, JUDGING_END_S, JUDGING_START_S,
-};
+use everyware::{mean, run_sc98, Sc98Config, Sc98Report, JUDGING_END_S, JUDGING_START_S};
 use ew_bench::experiments::{condor_ablation, gossip_scaling, java_table, timeout_ablation};
 use ew_bench::{multi_series_table, series_json, series_table};
 use ew_sim::SimDuration;
@@ -22,7 +23,12 @@ use ew_sim::SimDuration;
 struct Options {
     seed: u64,
     short: bool,
+    trace: Option<String>,
 }
+
+/// Span-trace ring size for `--trace`: large enough to hold every record
+/// of a 12-hour run without eviction.
+const TRACE_CAPACITY: usize = 1 << 22;
 
 fn sc98_cfg(opts: &Options) -> Sc98Config {
     Sc98Config {
@@ -33,6 +39,7 @@ fn sc98_cfg(opts: &Options) -> Sc98Config {
             SimDuration::from_secs(everyware::WINDOW_S)
         },
         judging: !opts.short,
+        trace_capacity: opts.trace.as_ref().map(|_| TRACE_CAPACITY),
         ..Sc98Config::default()
     }
 }
@@ -64,9 +71,7 @@ fn fig2(rep: &Sc98Report) {
         rep.judging_min_rate
     );
     println!("| recovered rate | 2.0e9 | {:.3e} |", rep.final_rate);
-    println!(
-        "| judging window | 11:00–11:10 PST | t = {JUDGING_START_S}–{JUDGING_END_S} s |\n"
-    );
+    println!("| judging window | 11:00–11:10 PST | t = {JUDGING_START_S}–{JUDGING_END_S} s |\n");
     write_json(
         "fig2",
         &serde_json::json!({
@@ -268,9 +273,8 @@ fn criteria(rep: &Sc98Report) {
     println!("| criterion | paper's evidence | this reproduction |");
     println!("|---|---|---|");
     println!(
-        "| pervasive | Tera MTA → coffee-shop browser | {} infrastructures, {} spanning {:.0}x in speed |",
+        "| pervasive | Tera MTA → coffee-shop browser | {} infrastructures, unix…java spanning {:.0}x in speed |",
         rep.per_infra.len(),
-        "unix…java",
         rep.per_infra["unix"].iter().map(|p| p.value).fold(0.0, f64::max)
             / rep.per_infra["java"]
                 .iter()
@@ -307,30 +311,108 @@ fn criteria(rep: &Sc98Report) {
     write_json("criteria", &serde_json::json!(rep.counters));
 }
 
+fn fmt_opt(v: Option<f64>) -> String {
+    v.map(|x| format!("{x:.4e}")).unwrap_or_else(|| "—".into())
+}
+
+fn health(rep: &Sc98Report) {
+    println!("### Telemetry health — every metric, grouped by subsystem\n");
+    for sub in &rep.health {
+        println!("#### `{}`\n", sub.subsystem);
+        if !sub.counters.is_empty() || !sub.gauges.is_empty() {
+            println!("| metric | kind | value |");
+            println!("|---|---|---|");
+            for (name, v) in &sub.counters {
+                println!("| {name} | counter | {v:.0} |");
+            }
+            for (name, v) in &sub.gauges {
+                println!("| {name} | gauge | {v:.4e} |");
+            }
+            println!();
+        }
+        if !sub.histograms.is_empty() {
+            println!("| histogram | count | mean | p50 | p99 | max |");
+            println!("|---|---|---|---|---|---|");
+            for (name, h) in &sub.histograms {
+                println!(
+                    "| {name} | {} | {} | {} | {} | {} |",
+                    h.count,
+                    fmt_opt(h.mean),
+                    fmt_opt(h.p50),
+                    fmt_opt(h.p99),
+                    fmt_opt(h.max),
+                );
+            }
+            println!();
+        }
+    }
+    let j: Vec<serde_json::Value> = rep
+        .health
+        .iter()
+        .map(|s| {
+            serde_json::json!({
+                "subsystem": s.subsystem,
+                "counters": s.counters.iter()
+                    .map(|(n, v)| serde_json::json!({"name": n, "value": v}))
+                    .collect::<Vec<_>>(),
+                "gauges": s.gauges.iter()
+                    .map(|(n, v)| serde_json::json!({"name": n, "value": v}))
+                    .collect::<Vec<_>>(),
+                "histograms": s.histograms.iter()
+                    .map(|(n, h)| serde_json::json!({
+                        "name": n, "count": h.count, "sum": h.sum,
+                        "mean": h.mean, "p50": h.p50, "p99": h.p99,
+                        "min": h.min, "max": h.max,
+                    }))
+                    .collect::<Vec<_>>(),
+            })
+        })
+        .collect();
+    write_json("health", &serde_json::json!(j));
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut cmd = String::from("all");
     let mut opts = Options {
         seed: 1998,
         short: false,
+        trace: None,
     };
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
             "--short" => opts.short = true,
-            "--seed" => {
-                opts.seed = it
-                    .next()
-                    .and_then(|s| s.parse().ok())
-                    .expect("--seed needs a number");
-            }
+            "--seed" => match it.next().and_then(|s| s.parse().ok()) {
+                Some(seed) => opts.seed = seed,
+                None => {
+                    eprintln!("--seed needs a number");
+                    std::process::exit(2);
+                }
+            },
+            "--trace" => match it.next() {
+                Some(path) => opts.trace = Some(path.clone()),
+                None => {
+                    eprintln!("--trace needs a path");
+                    std::process::exit(2);
+                }
+            },
             other => cmd = other.to_string(),
         }
     }
 
     let needs_sc98 = matches!(
         cmd.as_str(),
-        "fig2" | "fig3a" | "fig3b" | "fig3c" | "fig4a" | "fig4b" | "fig4c" | "criteria" | "all"
+        "fig2"
+            | "fig3a"
+            | "fig3b"
+            | "fig3c"
+            | "fig4a"
+            | "fig4b"
+            | "fig4c"
+            | "criteria"
+            | "health"
+            | "all"
     );
     let rep = needs_sc98.then(|| {
         eprintln!(
@@ -340,6 +422,16 @@ fn main() {
         );
         run_sc98(&sc98_cfg(&opts))
     });
+
+    if let (Some(path), Some(rep)) = (&opts.trace, rep.as_ref()) {
+        match rep.trace_jsonl.as_ref() {
+            Some(jsonl) => match std::fs::write(path, jsonl) {
+                Ok(()) => eprintln!("wrote {} trace records to {path}", jsonl.lines().count()),
+                Err(e) => eprintln!("could not write {path}: {e}"),
+            },
+            None => eprintln!("--trace set but the run produced no trace"),
+        }
+    }
 
     match cmd.as_str() {
         "fig2" => fig2(rep.as_ref().unwrap()),
@@ -351,6 +443,7 @@ fn main() {
         "condor" => condor(&opts),
         "scaling" => scaling(),
         "criteria" => criteria(rep.as_ref().unwrap()),
+        "health" => health(rep.as_ref().unwrap()),
         "all" => {
             let rep = rep.as_ref().unwrap();
             fig2(rep);
@@ -358,6 +451,7 @@ fn main() {
             fig3b(rep);
             fig3c(rep);
             criteria(rep);
+            health(rep);
             java(&opts);
             timeout(&opts);
             condor(&opts);
@@ -366,7 +460,7 @@ fn main() {
         other => {
             eprintln!(
                 "unknown command {other:?}; expected one of fig2 fig3a fig3b fig3c \
-                 java timeout condor scaling criteria all"
+                 java timeout condor scaling criteria health all"
             );
             std::process::exit(2);
         }

@@ -3,9 +3,7 @@
 //! scaling measurement. Each returns plain data; the `figures` binary
 //! formats it.
 
-use ew_gossip::{
-    Comparator, GossipClient, GossipConfig, GossipServer, GossipStore, VersionedBlob,
-};
+use ew_gossip::{Comparator, GossipClient, GossipConfig, GossipServer, GossipStore, VersionedBlob};
 use ew_infra::java;
 use ew_proto::sim_net::packet_from_event;
 use ew_sim::{
@@ -264,7 +262,10 @@ mod tests {
     #[test]
     fn timeout_ablation_reproduces_the_claim() {
         let r = timeout_ablation(3, SimDuration::from_secs(400));
-        assert_eq!(r.static_arm.polls_ok, 0, "2s static vs 8s RTT never succeeds");
+        assert_eq!(
+            r.static_arm.polls_ok, 0,
+            "2s static vs 8s RTT never succeeds"
+        );
         assert!(r.static_arm.polls_timed_out > 5);
         assert!(r.dynamic_arm.polls_ok > 5);
         assert!(r.dynamic_arm.polls_timed_out <= 2);
@@ -292,9 +293,6 @@ mod tests {
         let (n3, c3) = rows[3];
         assert_eq!((n0, n3), (4, 32));
         // 8x the components → ~64x the comparisons (N² per §2.3).
-        assert!(
-            c3 > c0 * 32,
-            "expected quadratic growth: {rows:?}"
-        );
+        assert!(c3 > c0 * 32, "expected quadratic growth: {rows:?}");
     }
 }

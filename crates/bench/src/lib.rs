@@ -21,11 +21,7 @@ pub fn series_table(title: &str, unit: &str, series: &[BinnedPoint]) -> String {
 }
 
 /// Render several aligned series as one markdown table.
-pub fn multi_series_table(
-    title: &str,
-    unit: &str,
-    columns: &[(&str, &[BinnedPoint])],
-) -> String {
+pub fn multi_series_table(title: &str, unit: &str, columns: &[(&str, &[BinnedPoint])]) -> String {
     let mut out = format!("### {title} ({unit})\n\n| time (PST) |");
     for (name, _) in columns {
         out.push_str(&format!(" {name} |"));

@@ -1,0 +1,338 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Mirrors the harness API the workspace's benches use. Two modes,
+//! selected exactly the way real criterion does it:
+//!
+//! - `cargo bench` passes `--bench` to the target → **timed mode**: each
+//!   benchmark is warmed up once, then run `sample_size` times; mean,
+//!   best, and (when a [`Throughput`] is set) element/byte rates go to
+//!   stdout.
+//! - `cargo test` runs the target with no `--bench` flag → **test mode**:
+//!   each benchmark body executes once so the code stays covered, with no
+//!   timing loop.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How `iter_batched` amortizes setup cost. The stand-in runs one setup
+/// per iteration regardless; the variants exist for API compatibility.
+#[derive(Clone, Copy, Debug)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One setup per measured iteration.
+    PerIteration,
+}
+
+/// Units for reporting rates.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A benchmark identifier, optionally parameterized.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter`.
+    pub fn new(name: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{name}/{parameter}"),
+        }
+    }
+
+    /// Just the parameter (the group name supplies the rest).
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+/// The measurement handle passed to benchmark closures.
+pub struct Bencher {
+    timed: bool,
+    samples: usize,
+    /// Mean per-iteration time of the last `iter`/`iter_batched` call.
+    last_mean: Duration,
+    /// Best per-iteration time of the last call.
+    last_best: Duration,
+}
+
+impl Bencher {
+    /// Time `routine` (or run it once in test mode).
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        if !self.timed {
+            black_box(routine());
+            return;
+        }
+        black_box(routine()); // warm-up
+        let mut total = Duration::ZERO;
+        let mut best = Duration::MAX;
+        for _ in 0..self.samples {
+            let t0 = Instant::now();
+            black_box(routine());
+            let dt = t0.elapsed();
+            total += dt;
+            best = best.min(dt);
+        }
+        self.last_mean = total / self.samples as u32;
+        self.last_best = best;
+    }
+
+    /// Time `routine` over fresh inputs from `setup` (setup untimed).
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        if !self.timed {
+            black_box(routine(setup()));
+            return;
+        }
+        black_box(routine(setup())); // warm-up
+        let mut total = Duration::ZERO;
+        let mut best = Duration::MAX;
+        for _ in 0..self.samples {
+            let input = setup();
+            let t0 = Instant::now();
+            black_box(routine(input));
+            let dt = t0.elapsed();
+            total += dt;
+            best = best.min(dt);
+        }
+        self.last_mean = total / self.samples as u32;
+        self.last_best = best;
+    }
+
+    /// Same as [`Bencher::iter_batched`] but the routine borrows the input.
+    pub fn iter_batched_ref<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(&mut I) -> O,
+    {
+        self.iter_batched(move || setup(), move |mut i| routine(&mut i), _size);
+    }
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.3} µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.3} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.3} s", ns as f64 / 1e9)
+    }
+}
+
+fn report(name: &str, b: &Bencher, throughput: Option<Throughput>) {
+    if !b.timed {
+        println!("test {name} ... ok");
+        return;
+    }
+    let mut line = format!(
+        "{name:<48} mean {:>12}  best {:>12}",
+        fmt_duration(b.last_mean),
+        fmt_duration(b.last_best)
+    );
+    if let Some(tp) = throughput {
+        let secs = b.last_mean.as_secs_f64().max(1e-12);
+        match tp {
+            Throughput::Elements(n) => {
+                line.push_str(&format!("  {:>12.3e} elem/s", n as f64 / secs));
+            }
+            Throughput::Bytes(n) => {
+                line.push_str(&format!("  {:>12.3e} B/s", n as f64 / secs));
+            }
+        }
+    }
+    println!("{line}");
+}
+
+/// The benchmark harness.
+pub struct Criterion {
+    timed: bool,
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            timed: false,
+            sample_size: 20,
+        }
+    }
+}
+
+impl Criterion {
+    /// Build from process arguments (`--bench` selects timed mode, exactly
+    /// as cargo passes it; everything else is accepted and ignored).
+    pub fn from_args() -> Self {
+        let timed = std::env::args().any(|a| a == "--bench");
+        Criterion {
+            timed,
+            ..Criterion::default()
+        }
+    }
+
+    /// Honor `configure_from_args` calls from older bench code.
+    pub fn configure_from_args(self) -> Self {
+        let timed = self.timed || std::env::args().any(|a| a == "--bench");
+        Criterion { timed, ..self }
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            c: self,
+            name: name.to_string(),
+            throughput: None,
+            sample_size: None,
+        }
+    }
+
+    /// Run a single free-standing benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            timed: self.timed,
+            samples: self.sample_size,
+            last_mean: Duration::ZERO,
+            last_best: Duration::ZERO,
+        };
+        f(&mut b);
+        report(name, &b, None);
+        self
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and throughput setting.
+pub struct BenchmarkGroup<'a> {
+    c: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the throughput used for rate reporting.
+    pub fn throughput(&mut self, tp: Throughput) -> &mut Self {
+        self.throughput = Some(tp);
+        self
+    }
+
+    /// Override the number of timed samples for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n.max(1));
+        self
+    }
+
+    /// Run one benchmark in this group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut b = Bencher {
+            timed: self.c.timed,
+            samples: self.sample_size.unwrap_or(self.c.sample_size),
+            last_mean: Duration::ZERO,
+            last_best: Duration::ZERO,
+        };
+        f(&mut b);
+        report(&format!("{}/{}", self.name, id.id), &b, self.throughput);
+        self
+    }
+
+    /// Run one parameterized benchmark in this group.
+    pub fn bench_with_input<I, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// End the group (markers only; kept for API compatibility).
+    pub fn finish(&mut self) {}
+}
+
+/// Declare a group function running each target in order.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group(c: &mut $crate::Criterion) {
+            $( $target(c); )+
+        }
+    };
+}
+
+/// Declare the bench `main` running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::Criterion::from_args();
+            $( $group(&mut c); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn test_mode_runs_bodies_once() {
+        let mut c = Criterion::default();
+        let mut runs = 0u32;
+        {
+            let mut g = c.benchmark_group("g");
+            g.throughput(Throughput::Elements(1));
+            g.bench_function("one", |b| b.iter(|| runs += 1));
+            g.finish();
+        }
+        assert_eq!(runs, 1, "untimed mode runs the body exactly once");
+    }
+
+    #[test]
+    fn timed_mode_samples() {
+        let mut c = Criterion {
+            timed: true,
+            sample_size: 3,
+        };
+        let mut runs = 0u32;
+        c.bench_function("counted", |b| b.iter(|| runs += 1));
+        assert_eq!(runs, 4, "warm-up + 3 samples");
+    }
+}

@@ -1,0 +1,100 @@
+//! Offline stand-in for `crossbeam`, covering the `channel` subset this
+//! workspace uses, implemented over `std::sync::mpsc`.
+
+/// MPSC channels with timed receive, mirroring `crossbeam::channel`.
+pub mod channel {
+    use std::sync::mpsc;
+    use std::time::Duration;
+
+    /// Sending half (clonable).
+    pub struct Sender<T>(mpsc::Sender<T>);
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            Sender(self.0.clone())
+        }
+    }
+
+    /// Receiving half.
+    pub struct Receiver<T>(mpsc::Receiver<T>);
+
+    /// Error from [`Sender::send`]: the channel is disconnected.
+    #[derive(Debug)]
+    pub struct SendError<T>(pub T);
+
+    /// Error from [`Receiver::recv_timeout`].
+    #[derive(Clone, Copy, Debug, PartialEq, Eq)]
+    pub enum RecvTimeoutError {
+        /// Nothing arrived within the timeout.
+        Timeout,
+        /// All senders dropped.
+        Disconnected,
+    }
+
+    /// Error from [`Receiver::try_recv`].
+    #[derive(Clone, Copy, Debug, PartialEq, Eq)]
+    pub enum TryRecvError {
+        /// The channel is currently empty.
+        Empty,
+        /// All senders dropped.
+        Disconnected,
+    }
+
+    /// Create an unbounded channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::channel();
+        (Sender(tx), Receiver(rx))
+    }
+
+    impl<T> Sender<T> {
+        /// Send a value; fails only when every receiver is gone.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            self.0
+                .send(value)
+                .map_err(|mpsc::SendError(v)| SendError(v))
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Block until a value arrives or `timeout` elapses.
+        pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+            self.0.recv_timeout(timeout).map_err(|e| match e {
+                mpsc::RecvTimeoutError::Timeout => RecvTimeoutError::Timeout,
+                mpsc::RecvTimeoutError::Disconnected => RecvTimeoutError::Disconnected,
+            })
+        }
+
+        /// Non-blocking receive.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            self.0.try_recv().map_err(|e| match e {
+                mpsc::TryRecvError::Empty => TryRecvError::Empty,
+                mpsc::TryRecvError::Disconnected => TryRecvError::Disconnected,
+            })
+        }
+
+        /// Blocking receive.
+        pub fn recv(&self) -> Result<T, RecvTimeoutError> {
+            self.0.recv().map_err(|_| RecvTimeoutError::Disconnected)
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn round_trip_and_timeout() {
+            let (tx, rx) = unbounded();
+            tx.send(7u32).unwrap();
+            assert_eq!(rx.recv_timeout(Duration::from_millis(10)).unwrap(), 7);
+            assert_eq!(
+                rx.recv_timeout(Duration::from_millis(10)),
+                Err(RecvTimeoutError::Timeout)
+            );
+            let tx2 = tx.clone();
+            drop(tx);
+            drop(tx2);
+            assert_eq!(rx.try_recv(), Err(TryRecvError::Disconnected));
+        }
+    }
+}

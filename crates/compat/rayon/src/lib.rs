@@ -1,0 +1,111 @@
+//! Offline stand-in for `rayon`: slice `par_iter().map().reduce()` over
+//! `std::thread::scope`. Work is split into one contiguous chunk per
+//! available core; each thread folds its chunk, then the per-chunk results
+//! are combined in deterministic chunk order, so any associative reduction
+//! gives the same answer as rayon's.
+
+/// The parallel-iterator entry points, mirroring `rayon::prelude`.
+pub mod prelude {
+    pub use crate::IntoParallelRefIterator;
+}
+
+/// `.par_iter()` on slices and `Vec`s.
+pub trait IntoParallelRefIterator {
+    /// Element type of the underlying collection.
+    type Elem;
+    /// Start a parallel iteration over borrowed elements.
+    fn par_iter(&self) -> ParIter<'_, Self::Elem>;
+}
+
+impl<T: Sync> IntoParallelRefIterator for [T] {
+    type Elem = T;
+    fn par_iter(&self) -> ParIter<'_, T> {
+        ParIter { items: self }
+    }
+}
+
+impl<T: Sync> IntoParallelRefIterator for Vec<T> {
+    type Elem = T;
+    fn par_iter(&self) -> ParIter<'_, T> {
+        ParIter { items: self }
+    }
+}
+
+/// A borrowed parallel iterator over a slice.
+pub struct ParIter<'a, T> {
+    items: &'a [T],
+}
+
+impl<'a, T: Sync> ParIter<'a, T> {
+    /// Map each element through `f` (runs on worker threads).
+    pub fn map<F, R>(self, f: F) -> ParMap<'a, T, F>
+    where
+        F: Fn(&'a T) -> R + Sync,
+        R: Send,
+    {
+        ParMap {
+            items: self.items,
+            f,
+        }
+    }
+}
+
+/// The result of [`ParIter::map`]: a mapped parallel iterator.
+pub struct ParMap<'a, T, F> {
+    items: &'a [T],
+    f: F,
+}
+
+impl<'a, T: Sync, F> ParMap<'a, T, F> {
+    /// Fold every mapped element into one value. `identity` seeds each
+    /// chunk; `op` combines two partial results. Matches rayon's contract:
+    /// `op` must be associative and `identity()` its neutral element.
+    pub fn reduce<R, ID, OP>(self, identity: ID, op: OP) -> R
+    where
+        F: Fn(&'a T) -> R + Sync,
+        R: Send,
+        ID: Fn() -> R + Sync,
+        OP: Fn(R, R) -> R + Sync,
+    {
+        let n = self.items.len();
+        if n == 0 {
+            return identity();
+        }
+        let threads = std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1)
+            .min(n);
+        let chunk = n.div_ceil(threads);
+        let f = &self.f;
+        let op = &op;
+        let identity = &identity;
+        let partials: Vec<R> = std::thread::scope(|s| {
+            let handles: Vec<_> = self
+                .items
+                .chunks(chunk)
+                .map(|c| s.spawn(move || c.iter().map(f).fold(identity(), |a, x| op(a, x))))
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        partials.into_iter().fold(identity(), |a, x| op(a, x))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_reduce_matches_sequential() {
+        let xs: Vec<u64> = (0..10_000).collect();
+        let sum = xs.par_iter().map(|&x| x * 2).reduce(|| 0u64, |a, b| a + b);
+        assert_eq!(sum, 2 * (9_999 * 10_000 / 2));
+    }
+
+    #[test]
+    fn empty_input_yields_identity() {
+        let xs: Vec<u64> = vec![];
+        let sum = xs.par_iter().map(|&x| x).reduce(|| 42u64, |a, b| a + b);
+        assert_eq!(sum, 42);
+    }
+}

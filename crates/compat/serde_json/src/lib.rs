@@ -1,0 +1,387 @@
+//! Offline stand-in for `serde_json`.
+//!
+//! Implements the subset this workspace uses: the [`Value`] tree, the
+//! [`json!`] macro (object literals, nested objects, and arbitrary
+//! `Into<Value>` expressions), and [`to_string`] / [`to_string_pretty`].
+//! Object keys are kept in sorted order (`BTreeMap`), so serialization is
+//! deterministic.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A JSON value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any number (stored as `f64`; integers up to 2^53 round-trip).
+    Number(f64),
+    /// A string.
+    String(String),
+    /// An array.
+    Array(Vec<Value>),
+    /// An object with sorted keys.
+    Object(BTreeMap<String, Value>),
+}
+
+/// Error type for serialization (serialization here cannot fail, but the
+/// real crate returns `Result`, so callers `.unwrap()`).
+#[derive(Debug)]
+pub struct Error;
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "serde_json compat error")
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl Value {
+    /// The array contents, if this is an array.
+    pub fn as_array(&self) -> Option<&Vec<Value>> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// The string contents, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The numeric value, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// Whether this is `null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+}
+
+static NULL: Value = Value::Null;
+
+impl std::ops::Index<usize> for Value {
+    type Output = Value;
+    fn index(&self, i: usize) -> &Value {
+        match self {
+            Value::Array(a) => a.get(i).unwrap_or(&NULL),
+            _ => &NULL,
+        }
+    }
+}
+
+impl std::ops::Index<&str> for Value {
+    type Output = Value;
+    fn index(&self, key: &str) -> &Value {
+        match self {
+            Value::Object(m) => m.get(key).unwrap_or(&NULL),
+            _ => &NULL,
+        }
+    }
+}
+
+macro_rules! impl_from_num {
+    ($($t:ty),*) => {$(
+        impl From<$t> for Value {
+            fn from(v: $t) -> Value {
+                Value::Number(v as f64)
+            }
+        }
+        impl From<&$t> for Value {
+            fn from(v: &$t) -> Value {
+                Value::Number(*v as f64)
+            }
+        }
+        impl PartialEq<$t> for Value {
+            fn eq(&self, other: &$t) -> bool {
+                matches!(self, Value::Number(n) if *n == *other as f64)
+            }
+        }
+    )*};
+}
+impl_from_num!(f64, f32, i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Value {
+        Value::Bool(v)
+    }
+}
+
+impl From<&bool> for Value {
+    fn from(v: &bool) -> Value {
+        Value::Bool(*v)
+    }
+}
+
+/// Convert a borrowed value into a [`Value`] (cloning), so the [`json!`]
+/// macro never moves out of the expressions it is given.
+pub fn to_value<T: Into<Value> + Clone>(v: &T) -> Value {
+    v.clone().into()
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Value {
+        Value::String(v.to_string())
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Value {
+        Value::String(v)
+    }
+}
+
+impl From<&String> for Value {
+    fn from(v: &String) -> Value {
+        Value::String(v.clone())
+    }
+}
+
+impl<T: Into<Value>> From<Option<T>> for Value {
+    fn from(v: Option<T>) -> Value {
+        v.map(Into::into).unwrap_or(Value::Null)
+    }
+}
+
+impl<T: Into<Value>> From<Vec<T>> for Value {
+    fn from(v: Vec<T>) -> Value {
+        Value::Array(v.into_iter().map(Into::into).collect())
+    }
+}
+
+impl<T: Into<Value> + Clone> From<&[T]> for Value {
+    fn from(v: &[T]) -> Value {
+        Value::Array(v.iter().cloned().map(Into::into).collect())
+    }
+}
+
+impl<T: Into<Value>> From<BTreeMap<String, T>> for Value {
+    fn from(m: BTreeMap<String, T>) -> Value {
+        Value::Object(m.into_iter().map(|(k, v)| (k, v.into())).collect())
+    }
+}
+
+impl<T: Into<Value> + Clone> From<&BTreeMap<String, T>> for Value {
+    fn from(m: &BTreeMap<String, T>) -> Value {
+        Value::Object(
+            m.iter()
+                .map(|(k, v)| (k.clone(), v.clone().into()))
+                .collect(),
+        )
+    }
+}
+
+impl PartialEq<&str> for Value {
+    fn eq(&self, other: &&str) -> bool {
+        matches!(self, Value::String(s) if s == other)
+    }
+}
+
+impl PartialEq<bool> for Value {
+    fn eq(&self, other: &bool) -> bool {
+        matches!(self, Value::Bool(b) if b == other)
+    }
+}
+
+/// Format a number the way serde_json does: integers without a decimal
+/// point, everything else via Rust's shortest-round-trip float formatting.
+fn fmt_number(n: f64, out: &mut String) {
+    if n.is_finite() && n.fract() == 0.0 && n.abs() < 9.007_199_254_740_992e15 {
+        out.push_str(&format!("{}", n as i64));
+    } else if n.is_finite() {
+        out.push_str(&format!("{n}"));
+    } else {
+        out.push_str("null"); // JSON has no NaN/Inf
+    }
+}
+
+fn escape_str(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn write_value(v: &Value, out: &mut String, indent: Option<usize>) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Number(n) => fmt_number(*n, out),
+        Value::String(s) => escape_str(s, out),
+        Value::Array(a) => {
+            if a.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push('[');
+            for (i, item) in a.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                if let Some(level) = indent {
+                    out.push('\n');
+                    out.push_str(&"  ".repeat(level + 1));
+                }
+                write_value(item, out, indent.map(|l| l + 1));
+            }
+            if let Some(level) = indent {
+                out.push('\n');
+                out.push_str(&"  ".repeat(level));
+            }
+            out.push(']');
+        }
+        Value::Object(m) => {
+            if m.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push('{');
+            for (i, (k, val)) in m.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                if let Some(level) = indent {
+                    out.push('\n');
+                    out.push_str(&"  ".repeat(level + 1));
+                }
+                escape_str(k, out);
+                out.push(':');
+                if indent.is_some() {
+                    out.push(' ');
+                }
+                write_value(val, out, indent.map(|l| l + 1));
+            }
+            if let Some(level) = indent {
+                out.push('\n');
+                out.push_str(&"  ".repeat(level));
+            }
+            out.push('}');
+        }
+    }
+}
+
+/// Serialize compactly.
+pub fn to_string<T: Into<Value> + Clone>(v: &T) -> Result<String, Error> {
+    let value: Value = v.clone().into();
+    let mut out = String::new();
+    write_value(&value, &mut out, None);
+    Ok(out)
+}
+
+/// Serialize with 2-space indentation.
+pub fn to_string_pretty<T: Into<Value> + Clone>(v: &T) -> Result<String, Error> {
+    let value: Value = v.clone().into();
+    let mut out = String::new();
+    write_value(&value, &mut out, Some(0));
+    Ok(out)
+}
+
+impl From<&Value> for Value {
+    fn from(v: &Value) -> Value {
+        v.clone()
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut out = String::new();
+        write_value(self, &mut out, None);
+        f.write_str(&out)
+    }
+}
+
+/// Build an object body from `key: value` pairs; values may be nested
+/// `{...}` object literals or arbitrary `Into<Value>` expressions.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! json_object_body {
+    ($m:ident ()) => {};
+    ($m:ident ($key:literal : { $($inner:tt)* } , $($rest:tt)*)) => {
+        $m.insert($key.to_string(), $crate::json!({ $($inner)* }));
+        $crate::json_object_body!($m ($($rest)*));
+    };
+    ($m:ident ($key:literal : { $($inner:tt)* })) => {
+        $m.insert($key.to_string(), $crate::json!({ $($inner)* }));
+    };
+    ($m:ident ($key:literal : $value:expr , $($rest:tt)*)) => {
+        $m.insert($key.to_string(), $crate::to_value(&$value));
+        $crate::json_object_body!($m ($($rest)*));
+    };
+    ($m:ident ($key:literal : $value:expr)) => {
+        $m.insert($key.to_string(), $crate::to_value(&$value));
+    };
+}
+
+/// Construct a [`Value`] from a JSON-ish literal.
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    ({ $($body:tt)* }) => {{
+        #[allow(unused_mut)]
+        let mut m = ::std::collections::BTreeMap::new();
+        $crate::json_object_body!(m ($($body)*));
+        $crate::Value::Object(m)
+    }};
+    ([ $($elem:expr),* $(,)? ]) => {
+        $crate::Value::Array(vec![$($crate::to_value(&$elem)),*])
+    };
+    ($other:expr) => { $crate::to_value(&$other) };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn literals_and_nesting() {
+        let v = json!({
+            "a": 1,
+            "b": {"ok": 3.5, "txt": "hi"},
+            "c": vec![1.0, 2.0],
+        });
+        assert_eq!(v["a"], 1);
+        assert_eq!(v["b"]["txt"], "hi");
+        assert_eq!(v["c"][1], 2.0);
+        assert!(v["missing"].is_null());
+    }
+
+    #[test]
+    fn serialization_is_deterministic() {
+        let v = json!({"z": 1, "a": true, "m": {"k": "v\n"}});
+        let s = to_string(&v).unwrap();
+        assert_eq!(s, r#"{"a":true,"m":{"k":"v\n"},"z":1}"#);
+        let pretty = to_string_pretty(&v).unwrap();
+        assert!(pretty.contains("\n  \"a\": true"));
+    }
+
+    #[test]
+    fn numbers_render_like_serde_json() {
+        let mut out = String::new();
+        fmt_number(3.0, &mut out);
+        assert_eq!(out, "3");
+        out.clear();
+        fmt_number(3.25, &mut out);
+        assert_eq!(out, "3.25");
+    }
+}

@@ -13,7 +13,7 @@
 
 use ew_proto::sim_net::{packet_from_event, send_packet};
 use ew_proto::Packet;
-use ew_sim::{Ctx, Event, Process, ProcessId};
+use ew_sim::{CounterId, Ctx, Event, Process, ProcessId};
 
 /// What a module wants done with a request.
 pub enum ServiceReply {
@@ -53,6 +53,15 @@ pub struct ServiceHost<M: ServiceModule> {
     pub served: u64,
     /// Error replies sent.
     pub errors: u64,
+    tele: Option<HostTele>,
+}
+
+/// Interned metric handles, resolved once at `Started` from the module's
+/// name.
+#[derive(Clone, Copy)]
+struct HostTele {
+    requests: CounterId,
+    errors: CounterId,
 }
 
 impl<M: ServiceModule> ServiceHost<M> {
@@ -62,6 +71,7 @@ impl<M: ServiceModule> ServiceHost<M> {
             module,
             served: 0,
             errors: 0,
+            tele: None,
         }
     }
 }
@@ -69,15 +79,22 @@ impl<M: ServiceModule> ServiceHost<M> {
 impl<M: ServiceModule> Process for ServiceHost<M> {
     fn on_event(&mut self, ctx: &mut Ctx<'_>, ev: Event) {
         match &ev {
-            Event::Started => self.module.on_start(ctx),
+            Event::Started => {
+                let name = self.module.name();
+                self.tele = Some(HostTele {
+                    requests: ctx.counter(&format!("svc.{name}.requests")),
+                    errors: ctx.counter(&format!("svc.{name}.errors")),
+                });
+                self.module.on_start(ctx);
+            }
             Event::Timer { tag } => self.module.on_timer(ctx, *tag),
             Event::Message { .. } => {
                 let Some(Ok((from, pkt))) = packet_from_event(&ev) else {
                     return;
                 };
-                let name = self.module.name().to_string();
+                let tele = self.tele.expect("started");
                 if pkt.is_request() {
-                    ctx.metric_add(&format!("svc.{name}.requests"), 1.0);
+                    ctx.inc(tele.requests);
                     match self.module.on_request(ctx, from, pkt.mtype, &pkt.payload) {
                         ServiceReply::Reply(body) => {
                             self.served += 1;
@@ -85,7 +102,7 @@ impl<M: ServiceModule> Process for ServiceHost<M> {
                         }
                         ServiceReply::Error(diag) => {
                             self.errors += 1;
-                            ctx.metric_add(&format!("svc.{name}.errors"), 1.0);
+                            ctx.inc(tele.errors);
                             send_packet(ctx, from, &Packet::error_to(&pkt, &diag));
                         }
                         ServiceReply::Nothing => {}
@@ -168,7 +185,8 @@ mod tests {
                     send_packet(ctx, self.svc, &Packet::oneway(MT_NOTE, vec![]));
                     send_packet(ctx, self.svc, &Packet::request(MT_READ, 3, vec![]));
                     send_packet(ctx, self.svc, &Packet::request(0x7777, 4, vec![]));
-                    send_packet(ctx, self.svc, &Packet::request(MT_ADD, 5, vec![1])); // malformed
+                    send_packet(ctx, self.svc, &Packet::request(MT_ADD, 5, vec![1]));
+                    // malformed
                 }
                 _ => {
                     if let Some(Ok((_, pkt))) = packet_from_event(&ev) {
@@ -182,12 +200,7 @@ mod tests {
     #[test]
     fn framework_routes_requests_oneways_timers_and_errors() {
         let mut net = NetModel::new(0.0);
-        let site = net.add_site(SiteSpec::simple(
-            "s",
-            SimDuration::from_millis(1),
-            1e7,
-            0.0,
-        ));
+        let site = net.add_site(SiteSpec::simple("s", SimDuration::from_millis(1), 1e7, 0.0));
         let mut hosts = HostTable::new();
         let h = hosts.add(HostSpec::dedicated("h", site, 1e8));
         let mut sim = Sim::new(net, hosts, 4);
@@ -196,7 +209,14 @@ mod tests {
             h,
             Box::new(ServiceHost::new(Accumulator { value: 0, ticks: 0 })),
         );
-        let drv = sim.spawn("driver", h, Box::new(Driver { svc, replies: vec![] }));
+        let drv = sim.spawn(
+            "driver",
+            h,
+            Box::new(Driver {
+                svc,
+                replies: vec![],
+            }),
+        );
         sim.run_until(SimTime::from_secs(35));
         let replies = sim
             .with_process::<Driver, _>(drv, |d| d.replies.clone())

@@ -28,4 +28,4 @@ pub use framework::{ServiceHost, ServiceModule, ServiceReply};
 pub use live::{run_live, LiveConfig, LiveOutcome};
 pub use sc98::{run_sc98, Sc98Config, Sc98Report, JUDGING_END_S, JUDGING_START_S, WINDOW_S};
 pub use series::{bin_mean, bin_rate, coefficient_of_variation, mean, pst_label, BinnedPoint};
-pub use toolkit::{deploy_services, ramsey_validator, Deployment, DeployConfig};
+pub use toolkit::{ramsey_validator, DeployConfig, Deployment, DeploymentBuilder};

@@ -131,8 +131,8 @@ pub fn run_live(cfg: &LiveConfig) -> std::io::Result<LiveOutcome> {
         };
         match inc.packet.mtype {
             scm::GET_WORK => {
-                let granted = next_unit < cfg.units
-                    && !(cfg.stop_on_witness && !witnesses.is_empty());
+                let granted =
+                    next_unit < cfg.units && (!cfg.stop_on_witness || witnesses.is_empty());
                 let unit = WorkUnit {
                     id: next_unit,
                     problem: cfg.problem,

@@ -15,10 +15,10 @@ use ew_gossip::{GossipConfig, GossipServer};
 use ew_infra::{build_sc98, InfraSpec, InfraSupervisor, JudgingSpike, Relay};
 use ew_ramsey::RamseyProblem;
 use ew_sched::{ClientConfig, SchedulerConfig, SchedulerServer};
-use ew_sim::{Sim, SimDuration, SimTime};
+use ew_sim::{Sim, SimDuration, SimTime, SubsystemHealth};
 
 use crate::series::{bin_mean, bin_rate, coefficient_of_variation, BinnedPoint};
-use crate::toolkit::{deploy_services, DeployConfig};
+use crate::toolkit::{DeployConfig, Deployment};
 
 /// Seconds from the window origin (23:36:56 PST) to the 11:00:00 judging
 /// onset.
@@ -49,6 +49,10 @@ pub struct Sc98Config {
     /// Place a scheduler inside the Condor pool (§5.4 ablation: the
     /// configuration the paper found prohibitive).
     pub condor_scheduler_inside: bool,
+    /// `Some(n)`: collect span-trace records in a ring of `n` entries and
+    /// return them as JSONL in the report. `None` (the default) keeps
+    /// tracing off — the run is bit-identical either way.
+    pub trace_capacity: Option<usize>,
 }
 
 impl Default for Sc98Config {
@@ -62,6 +66,7 @@ impl Default for Sc98Config {
             static_timeouts: None,
             use_forecast_migration: true,
             condor_scheduler_inside: false,
+            trace_capacity: None,
         }
     }
 }
@@ -90,6 +95,10 @@ pub struct Sc98Report {
     pub cov_per_infra: BTreeMap<String, f64>,
     /// Selected raw counters (poll time-outs, failovers, migrations, …).
     pub counters: BTreeMap<String, f64>,
+    /// Every metric, grouped by subsystem (`figures -- health`).
+    pub health: Vec<SubsystemHealth>,
+    /// Span-trace JSONL, when [`Sc98Config::trace_capacity`] was set.
+    pub trace_jsonl: Option<String>,
 }
 
 /// Run the experiment.
@@ -103,6 +112,9 @@ pub fn run_sc98(cfg: &Sc98Config) -> Sc98Report {
     let infra_builds = pool.infra;
     let services = pool.services;
     let mut sim = Sim::new(pool.net, pool.hosts, cfg.seed);
+    if let Some(capacity) = cfg.trace_capacity {
+        sim.enable_tracing(capacity);
+    }
 
     let deploy_cfg = DeployConfig {
         gossip: GossipConfig {
@@ -117,7 +129,9 @@ pub fn run_sc98(cfg: &Sc98Config) -> Sc98Report {
         },
         ..DeployConfig::default()
     };
-    let dep = deploy_services(&mut sim, &services, &deploy_cfg);
+    let dep = Deployment::builder(deploy_cfg)
+        .service_hosts(&services)
+        .spawn(&mut sim);
     let sched_addrs = dep.scheduler_addrs();
 
     // The Network Weather Service (Figure 1's "NWS" box): a forecaster
@@ -133,8 +147,9 @@ pub fn run_sc98(cfg: &Sc98Config) -> Sc98Report {
             .collect();
         // Sensor pids are assigned sequentially after the server's.
         let first = nws_server.0 + 1;
-        let sensor_pids: Vec<u64> =
-            (0..sensor_hosts.len() as u32).map(|i| (first + i) as u64).collect();
+        let sensor_pids: Vec<u64> = (0..sensor_hosts.len() as u32)
+            .map(|i| (first + i) as u64)
+            .collect();
         for (i, &host) in sensor_hosts.iter().enumerate() {
             let peers: Vec<u64> = sensor_pids
                 .iter()
@@ -180,8 +195,11 @@ pub fn run_sc98(cfg: &Sc98Config) -> Sc98Report {
         // Legion and NetSolve traffic goes through their relay.
         let client_scheds: Vec<u64> = match (&build.relay, build.relay_host) {
             (Some(label), Some(host)) => {
-                let relay =
-                    sim.spawn(label, host, Box::new(Relay::new(label, sched_addrs.clone())));
+                let relay = sim.spawn(
+                    label,
+                    host,
+                    Box::new(Relay::new(label, sched_addrs.clone())),
+                );
                 vec![relay.0 as u64]
             }
             _ => {
@@ -235,14 +253,11 @@ pub fn run_sc98(cfg: &Sc98Config) -> Sc98Report {
     for name in &infra_names {
         let samples = sim.metrics().series(&format!("ops_series.{name}"));
         total_ops += samples.iter().map(|&(_, v)| v).sum::<f64>();
-        per_infra.insert(
-            name.clone(),
-            bin_rate(samples, start, end, cfg.bin),
-        );
+        per_infra.insert(name.clone(), bin_rate(&samples, start, end, cfg.bin));
         host_counts.insert(
             name.clone(),
             bin_mean(
-                sim.metrics().series(&format!("hosts.{name}")),
+                &sim.metrics().series(&format!("hosts.{name}")),
                 start,
                 end,
                 cfg.bin,
@@ -313,7 +328,12 @@ pub fn run_sc98(cfg: &Sc98Config) -> Sc98Report {
     let mut results = 0.0;
     for &s in &dep.schedulers {
         if let Some((a, u, sw, r)) = sim.with_process::<SchedulerServer, _>(s, |s| {
-            (s.issued_abandon, s.issued_unknown, s.issued_switch, s.results.len())
+            (
+                s.issued_abandon,
+                s.issued_unknown,
+                s.issued_switch,
+                s.results.len(),
+            )
         }) {
             abandons += a as f64;
             unknowns += u as f64;
@@ -326,16 +346,18 @@ pub fn run_sc98(cfg: &Sc98Config) -> Sc98Report {
     counters.insert("sched.heuristic_switches".into(), switches);
     counters.insert("sched.completed_units".into(), results);
     // Gossip pool health.
-    if let Some(members) = sim.with_process::<GossipServer, _>(dep.gossips[0], |g| {
-        g.clique_members().len() as f64
-    }) {
+    if let Some(members) =
+        sim.with_process::<GossipServer, _>(dep.gossips[0], |g| g.clique_members().len() as f64)
+    {
         counters.insert("gossip.final_clique_size".into(), members);
     }
     // NWS coverage.
-    if let Some(n) = sim.with_process::<NwsServer, _>(nws_server, |s| s.resource_count() as f64)
-    {
+    if let Some(n) = sim.with_process::<NwsServer, _>(nws_server, |s| s.resource_count() as f64) {
         counters.insert("nws.resources_tracked".into(), n);
     }
+
+    let health = sim.telemetry().health();
+    let trace_jsonl = cfg.trace_capacity.map(|_| sim.export_trace_jsonl());
 
     Sc98Report {
         cfg: cfg.clone(),
@@ -349,6 +371,8 @@ pub fn run_sc98(cfg: &Sc98Config) -> Sc98Report {
         cov_total,
         cov_per_infra,
         counters,
+        health,
+        trace_jsonl,
     }
 }
 

@@ -100,11 +100,7 @@ pub fn coefficient_of_variation(series: &[BinnedPoint]) -> f64 {
     if m.abs() < 1e-12 || series.is_empty() {
         return 0.0;
     }
-    let var = series
-        .iter()
-        .map(|p| (p.value - m).powi(2))
-        .sum::<f64>()
-        / series.len() as f64;
+    let var = series.iter().map(|p| (p.value - m).powi(2)).sum::<f64>() / series.len() as f64;
     var.sqrt() / m
 }
 
@@ -194,7 +190,10 @@ mod tests {
     #[test]
     fn cov_empty_and_zero_mean_are_zero() {
         assert_eq!(coefficient_of_variation(&[]), 0.0);
-        let zeros = vec![BinnedPoint { t: t(0), value: 0.0 }];
+        let zeros = vec![BinnedPoint {
+            t: t(0),
+            value: 0.0,
+        }];
         assert_eq!(coefficient_of_variation(&zeros), 0.0);
     }
 

@@ -10,7 +10,7 @@ use ew_gossip::{GossipConfig, GossipServer};
 use ew_infra::ServiceHosts;
 use ew_ramsey::{verify_counter_example, ColoredGraph, OpsCounter, Verification};
 use ew_sched::{SchedulerConfig, SchedulerServer};
-use ew_sim::{ProcessId, Sim};
+use ew_sim::{HostId, ProcessId, Sim};
 use ew_state::{LogServer, PersistentStateServer, Validator};
 
 /// Handles to a deployed service stack.
@@ -26,6 +26,28 @@ pub struct Deployment {
 }
 
 impl Deployment {
+    /// Start describing a deployment. Place each service with the builder
+    /// methods, then [`spawn`](DeploymentBuilder::spawn) it onto a
+    /// simulation:
+    ///
+    /// ```ignore
+    /// let dep = Deployment::builder(DeployConfig::default())
+    ///     .gossip_pool(&gossip_hosts)
+    ///     .schedulers(&sched_hosts)
+    ///     .state_manager(state_host)
+    ///     .log_server(log_host)
+    ///     .spawn(&mut sim);
+    /// ```
+    pub fn builder(cfg: DeployConfig) -> DeploymentBuilder {
+        DeploymentBuilder {
+            cfg,
+            gossip_hosts: Vec::new(),
+            scheduler_hosts: Vec::new(),
+            state_host: None,
+            log_host: None,
+        }
+    }
+
     /// Scheduler addresses in wire form (for client configs).
     pub fn scheduler_addrs(&self) -> Vec<u64> {
         self.schedulers.iter().map(|p| p.0 as u64).collect()
@@ -37,7 +59,7 @@ impl Deployment {
     }
 }
 
-/// Options for [`deploy_services`].
+/// Options for [`Deployment::builder`].
 pub struct DeployConfig {
     /// Gossip server configuration (shared by the pool).
     pub gossip: GossipConfig,
@@ -80,58 +102,116 @@ pub fn ramsey_validator() -> Validator {
     })
 }
 
-/// Deploy the full EveryWare service stack onto `sim` at the given hosts.
-/// The first Gossip is the well-known bootstrap address; every scheduler
-/// synchronizes its best-found state through its nearest Gossip.
-pub fn deploy_services(sim: &mut Sim, hosts: &ServiceHosts, cfg: &DeployConfig) -> Deployment {
-    assert!(!hosts.gossips.is_empty(), "need at least one gossip host");
-    let mut gossips = Vec::new();
-    // Bootstrap gossip first; the rest announce to it.
-    let g0 = sim.spawn(
-        "gossip-0",
-        hosts.gossips[0],
-        Box::new(GossipServer::new(cfg.gossip.clone(), vec![])),
-    );
-    gossips.push(g0);
-    for (i, &h) in hosts.gossips.iter().enumerate().skip(1) {
-        gossips.push(sim.spawn(
-            &format!("gossip-{i}"),
-            h,
-            Box::new(GossipServer::new(
-                cfg.gossip.clone(),
-                vec![g0.0 as u64],
-            )),
-        ));
+/// Fluent description of a service stack, built by [`Deployment::builder`].
+///
+/// The first Gossip host becomes the well-known bootstrap address; every
+/// scheduler synchronizes its best-found state through its nearest Gossip
+/// (round-robin over the pool) and forwards performance records to the
+/// logging server, exactly as Figure 1 lays the application out.
+pub struct DeploymentBuilder {
+    cfg: DeployConfig,
+    gossip_hosts: Vec<HostId>,
+    scheduler_hosts: Vec<HostId>,
+    state_host: Option<HostId>,
+    log_host: Option<HostId>,
+}
+
+impl DeploymentBuilder {
+    /// Place the Gossip pool on these hosts (first is the bootstrap).
+    pub fn gossip_pool(mut self, hosts: &[HostId]) -> Self {
+        self.gossip_hosts = hosts.to_vec();
+        self
     }
 
-    let mut pss = PersistentStateServer::new("sdsc-trusted", cfg.state_capacity);
-    pss.register_validator(1, ramsey_validator());
-    let state = sim.spawn("state", hosts.state, Box::new(pss));
-    let log = sim.spawn("log", hosts.log, Box::new(LogServer::new(cfg.log_capacity)));
-
-    let mut schedulers = Vec::new();
-    for (i, &h) in hosts.schedulers.iter().enumerate() {
-        let sched_cfg = SchedulerConfig {
-            seed_salt: cfg.sched.seed_salt + 1 + i as u64,
-            ..cfg.sched.clone()
-        };
-        let gossip_addr = gossips[i % gossips.len()].0 as u64;
-        schedulers.push(sim.spawn(
-            &format!("sched-{i}"),
-            h,
-            Box::new(
-                SchedulerServer::new(sched_cfg)
-                    .with_gossip(gossip_addr)
-                    .with_log_server(log.0 as u64),
-            ),
-        ));
+    /// Place one scheduling server on each of these hosts.
+    pub fn schedulers(mut self, hosts: &[HostId]) -> Self {
+        self.scheduler_hosts = hosts.to_vec();
+        self
     }
 
-    Deployment {
-        gossips,
-        schedulers,
-        state,
-        log,
+    /// Place the persistent state manager (the trusted site, §3.1.2).
+    pub fn state_manager(mut self, host: HostId) -> Self {
+        self.state_host = Some(host);
+        self
+    }
+
+    /// Place the logging server.
+    pub fn log_server(mut self, host: HostId) -> Self {
+        self.log_host = Some(host);
+        self
+    }
+
+    /// Place every service from a pre-built [`ServiceHosts`] layout (the
+    /// SC98 pool builders produce one). Individual placement methods may
+    /// still override parts afterwards.
+    pub fn service_hosts(self, hosts: &ServiceHosts) -> Self {
+        self.gossip_pool(&hosts.gossips)
+            .schedulers(&hosts.schedulers)
+            .state_manager(hosts.state)
+            .log_server(hosts.log)
+    }
+
+    /// Spawn the described stack onto `sim`.
+    ///
+    /// # Panics
+    ///
+    /// If no gossip host, no state host, or no log host was given.
+    pub fn spawn(self, sim: &mut Sim) -> Deployment {
+        assert!(
+            !self.gossip_hosts.is_empty(),
+            "need at least one gossip host"
+        );
+        let state_host = self.state_host.expect("state_manager host not set");
+        let log_host = self.log_host.expect("log_server host not set");
+        let cfg = &self.cfg;
+
+        let mut gossips = Vec::new();
+        // Bootstrap gossip first; the rest announce to it.
+        let g0 = sim.spawn(
+            "gossip-0",
+            self.gossip_hosts[0],
+            Box::new(GossipServer::new(cfg.gossip.clone(), vec![])),
+        );
+        gossips.push(g0);
+        for (i, &h) in self.gossip_hosts.iter().enumerate().skip(1) {
+            gossips.push(sim.spawn(
+                &format!("gossip-{i}"),
+                h,
+                Box::new(GossipServer::new(cfg.gossip.clone(), vec![g0.0 as u64])),
+            ));
+        }
+
+        let mut pss = PersistentStateServer::new("sdsc-trusted", cfg.state_capacity);
+        pss.register_validator(1, ramsey_validator());
+        let state = sim.spawn("state", state_host, Box::new(pss));
+        let log = sim.spawn("log", log_host, Box::new(LogServer::new(cfg.log_capacity)));
+
+        let mut schedulers = Vec::new();
+        for (i, &h) in self.scheduler_hosts.iter().enumerate() {
+            let sched_cfg = SchedulerConfig {
+                seed_salt: cfg.sched.seed_salt + 1 + i as u64,
+                ..cfg.sched.clone()
+            };
+            let gossip_addr = gossips[i % gossips.len()].0 as u64;
+            schedulers.push(
+                sim.spawn(
+                    &format!("sched-{i}"),
+                    h,
+                    Box::new(
+                        SchedulerServer::new(sched_cfg)
+                            .with_gossip(gossip_addr)
+                            .with_log_server(log.0 as u64),
+                    ),
+                ),
+            );
+        }
+
+        Deployment {
+            gossips,
+            schedulers,
+            state,
+            log,
+        }
     }
 }
 
@@ -167,7 +247,9 @@ mod tests {
         use ew_sim::{SimDuration, SimTime};
         let pool = ew_infra::build_sc98(7, SimDuration::from_secs(600), None);
         let mut sim = Sim::new(pool.net, pool.hosts, 7);
-        let dep = deploy_services(&mut sim, &pool.services, &DeployConfig::default());
+        let dep = Deployment::builder(DeployConfig::default())
+            .service_hosts(&pool.services)
+            .spawn(&mut sim);
         assert_eq!(dep.gossips.len(), 3);
         assert_eq!(dep.schedulers.len(), 3);
         assert_eq!(dep.scheduler_addrs().len(), 3);

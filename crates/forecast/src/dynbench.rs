@@ -147,9 +147,9 @@ mod tests {
         let mut now = SimTime::ZERO;
         for i in 0..30 {
             db.begin("step", i, now);
-            now = now + SimDuration::from_millis(200);
+            now += SimDuration::from_millis(200);
             db.end("step", i, now).unwrap();
-            now = now + SimDuration::from_millis(13);
+            now += SimDuration::from_millis(13);
         }
         let f = db.forecast(&"step").unwrap();
         assert!((f.value - 0.2).abs() < 1e-6, "got {}", f.value);

@@ -22,8 +22,8 @@ pub mod timeout;
 
 pub use dynbench::DynamicBenchmark;
 pub use methods::{
-    standard_battery, AdaptiveMean, ExpSmoothing, Forecaster, LastValue, RunningMean,
-    SlidingMean, SlidingMedian, TrimmedMean,
+    standard_battery, AdaptiveMean, ExpSmoothing, Forecaster, LastValue, RunningMean, SlidingMean,
+    SlidingMedian, TrimmedMean,
 };
 pub use selector::{ErrorMetric, Forecast, ForecasterSet};
 pub use sensor::{nm, NwsForecastReply, NwsQuery, NwsReport, NwsSensor, NwsServer, SensorConfig};

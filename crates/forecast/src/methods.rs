@@ -384,7 +384,10 @@ mod tests {
     #[test]
     fn trimmed_mean_drops_extremes() {
         let mut f = TrimmedMean::new(10, 0.2);
-        feed(&mut f, &[0.0, 5.0, 5.0, 5.0, 5.0, 5.0, 5.0, 5.0, 5.0, 1000.0]);
+        feed(
+            &mut f,
+            &[0.0, 5.0, 5.0, 5.0, 5.0, 5.0, 5.0, 5.0, 5.0, 1000.0],
+        );
         // Trim 2 off each end: mean of eight 5.0s.
         assert_eq!(f.predict(), Some(5.0));
     }
@@ -410,7 +413,10 @@ mod tests {
         // within a few samples instead of averaging over 50 stale ones.
         feed(&mut f, &[100.0, 100.0, 100.0, 100.0]);
         let p = f.predict().unwrap();
-        assert!(p > 70.0, "adaptive should have mostly snapped to 100, got {p}");
+        assert!(
+            p > 70.0,
+            "adaptive should have mostly snapped to 100, got {p}"
+        );
 
         let mut rigid = SlidingMean::new(50);
         feed(&mut rigid, &[10.0; 50]);

@@ -175,10 +175,8 @@ mod tests {
         // Noisy level series: median/mean methods should beat last-value.
         let mut rng = Xoshiro256::seed_from_u64(3);
         let mut s = ForecasterSet::standard();
-        let mut last_only = ForecasterSet::new(
-            vec![Box::new(LastValue::default())],
-            ErrorMetric::Mae,
-        );
+        let mut last_only =
+            ForecasterSet::new(vec![Box::new(LastValue::default())], ErrorMetric::Mae);
         let mut sel_err = 0.0;
         let mut last_err = 0.0;
         let mut count = 0;
@@ -238,7 +236,7 @@ mod tests {
         let series: Vec<f64> = {
             let mut v = vec![10.0; 60];
             v.push(500.0); // one spike: last-value busts once on the spike
-            v.extend(std::iter::repeat(10.0).take(60)); // ...and once after
+            v.extend(std::iter::repeat_n(10.0, 60)); // ...and once after
             v
         };
         let mut mae_set = mk(ErrorMetric::Mae);

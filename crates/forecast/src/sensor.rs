@@ -15,7 +15,7 @@
 use ew_proto::sim_net::{packet_from_event, send_packet};
 use ew_proto::wire_struct;
 use ew_proto::{mtype, EventTag, Packet, RpcTracker, WireEncode};
-use ew_sim::{Ctx, Event, Process, ProcessId, SimDuration, SimTime};
+use ew_sim::{CounterId, Ctx, Event, Process, ProcessId, SeriesId, SimDuration, SimTime, SpanId};
 
 use crate::dynbench::DynamicBenchmark;
 use crate::timeout::ForecastTimeout;
@@ -100,12 +100,46 @@ const TIMER_PROBE: u64 = 1;
 const TIMER_TICK: u64 = 2;
 const CPU_PROBE_TAG: u64 = 0xC0;
 
+/// Telemetry handles interned by a sensor on `Event::Started`. The
+/// per-peer RTT series are known up front (the peer list is fixed at
+/// configuration time), so even the dynamically-named `nws.rtt.<me>.<peer>`
+/// series record through indices.
+struct SensorTele {
+    probes_lost: CounterId,
+    probes_ok: CounterId,
+    timeout_span: SpanId,
+    rtt_series: Vec<(u64, SeriesId)>,
+}
+
+impl SensorTele {
+    fn intern(ctx: &mut Ctx<'_>, peers: &[u64]) -> Self {
+        let me = ctx.me().0;
+        SensorTele {
+            probes_lost: ctx.counter("nws.probes_lost"),
+            probes_ok: ctx.counter("nws.probes_ok"),
+            timeout_span: ctx.span("proto.timeout"),
+            rtt_series: peers
+                .iter()
+                .map(|&peer| (peer, ctx.series(&format!("nws.rtt.{me}.{peer}"))))
+                .collect(),
+        }
+    }
+
+    fn rtt_series_for(&self, peer: u64) -> Option<SeriesId> {
+        self.rtt_series
+            .iter()
+            .find(|&&(p, _)| p == peer)
+            .map(|&(_, id)| id)
+    }
+}
+
 /// The per-host NWS sensor process.
 pub struct NwsSensor {
     cfg: SensorConfig,
     rpc: RpcTracker<u64>, // context = peer addr
     policy: ForecastTimeout,
     cpu_probe_started: Option<SimTime>,
+    tele: Option<SensorTele>,
     /// Network probes answered.
     pub probes_ok: u64,
     /// Network probes timed out.
@@ -120,6 +154,7 @@ impl NwsSensor {
             rpc: RpcTracker::new(),
             policy: ForecastTimeout::wan_default(),
             cpu_probe_started: None,
+            tele: None,
             probes_ok: 0,
             probes_lost: 0,
         }
@@ -161,18 +196,20 @@ impl Process for NwsSensor {
     fn on_event(&mut self, ctx: &mut Ctx<'_>, ev: Event) {
         match &ev {
             Event::Started => {
+                self.tele = Some(SensorTele::intern(ctx, &self.cfg.peers));
                 // Spread sensors out within the first interval.
-                let jitter =
-                    SimDuration::from_millis(ctx.rng().next_below(5_000));
+                let jitter = SimDuration::from_millis(ctx.rng().next_below(5_000));
                 ctx.set_timer(jitter, TIMER_PROBE);
                 ctx.set_timer(SimDuration::from_secs(2), TIMER_TICK);
             }
             Event::Timer { tag } => match *tag {
                 TIMER_PROBE => self.probe_round(ctx),
                 TIMER_TICK => {
-                    for pending in self.rpc.expire(ctx.now(), &mut self.policy) {
+                    let tele = self.tele.as_ref().expect("started");
+                    let (probes_lost, timeout_span) = (tele.probes_lost, tele.timeout_span);
+                    for pending in self.rpc.expire_traced(ctx, timeout_span, &mut self.policy) {
                         self.probes_lost += 1;
-                        ctx.metric_add("nws.probes_lost", 1.0);
+                        ctx.inc(probes_lost);
                         let _ = pending;
                     }
                     ctx.set_timer(SimDuration::from_secs(2), TIMER_TICK);
@@ -201,13 +238,15 @@ impl Process for NwsSensor {
                             self.rpc.complete(pkt.corr_id, ctx.now(), &mut self.policy)
                         {
                             self.probes_ok += 1;
-                            ctx.metric_add("nws.probes_ok", 1.0);
+                            let tele = self.tele.as_ref().expect("started");
                             let me = ctx.me().0;
                             let peer = pending.context;
-                            let name = format!("rtt.{me}.{peer}");
                             let secs = rtt.as_secs_f64();
-                            ctx.metric_record(&format!("nws.{name}"), secs);
-                            self.report(ctx, name, secs);
+                            ctx.inc(tele.probes_ok);
+                            if let Some(series) = tele.rtt_series_for(peer) {
+                                ctx.record(series, secs);
+                            }
+                            self.report(ctx, format!("rtt.{me}.{peer}"), secs);
                         }
                     }
                 }
@@ -220,6 +259,7 @@ impl Process for NwsSensor {
 /// The NWS memory + forecaster service process.
 pub struct NwsServer {
     streams: DynamicBenchmark<String>,
+    reports_id: Option<CounterId>,
     /// Reports absorbed.
     pub reports: u64,
     /// Queries answered.
@@ -237,6 +277,7 @@ impl NwsServer {
     pub fn new() -> Self {
         NwsServer {
             streams: DynamicBenchmark::new(),
+            reports_id: None,
             reports: 0,
             queries: 0,
         }
@@ -263,7 +304,17 @@ impl Process for NwsServer {
                 if let Ok(rep) = pkt.body::<NwsReport>() {
                     self.streams.observe(rep.resource, rep.value);
                     self.reports += 1;
-                    ctx.metric_add("nws.reports", 1.0);
+                    // The server gets no Started event before the first
+                    // report can arrive, so intern on first use.
+                    let id = match self.reports_id {
+                        Some(id) => id,
+                        None => {
+                            let id = ctx.counter("nws.reports");
+                            self.reports_id = Some(id);
+                            id
+                        }
+                    };
+                    ctx.inc(id);
                 }
             }
             (nm::QUERY, true) => {
@@ -292,9 +343,7 @@ impl Process for NwsServer {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ew_sim::{
-        HostSpec, HostTable, NetModel, Sim, SiteSpec, SpikeLoad,
-    };
+    use ew_sim::{HostSpec, HostTable, NetModel, Sim, SiteSpec, SpikeLoad};
 
     fn world() -> (Sim, Vec<ProcessId>, ProcessId) {
         let mut net = NetModel::new(0.05);
@@ -423,7 +472,6 @@ mod tests {
 
     #[test]
     fn query_interface_answers_components() {
-        use ew_sim::Process as _;
         struct Querier {
             server: ProcessId,
             resource: String,

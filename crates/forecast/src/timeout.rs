@@ -126,7 +126,10 @@ mod tests {
             ft.observe_rtt(tag(2), SimDuration::from_secs(8));
         }
         let t = ft.timeout_for(tag(2));
-        assert!((t.as_secs_f64() - 32.0).abs() < 1.0, "8s*4 ≈ 32s, got {t:?}");
+        assert!(
+            (t.as_secs_f64() - 32.0).abs() < 1.0,
+            "8s*4 ≈ 32s, got {t:?}"
+        );
     }
 
     #[test]

@@ -52,7 +52,11 @@ impl GossipClient {
                 })
                 .collect(),
         };
-        send_packet(ctx, gossip, &Packet::request(gm::REGISTER, 0, body.to_wire()));
+        send_packet(
+            ctx,
+            gossip,
+            &Packet::request(gm::REGISTER, 0, body.to_wire()),
+        );
     }
 
     /// Whether the registration ack has arrived.
@@ -189,9 +193,7 @@ mod tests {
         }
     }
 
-    fn world(
-        n_sites: usize,
-    ) -> (NetModel, HostTable, Vec<HostId>) {
+    fn world(n_sites: usize) -> (NetModel, HostTable, Vec<HostId>) {
         let mut net = NetModel::new(0.1);
         let mut hosts = HostTable::new();
         let mut hids = Vec::new();
@@ -216,7 +218,11 @@ mod tests {
             hids[0],
             Box::new(GossipServer::new(GossipConfig::default(), vec![])),
         );
-        let writer = sim.spawn("writer", hids[1], Box::new(Component::new(g, Some(SimDuration::from_secs(20)))));
+        let writer = sim.spawn(
+            "writer",
+            hids[1],
+            Box::new(Component::new(g, Some(SimDuration::from_secs(20)))),
+        );
         let reader = sim.spawn("reader", hids[2], Box::new(Component::new(g, None)));
         sim.run_until(SimTime::from_secs(120));
         // The reader must have received the writer's state via poll + push.
@@ -228,7 +234,9 @@ mod tests {
             "reader should have been pushed fresh state"
         );
         let writer_byte = writer.0 as u8;
-        assert!(received.iter().all(|(s, b)| *s == STYPE && b.data == vec![writer_byte]));
+        assert!(received
+            .iter()
+            .all(|(s, b)| *s == STYPE && b.data == vec![writer_byte]));
         // Versions arrive in increasing order.
         let versions: Vec<u64> = received.iter().map(|(_, b)| b.version).collect();
         let mut sorted = versions.clone();
@@ -422,6 +430,9 @@ mod tests {
             dyn_ok > 10,
             "dynamic timeouts must adapt and succeed: ok={dyn_ok} to={dyn_to}"
         );
-        assert!(dyn_to <= 2, "at most the first pre-history polls may expire");
+        assert!(
+            dyn_to <= 2,
+            "at most the first pre-history polls may expire"
+        );
     }
 }

@@ -565,10 +565,12 @@ mod tests {
         let reply = c1.on_merge_probe(&c2.make_probe(), t(70));
         let (_, merged_tok) = c2.absorb_merge_response(&reply, t(71)).unwrap();
         assert_eq!(c2.members(), &[1, 2, 3]);
-        assert!(c1.on_token(&merged_tok, t(72)) || {
-            // Token first goes to the successor; deliver to 1 as well.
-            c1.on_token(&merged_tok, t(72))
-        });
+        assert!(
+            c1.on_token(&merged_tok, t(72)) || {
+                // Token first goes to the successor; deliver to 1 as well.
+                c1.on_token(&merged_tok, t(72))
+            }
+        );
         assert_eq!(c1.members(), &[1, 2, 3]);
         assert_eq!(c1.leader(), 2);
         c3.on_token(&merged_tok, t(73));

@@ -59,9 +59,7 @@ impl Comparator {
         // matters to writers, not to this comparison. Ties compare data
         // lexicographically so reconciliation is deterministic and
         // convergent even when two writers pick the same version.
-        a.version
-            .cmp(&b.version)
-            .then_with(|| a.data.cmp(&b.data))
+        a.version.cmp(&b.version).then_with(|| a.data.cmp(&b.data))
     }
 
     /// Wire id for the comparator (registration messages carry it).
@@ -96,8 +94,14 @@ mod tests {
     fn version_counter_orders_by_version() {
         let old = VersionedBlob::new(1, vec![9]);
         let new = VersionedBlob::new(2, vec![0]);
-        assert_eq!(Comparator::VersionCounter.compare(&new, &old), Ordering::Greater);
-        assert_eq!(Comparator::VersionCounter.compare(&old, &new), Ordering::Less);
+        assert_eq!(
+            Comparator::VersionCounter.compare(&new, &old),
+            Ordering::Greater
+        );
+        assert_eq!(
+            Comparator::VersionCounter.compare(&old, &new),
+            Ordering::Less
+        );
     }
 
     #[test]
@@ -105,8 +109,14 @@ mod tests {
         let a = VersionedBlob::new(5, vec![1]);
         let b = VersionedBlob::new(5, vec![2]);
         assert_eq!(Comparator::VersionCounter.compare(&a, &b), Ordering::Less);
-        assert_eq!(Comparator::VersionCounter.compare(&b, &a), Ordering::Greater);
-        assert_eq!(Comparator::VersionCounter.compare(&a, &a.clone()), Ordering::Equal);
+        assert_eq!(
+            Comparator::VersionCounter.compare(&b, &a),
+            Ordering::Greater
+        );
+        assert_eq!(
+            Comparator::VersionCounter.compare(&a, &a.clone()),
+            Ordering::Equal
+        );
     }
 
     #[test]
@@ -121,6 +131,9 @@ mod tests {
     fn empty_blob_is_least_fresh() {
         let e = VersionedBlob::empty();
         let any = VersionedBlob::new(1, vec![]);
-        assert_eq!(Comparator::VersionCounter.compare(&any, &e), Ordering::Greater);
+        assert_eq!(
+            Comparator::VersionCounter.compare(&any, &e),
+            Ordering::Greater
+        );
     }
 }

@@ -1,7 +1,7 @@
 //! Gossip and clique wire messages.
 
-use ew_proto::wire_struct;
 use ew_proto::mtype;
+use ew_proto::wire_struct;
 #[cfg(test)]
 use ew_proto::{WireDecode, WireEncode};
 

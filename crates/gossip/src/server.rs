@@ -17,10 +17,12 @@
 use ew_forecast::ForecastTimeout;
 use ew_proto::sim_net::{packet_from_event, send_packet};
 use ew_proto::{EventTag, Packet, RpcTracker, StaticTimeout, TimeoutPolicy};
-use ew_sim::{Ctx, Event, Process, ProcessId, SimDuration};
+use ew_sim::{CounterId, Ctx, Event, HistogramId, Process, ProcessId, SimDuration, SpanId};
 
 use crate::clique::{CliqueConfig, CliqueState};
-use crate::messages::{gm, Announce, Election, MergeProbe, Poll, Register, StateCarrier, SyncBody, Token};
+use crate::messages::{
+    gm, Announce, Election, MergeProbe, Poll, Register, StateCarrier, SyncBody, Token,
+};
 use crate::store::{responsible_gossip, GossipStore};
 use ew_proto::WireEncode;
 
@@ -62,6 +64,44 @@ enum RpcKind {
     Poll { addr: u64, stype: u16 },
 }
 
+/// Telemetry handles, interned once on `Event::Started`.
+#[derive(Clone, Copy)]
+struct GossipTele {
+    polls_sent: CounterId,
+    syncs_sent: CounterId,
+    pushes: CounterId,
+    poll_timeouts: CounterId,
+    polls_ok: CounterId,
+    elections: CounterId,
+    elections_closed: CounterId,
+    probes: CounterId,
+    merges: CounterId,
+    poll_rtt_us: HistogramId,
+    reconcile_span: SpanId,
+    token_span: SpanId,
+    timeout_span: SpanId,
+}
+
+impl GossipTele {
+    fn intern(ctx: &mut Ctx<'_>) -> Self {
+        GossipTele {
+            polls_sent: ctx.counter("gossip.polls_sent"),
+            syncs_sent: ctx.counter("gossip.syncs_sent"),
+            pushes: ctx.counter("gossip.pushes"),
+            poll_timeouts: ctx.counter("gossip.poll_timeouts"),
+            polls_ok: ctx.counter("gossip.polls_ok"),
+            elections: ctx.counter("clique.elections"),
+            elections_closed: ctx.counter("clique.elections_closed"),
+            probes: ctx.counter("clique.probes"),
+            merges: ctx.counter("clique.merges"),
+            poll_rtt_us: ctx.histogram("gossip.poll_rtt_us"),
+            reconcile_span: ctx.span("gossip.reconcile"),
+            token_span: ctx.span("clique.token"),
+            timeout_span: ctx.span("proto.timeout"),
+        }
+    }
+}
+
 /// One member of the Gossip pool, as a simulator process.
 pub struct GossipServer {
     cfg: GossipConfig,
@@ -71,6 +111,7 @@ pub struct GossipServer {
     rpc: RpcTracker<RpcKind>,
     policy: Box<dyn TimeoutPolicy + Send>,
     hold_pending: bool,
+    tele: Option<GossipTele>,
     /// Successful poll round-trips (exposed for tests/experiments).
     pub polls_ok: u64,
     /// Poll time-outs (the "misjudged availability" count of §2.2).
@@ -95,6 +136,7 @@ impl GossipServer {
             rpc: RpcTracker::new(),
             policy,
             hold_pending: false,
+            tele: None,
             polls_ok: 0,
             polls_timed_out: 0,
             pushes: 0,
@@ -128,6 +170,7 @@ impl GossipServer {
     }
 
     fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        self.tele = Some(GossipTele::intern(ctx));
         let me = Self::me_addr(ctx);
         self.clique = Some(CliqueState::new(
             me,
@@ -157,6 +200,7 @@ impl GossipServer {
     }
 
     fn poll_round(&mut self, ctx: &mut Ctx<'_>) {
+        let tele = self.tele.expect("started");
         let me = Self::me_addr(ctx);
         let members = self.clique.as_ref().expect("started").members().to_vec();
         for comp in self.store.components() {
@@ -180,13 +224,14 @@ impl GossipServer {
                     Self::pid(comp),
                     &Packet::request(gm::POLL, corr, body.to_wire()),
                 );
-                ctx.metric_add("gossip.polls_sent", 1.0);
+                ctx.inc(tele.polls_sent);
             }
         }
         ctx.set_timer(self.cfg.poll_interval, TIMER_POLL);
     }
 
     fn sync_round(&mut self, ctx: &mut Ctx<'_>) {
+        let tele = self.tele.expect("started");
         let me = Self::me_addr(ctx);
         let body = SyncBody {
             from_addr: me,
@@ -202,13 +247,14 @@ impl GossipServer {
                     Self::pid(peer),
                     &Packet::oneway(gm::SYNC, body.to_wire()),
                 );
-                ctx.metric_add("gossip.syncs_sent", 1.0);
+                ctx.inc(tele.syncs_sent);
             }
         }
         ctx.set_timer(self.cfg.sync_interval, TIMER_SYNC);
     }
 
     fn push_stale(&mut self, ctx: &mut Ctx<'_>, stype: u16) {
+        let tele = self.tele.expect("started");
         let me = Self::me_addr(ctx);
         let members = self.clique.as_ref().expect("started").members().to_vec();
         for (addr, blob) in self.store.stale_components(stype) {
@@ -228,18 +274,22 @@ impl GossipServer {
             );
             self.store.note_pushed(addr, stype, blob);
             self.pushes += 1;
-            ctx.metric_add("gossip.pushes", 1.0);
+            ctx.inc(tele.pushes);
         }
     }
 
     fn tick(&mut self, ctx: &mut Ctx<'_>) {
+        let tele = self.tele.expect("started");
         let now = ctx.now();
         // RPC expiry: the §2.2 "misjudged the availability" counter.
-        for pending in self.rpc.expire(now, self.policy.as_mut()) {
+        for pending in self
+            .rpc
+            .expire_traced(ctx, tele.timeout_span, self.policy.as_mut())
+        {
             match pending.context {
                 RpcKind::Poll { .. } => {
                     self.polls_timed_out += 1;
-                    ctx.metric_add("gossip.poll_timeouts", 1.0);
+                    ctx.inc(tele.poll_timeouts);
                 }
             }
         }
@@ -247,7 +297,7 @@ impl GossipServer {
         let clique = self.clique.as_mut().expect("started");
         if clique.token_lost(now) {
             let (call, targets) = clique.start_election(now);
-            ctx.metric_add("clique.elections", 1.0);
+            ctx.inc(tele.elections);
             for target in targets {
                 send_packet(
                     ctx,
@@ -257,9 +307,15 @@ impl GossipServer {
             }
         } else if clique.election_deadline().is_some_and(|d| d <= now) {
             if let Some((to, tok)) = clique.finish_election(now) {
-                send_packet(ctx, Self::pid(to), &Packet::oneway(gm::TOKEN, tok.to_wire()));
+                ctx.span_enter(tele.token_span, to);
+                send_packet(
+                    ctx,
+                    Self::pid(to),
+                    &Packet::oneway(gm::TOKEN, tok.to_wire()),
+                );
+                ctx.span_exit(tele.token_span, to);
             }
-            ctx.metric_add("clique.elections_closed", 1.0);
+            ctx.inc(tele.elections_closed);
         }
         if let Some(target) = clique.probe_target(now) {
             let probe = clique.make_probe();
@@ -268,12 +324,13 @@ impl GossipServer {
                 Self::pid(target),
                 &Packet::request(gm::MERGE_PROBE, 0, probe.to_wire()),
             );
-            ctx.metric_add("clique.probes", 1.0);
+            ctx.inc(tele.probes);
         }
         ctx.set_timer(self.cfg.tick_interval, TIMER_TICK);
     }
 
     fn handle_packet(&mut self, ctx: &mut Ctx<'_>, from: ProcessId, pkt: Packet) {
+        let tele = self.tele.expect("started");
         let now = ctx.now();
         match (pkt.mtype, pkt.is_response()) {
             (gm::REGISTER, false) => {
@@ -283,21 +340,23 @@ impl GossipServer {
                 }
             }
             (gm::POLL, true) => {
-                if let Some((pending, _rtt)) =
+                if let Some((pending, rtt)) =
                     self.rpc.complete(pkt.corr_id, now, self.policy.as_mut())
                 {
                     let RpcKind::Poll { addr, stype } = pending.context;
                     if let Ok(carrier) = pkt.body::<StateCarrier>() {
                         self.polls_ok += 1;
-                        ctx.metric_add("gossip.polls_ok", 1.0);
-                        self.store
-                            .record_component_state(addr, stype, carrier.blob);
+                        ctx.inc(tele.polls_ok);
+                        ctx.observe(tele.poll_rtt_us, rtt.as_micros() as f64);
+                        self.store.record_component_state(addr, stype, carrier.blob);
                         self.push_stale(ctx, stype);
                     }
                 }
             }
             (gm::SYNC, false) => {
                 if let Ok(sync) = pkt.body::<SyncBody>() {
+                    // Pairwise reconciliation of state tables (§2.3).
+                    ctx.span_enter(tele.reconcile_span, sync.from_addr);
                     let clique = self.clique.as_mut().expect("started");
                     clique.add_known_peer(sync.from_addr);
                     for peer in &sync.peers {
@@ -307,6 +366,7 @@ impl GossipServer {
                         self.store.register(reg.addr, &reg.types);
                     }
                     let mut freshened = Vec::new();
+                    let from_addr = sync.from_addr;
                     for carrier in sync.states {
                         if self.store.absorb(carrier.stype, carrier.blob) {
                             freshened.push(carrier.stype);
@@ -315,6 +375,7 @@ impl GossipServer {
                     for stype in freshened {
                         self.push_stale(ctx, stype);
                     }
+                    ctx.span_exit(tele.reconcile_span, from_addr);
                 }
             }
             (gm::ANNOUNCE, false) => {
@@ -348,11 +409,14 @@ impl GossipServer {
             }
             (gm::TOKEN, false) => {
                 if let Ok(tok) = pkt.body::<Token>() {
+                    ctx.span_enter(tele.token_span, tok.generation);
                     let clique = self.clique.as_mut().expect("started");
-                    if clique.on_token(&tok, now) && !self.hold_pending {
+                    let accepted = clique.on_token(&tok, now);
+                    if accepted && !self.hold_pending {
                         self.hold_pending = true;
                         ctx.set_timer(self.cfg.clique.hold_time, TIMER_TOKEN_HOLD);
                     }
+                    ctx.span_exit(tele.token_span, tok.generation);
                 }
             }
             (gm::ELECTION, false) => {
@@ -378,8 +442,12 @@ impl GossipServer {
                 if let Ok(foreign) = pkt.body::<Token>() {
                     let clique = self.clique.as_mut().expect("started");
                     if let Some((to, tok)) = clique.absorb_merge_response(&foreign, now) {
-                        ctx.metric_add("clique.merges", 1.0);
-                        send_packet(ctx, Self::pid(to), &Packet::oneway(gm::TOKEN, tok.to_wire()));
+                        ctx.inc(tele.merges);
+                        send_packet(
+                            ctx,
+                            Self::pid(to),
+                            &Packet::oneway(gm::TOKEN, tok.to_wire()),
+                        );
                     }
                 }
             }
@@ -398,13 +466,16 @@ impl Process for GossipServer {
                 TIMER_TICK => self.tick(ctx),
                 TIMER_TOKEN_HOLD => {
                     self.hold_pending = false;
+                    let tele = self.tele.expect("started");
                     if let Some(clique) = self.clique.as_mut() {
                         if let Some((to, tok)) = clique.forward_token() {
+                            ctx.span_enter(tele.token_span, to);
                             send_packet(
                                 ctx,
                                 Self::pid(to),
                                 &Packet::oneway(gm::TOKEN, tok.to_wire()),
                             );
+                            ctx.span_exit(tele.token_span, to);
                         }
                     }
                 }

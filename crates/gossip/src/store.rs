@@ -165,15 +165,12 @@ impl GossipStore {
         for i in 0..views.len() {
             for j in (i + 1)..views.len() {
                 self.comparisons += 1;
-                let winner = if cmp.compare(&views[i].1, &views[j].1)
-                    == std::cmp::Ordering::Less
-                {
+                let winner = if cmp.compare(&views[i].1, &views[j].1) == std::cmp::Ordering::Less {
                     j
                 } else {
                     i
                 };
-                if cmp.compare(&views[winner].1, &views[freshest].1)
-                    == std::cmp::Ordering::Greater
+                if cmp.compare(&views[winner].1, &views[freshest].1) == std::cmp::Ordering::Greater
                 {
                     freshest = winner;
                 }
@@ -257,9 +254,7 @@ pub fn responsible_gossip(pool: &[u64], component: u64) -> Option<u64> {
         x = x.wrapping_mul(0xC4CE_B9FE_1A85_EC53);
         x ^ (x >> 33)
     }
-    pool.iter()
-        .copied()
-        .max_by_key(|&g| (mix(g, component), g))
+    pool.iter().copied().max_by_key(|&g| (mix(g, component), g))
 }
 
 #[cfg(test)]
@@ -291,7 +286,10 @@ mod tests {
     fn absorb_keeps_freshest() {
         let mut s = GossipStore::new();
         assert!(s.absorb(1, VersionedBlob::new(5, vec![5])));
-        assert!(!s.absorb(1, VersionedBlob::new(3, vec![3])), "stale ignored");
+        assert!(
+            !s.absorb(1, VersionedBlob::new(3, vec![3])),
+            "stale ignored"
+        );
         assert_eq!(s.latest(1).unwrap().version, 5);
         assert!(s.absorb(1, VersionedBlob::new(9, vec![9])));
         assert_eq!(s.latest(1).unwrap().version, 9);

@@ -38,8 +38,7 @@ enum Op {
 }
 
 fn member_ids() -> impl Strategy<Value = Vec<u64>> {
-    proptest::collection::btree_set(0u64..8, 1..6)
-        .prop_map(|s| s.into_iter().collect::<Vec<u64>>())
+    proptest::collection::btree_set(0u64..8, 1..6).prop_map(|s| s.into_iter().collect::<Vec<u64>>())
 }
 
 fn op() -> impl Strategy<Value = Op> {
@@ -49,10 +48,7 @@ fn op() -> impl Strategy<Value = Op> {
             leader,
             members
         }),
-        (0u64..8, 0u64..6).prop_map(|(caller, generation)| Op::ElectionCall {
-            caller,
-            generation
-        }),
+        (0u64..8, 0u64..6).prop_map(|(caller, generation)| Op::ElectionCall { caller, generation }),
         Just(Op::StartElection),
         (0u64..8).prop_map(Op::ElectionReply),
         Just(Op::FinishElection),
@@ -99,7 +95,7 @@ proptest! {
         ops in proptest::collection::vec(op(), 0..60),
     ) {
         let mut c = CliqueState::new(me, &[0, 1, 2, 3], CliqueConfig::default(), SimTime::ZERO);
-        let mut t = SimTime::ZERO;
+        let mut t;
         let mut last_gen = c.generation();
         for (i, o) in ops.into_iter().enumerate() {
             t = SimTime::from_secs(i as u64 + 1);

@@ -26,10 +26,8 @@ use std::collections::HashMap;
 use ew_proto::sim_net::{packet_from_event, send_packet};
 use ew_proto::wire_struct;
 use ew_proto::{mtype, Packet, WireEncode};
-#[cfg(test)]
-use ew_proto::WireDecode as _;
 use ew_sched::{ClientConfig, ComputeClient};
-use ew_sim::{Ctx, Event, HostId, Process, ProcessId, SimDuration};
+use ew_sim::{CounterId, Ctx, Event, HostId, Process, ProcessId, SimDuration};
 
 /// Globus-model message types (application block: these are EveryWare's
 /// *models* of Globus services, not EveryWare core services).
@@ -151,6 +149,7 @@ pub struct GassServer {
     binaries: HashMap<String, Vec<u8>>,
     /// Fetches served.
     pub fetches: u64,
+    fetches_id: Option<CounterId>,
 }
 
 impl GassServer {
@@ -159,12 +158,17 @@ impl GassServer {
         GassServer {
             binaries: binaries.into_iter().collect(),
             fetches: 0,
+            fetches_id: None,
         }
     }
 }
 
 impl Process for GassServer {
     fn on_event(&mut self, ctx: &mut Ctx<'_>, ev: Event) {
+        if let Event::Started = ev {
+            self.fetches_id = Some(ctx.counter("globus.gass_fetches"));
+            return;
+        }
         let Some(Ok((from, pkt))) = packet_from_event(&ev) else {
             return;
         };
@@ -173,7 +177,8 @@ impl Process for GassServer {
                 match self.binaries.get(&req.name) {
                     Some(image) => {
                         self.fetches += 1;
-                        ctx.metric_add("globus.gass_fetches", 1.0);
+                        let id = self.fetches_id.expect("started");
+                        ctx.inc(id);
                         // The image itself crosses the network: invocation
                         // cost scales with binary size and link quality.
                         send_packet(ctx, from, &Packet::response_to(&pkt, image.clone()));
@@ -216,6 +221,14 @@ pub struct Gatekeeper {
     pub launched: u64,
     /// Requests refused (bad credential / no nodes).
     pub refused: u64,
+    tele: Option<GatekeeperTele>,
+}
+
+/// Interned metric handles, resolved once at `Started`.
+#[derive(Clone, Copy)]
+struct GatekeeperTele {
+    refused: CounterId,
+    launched: CounterId,
 }
 
 const TIMER_REGISTER: u64 = 1;
@@ -246,6 +259,7 @@ impl Gatekeeper {
             next_corr: 1,
             launched: 0,
             refused: 0,
+            tele: None,
         }
     }
 
@@ -274,13 +288,21 @@ impl Gatekeeper {
         };
         if !self.acl.contains(&submit.credential) {
             self.refused += 1;
-            ctx.metric_add("globus.refused", 1.0);
-            send_packet(ctx, from, &Packet::error_to(&pkt, "credential not in grid-mapfile"));
+            ctx.inc(self.tele.expect("started").refused);
+            send_packet(
+                ctx,
+                from,
+                &Packet::error_to(&pkt, "credential not in grid-mapfile"),
+            );
             return;
         }
         if self.free_nodes(ctx) < submit.nodes.max(1) {
             self.refused += 1;
-            send_packet(ctx, from, &Packet::error_to(&pkt, "insufficient free nodes"));
+            send_packet(
+                ctx,
+                from,
+                &Packet::error_to(&pkt, "insufficient free nodes"),
+            );
             return;
         }
         // Authentic and feasible: fetch the right binary through GASS
@@ -288,7 +310,8 @@ impl Gatekeeper {
         // fetch response drives the launch.
         let corr = self.next_corr;
         self.next_corr += 1;
-        self.pending_fetch.insert(corr, (from, pkt, submit.nodes.max(1)));
+        self.pending_fetch
+            .insert(corr, (from, pkt, submit.nodes.max(1)));
         let fetch = GassFetch {
             name: self.arch.clone(),
         };
@@ -325,7 +348,7 @@ impl Gatekeeper {
             self.running.push(pid);
             self.launched += 1;
             launched += 1;
-            ctx.metric_add("globus.launched", 1.0);
+            ctx.inc(self.tele.expect("started").launched);
         }
         launched
     }
@@ -335,6 +358,10 @@ impl Process for Gatekeeper {
     fn on_event(&mut self, ctx: &mut Ctx<'_>, ev: Event) {
         match &ev {
             Event::Started => {
+                self.tele = Some(GatekeeperTele {
+                    refused: ctx.counter("globus.refused"),
+                    launched: ctx.counter("globus.launched"),
+                });
                 self.register(ctx);
                 ctx.set_timer(SimDuration::from_secs(60), TIMER_REGISTER);
             }
@@ -422,6 +449,7 @@ pub struct LightSwitch {
     pub activated: Vec<(u64, u32)>,
     /// Gatekeepers that refused (authentication or capacity).
     pub refused: Vec<u64>,
+    activated_id: Option<CounterId>,
 }
 
 enum SwitchState {
@@ -441,6 +469,7 @@ impl LightSwitch {
             state: SwitchState::Idle,
             activated: Vec::new(),
             refused: Vec::new(),
+            activated_id: None,
         }
     }
 }
@@ -448,7 +477,10 @@ impl LightSwitch {
 impl Process for LightSwitch {
     fn on_event(&mut self, ctx: &mut Ctx<'_>, ev: Event) {
         match &ev {
-            Event::Started => ctx.set_timer(self.start_after, 1),
+            Event::Started => {
+                self.activated_id = Some(ctx.counter("globus.sites_activated"));
+                ctx.set_timer(self.start_after, 1);
+            }
             Event::Timer { .. } => {
                 self.state = SwitchState::Discovering;
                 send_packet(
@@ -508,7 +540,8 @@ impl Process for LightSwitch {
                             self.refused.push(contact);
                         } else if let Ok((launched, _free)) = pkt.body::<(u32, u32)>() {
                             self.activated.push((contact, launched));
-                            ctx.metric_add("globus.sites_activated", 1.0);
+                            let id = self.activated_id.expect("started");
+                            ctx.inc(id);
                         }
                         if let SwitchState::Driving { pending } = &mut self.state {
                             pending.retain(|&c| c != contact);
@@ -616,7 +649,9 @@ mod tests {
             .unwrap();
         assert_eq!(launched, 4);
         assert_eq!(refused, 0);
-        let fetches = sim.with_process::<GassServer, _>(gass, |g| g.fetches).unwrap();
+        let fetches = sim
+            .with_process::<GassServer, _>(gass, |g| g.fetches)
+            .unwrap();
         assert_eq!(fetches, 1, "one binary image pulled");
         // And the launched jobs delivered real ops to the scheduler.
         assert!(sim.metrics().counter("ops.globus") > 0.0);
@@ -670,7 +705,9 @@ mod tests {
             .unwrap();
         assert!(activated.is_empty());
         assert_eq!(refused, vec![gk.0 as u64]);
-        let launched = sim.with_process::<Gatekeeper, _>(gk, |g| g.launched).unwrap();
+        let launched = sim
+            .with_process::<Gatekeeper, _>(gk, |g| g.launched)
+            .unwrap();
         assert_eq!(launched, 0);
         assert_eq!(sim.metrics().counter("ops.globus"), 0.0);
     }
@@ -711,7 +748,8 @@ mod tests {
         assert!(activated.is_empty());
         assert_eq!(refused, vec![gk.0 as u64]);
         assert_eq!(
-            sim.with_process::<Gatekeeper, _>(gk, |g| g.launched).unwrap(),
+            sim.with_process::<Gatekeeper, _>(gk, |g| g.launched)
+                .unwrap(),
             0
         );
     }
@@ -747,7 +785,12 @@ mod tests {
             let switch = sim.spawn(
                 "light-switch",
                 svc_host,
-                Box::new(LightSwitch::new(mds.0 as u64, "u", 1, SimDuration::from_secs(60))),
+                Box::new(LightSwitch::new(
+                    mds.0 as u64,
+                    "u",
+                    1,
+                    SimDuration::from_secs(60),
+                )),
             );
             // Find when activation lands by sampling.
             let mut activated_at = f64::INFINITY;

@@ -14,7 +14,7 @@ pub mod pool;
 pub mod relay;
 pub mod supervisor;
 
-pub use globus::{gb, Gatekeeper, GassServer, LightSwitch, MdsDirectory};
+pub use globus::{gb, GassServer, Gatekeeper, LightSwitch, MdsDirectory};
 pub use pool::{build_sc98, java, InfraBuild, JudgingSpike, Sc98Pool, ServiceHosts};
 pub use relay::Relay;
 pub use supervisor::{InfraSpec, InfraSupervisor};

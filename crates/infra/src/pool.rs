@@ -141,10 +141,7 @@ pub fn build_sc98(seed: u64, horizon: SimDuration, spike: Option<JudgingSpike>) 
         lan_bandwidth: 12.5e6,
         wan_latency: SimDuration::from_millis(35),
         wan_bandwidth: 1.0e6,
-        load: with_spike(
-            walk(&seeder, "net.floor", horizon, 0.25, 0.08),
-            spike,
-        ),
+        load: with_spike(walk(&seeder, "net.floor", horizon, 0.25, 0.08), spike),
     });
     let sdsc = net.add_site(SiteSpec {
         name: "sdsc".into(),
@@ -537,9 +534,7 @@ mod tests {
         for (ha, hb) in a.hosts.iter().zip(b.hosts.iter()) {
             assert_eq!(ha.1.name, hb.1.name);
             assert_eq!(ha.1.speed_ops, hb.1.speed_ops);
-            assert_eq!(
-                ha.1.availability.transitions, hb.1.availability.transitions
-            );
+            assert_eq!(ha.1.availability.transitions, hb.1.availability.transitions);
         }
     }
 }

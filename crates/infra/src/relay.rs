@@ -14,7 +14,7 @@
 use std::collections::HashMap;
 
 use ew_proto::sim_net::{packet_from_event, send_packet};
-use ew_sim::{Ctx, Event, Process, ProcessId};
+use ew_sim::{CounterId, Ctx, Event, Process, ProcessId};
 
 /// A request-forwarding relay.
 pub struct Relay {
@@ -29,6 +29,7 @@ pub struct Relay {
     pub forwarded: u64,
     /// Responses routed back.
     pub returned: u64,
+    forwarded_id: Option<CounterId>,
 }
 
 impl Relay {
@@ -43,6 +44,7 @@ impl Relay {
             pending: HashMap::new(),
             forwarded: 0,
             returned: 0,
+            forwarded_id: None,
         }
     }
 
@@ -54,6 +56,10 @@ impl Relay {
 
 impl Process for Relay {
     fn on_event(&mut self, ctx: &mut Ctx<'_>, ev: Event) {
+        if let Event::Started = ev {
+            self.forwarded_id = Some(ctx.counter(&format!("relay.{}.forwarded", self.label)));
+            return;
+        }
         let Some(Ok((from, pkt))) = packet_from_event(&ev) else {
             return;
         };
@@ -68,7 +74,8 @@ impl Process for Relay {
             fwd.corr_id = my_corr;
             send_packet(ctx, ProcessId(upstream as u32), &fwd);
             self.forwarded += 1;
-            ctx.metric_add(&format!("relay.{}.forwarded", self.label), 1.0);
+            let id = self.forwarded_id.expect("started");
+            ctx.inc(id);
         } else if pkt.is_response() {
             // Upstream response: restore correlation, route back.
             if let Some((requester, their_corr)) = self.pending.remove(&pkt.corr_id) {
@@ -133,7 +140,10 @@ mod tests {
         let units = sim
             .with_process::<ComputeClient, _>(c, |c| c.units_completed)
             .unwrap();
-        assert!(units > 10, "relay must be transparent to the client: {units}");
+        assert!(
+            units > 10,
+            "relay must be transparent to the client: {units}"
+        );
         let (fwd, ret, pending) = sim
             .with_process::<Relay, _>(r, |r| (r.forwarded, r.returned, r.pending_count()))
             .unwrap();

@@ -13,7 +13,7 @@
 use std::collections::HashMap;
 
 use ew_sched::{ClientConfig, ComputeClient};
-use ew_sim::{Ctx, Event, HostId, Process, ProcessId, SimDuration};
+use ew_sim::{CounterId, Ctx, Event, HostId, Process, ProcessId, SeriesId, SimDuration};
 
 /// Description of one infrastructure's client-delivery behaviour.
 #[derive(Clone)]
@@ -42,10 +42,19 @@ const TIMER_SAMPLE: u64 = 1;
 /// Spawn timers encode the host index above this base.
 const TIMER_SPAWN_BASE: u64 = 1000;
 
+/// Interned metric handles, resolved once at `Started`.
+#[derive(Clone, Copy)]
+struct InfraTele {
+    spawns: CounterId,
+    reclaims: CounterId,
+    hosts_series: SeriesId,
+}
+
 /// The supervisor process for one infrastructure.
 pub struct InfraSupervisor {
     spec: InfraSpec,
     clients: HashMap<HostId, ProcessId>,
+    tele: Option<InfraTele>,
     /// Total clients ever spawned (restarts included).
     pub spawned: u64,
 }
@@ -56,6 +65,7 @@ impl InfraSupervisor {
         InfraSupervisor {
             spec,
             clients: HashMap::new(),
+            tele: None,
             spawned: 0,
         }
     }
@@ -91,17 +101,12 @@ impl InfraSupervisor {
         );
         self.clients.insert(host, pid);
         self.spawned += 1;
-        ctx.metric_add(&format!("infra.{}.spawns", self.spec.name), 1.0);
+        ctx.inc(self.tele.expect("started").spawns);
     }
 
     fn sample(&mut self, ctx: &mut Ctx<'_>) {
-        let live = self
-            .clients
-            .values()
-            .filter(|&&p| ctx.is_alive(p))
-            .count();
-        let name = self.spec.name.clone();
-        ctx.metric_record(&format!("hosts.{name}"), live as f64);
+        let live = self.clients.values().filter(|&&p| ctx.is_alive(p)).count();
+        ctx.record(self.tele.expect("started").hosts_series, live as f64);
         ctx.set_timer(self.spec.sample_interval, TIMER_SAMPLE);
     }
 }
@@ -110,6 +115,12 @@ impl Process for InfraSupervisor {
     fn on_event(&mut self, ctx: &mut Ctx<'_>, ev: Event) {
         match ev {
             Event::Started => {
+                let name = &self.spec.name;
+                self.tele = Some(InfraTele {
+                    spawns: ctx.counter(&format!("infra.{name}.spawns")),
+                    reclaims: ctx.counter(&format!("infra.{name}.reclaims")),
+                    hosts_series: ctx.series(&format!("hosts.{name}")),
+                });
                 for (i, &host) in self.spec.hosts.clone().iter().enumerate() {
                     ctx.watch_host(host);
                     if ctx.host_up(host) {
@@ -138,7 +149,7 @@ impl Process for InfraSupervisor {
                 } else {
                     // Guest killed without warning; forget the client.
                     self.clients.remove(&host);
-                    ctx.metric_add(&format!("infra.{}.reclaims", self.spec.name), 1.0);
+                    ctx.inc(self.tele.expect("started").reclaims);
                 }
             }
             _ => {}
@@ -191,7 +202,11 @@ mod tests {
             .map(|i| hosts.add(HostSpec::dedicated(&format!("w{i}"), site, 1e8)))
             .collect();
         let mut sim = Sim::new(net, hosts, 1);
-        let s = sim.spawn("sched", h_sched, Box::new(SchedulerServer::new(sched_cfg())));
+        let s = sim.spawn(
+            "sched",
+            h_sched,
+            Box::new(SchedulerServer::new(sched_cfg())),
+        );
         let sup = sim.spawn(
             "sup",
             h_sched,
@@ -235,7 +250,11 @@ mod tests {
             })
             .collect();
         let mut sim = Sim::new(net, hosts, 5);
-        let s = sim.spawn("sched", h_sched, Box::new(SchedulerServer::new(sched_cfg())));
+        let s = sim.spawn(
+            "sched",
+            h_sched,
+            Box::new(SchedulerServer::new(sched_cfg())),
+        );
         let sup = sim.spawn(
             "sup",
             h_sched,
@@ -266,8 +285,10 @@ mod tests {
             .iter()
             .map(|&(_, v)| v)
             .collect();
-        let distinct: std::collections::BTreeSet<u64> =
-            series.iter().map(|&v| v as u64).collect();
-        assert!(distinct.len() > 1, "host count should fluctuate: {series:?}");
+        let distinct: std::collections::BTreeSet<u64> = series.iter().map(|&v| v as u64).collect();
+        assert!(
+            distinct.len() > 1,
+            "host count should fluctuate: {series:?}"
+        );
     }
 }

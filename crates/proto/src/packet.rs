@@ -57,7 +57,11 @@ pub fn crc32(data: &[u8]) -> u32 {
             let mut c = i as u32;
             let mut k = 0;
             while k < 8 {
-                c = if c & 1 != 0 { 0xEDB8_8320 ^ (c >> 1) } else { c >> 1 };
+                c = if c & 1 != 0 {
+                    0xEDB8_8320 ^ (c >> 1)
+                } else {
+                    c >> 1
+                };
                 k += 1;
             }
             t[i] = c;
@@ -113,7 +117,10 @@ impl std::fmt::Display for PacketError {
             PacketError::BadVersion(v) => write!(f, "unsupported version {v}"),
             PacketError::OversizedPayload(n) => write!(f, "payload of {n} bytes exceeds bound"),
             PacketError::BadChecksum { expected, actual } => {
-                write!(f, "checksum mismatch: header {expected:#010x}, computed {actual:#010x}")
+                write!(
+                    f,
+                    "checksum mismatch: header {expected:#010x}, computed {actual:#010x}"
+                )
             }
             PacketError::Wire(e) => write!(f, "wire error: {e}"),
         }
@@ -395,7 +402,10 @@ mod tests {
         bytes[0] = 0;
         let mut fr = FrameReader::new();
         fr.feed(&bytes);
-        assert!(matches!(fr.next_packet().unwrap_err(), PacketError::BadMagic(_)));
+        assert!(matches!(
+            fr.next_packet().unwrap_err(),
+            PacketError::BadMagic(_)
+        ));
     }
 
     #[test]
@@ -490,12 +500,7 @@ mod tests {
         fn prop_garbage_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
             let mut fr = FrameReader::new();
             fr.feed(&bytes);
-            loop {
-                match fr.next_packet() {
-                    Ok(Some(_)) => continue,
-                    Ok(None) | Err(_) => break,
-                }
-            }
+            while let Ok(Some(_)) = fr.next_packet() {}
         }
     }
 }

@@ -149,6 +149,24 @@ impl<M> RpcTracker<M> {
             .collect()
     }
 
+    /// [`expire`](Self::expire), plus an enter/exit pair on `span` for
+    /// each expired request (tagged with its correlation id) so time-outs
+    /// show up in the kernel trace alongside the dispatches that caused
+    /// them. A no-op on the tracing side when tracing is disabled.
+    pub fn expire_traced(
+        &mut self,
+        ctx: &mut ew_sim::Ctx<'_>,
+        span: ew_sim::SpanId,
+        policy: &mut dyn TimeoutPolicy,
+    ) -> Vec<Pending<M>> {
+        let expired = self.expire(ctx.now(), policy);
+        for p in &expired {
+            ctx.span_enter(span, p.corr_id);
+            ctx.span_exit(span, p.corr_id);
+        }
+        expired
+    }
+
     /// The earliest outstanding deadline, if any — when the owner should
     /// next arm a wake-up timer.
     pub fn next_deadline(&self) -> Option<SimTime> {
@@ -219,7 +237,10 @@ mod tests {
                 self.timeouts += 1;
             }
         }
-        let mut pol = CountingPolicy { timeouts: 0, rtts: 0 };
+        let mut pol = CountingPolicy {
+            timeouts: 0,
+            rtts: 0,
+        };
         let mut rt: RpcTracker<u32> = RpcTracker::new();
         let id1 = rt.begin(tag(1), t(0), &mut pol, 1);
         let _id2 = rt.begin(tag(1), t(3), &mut pol, 2);
@@ -249,7 +270,9 @@ mod tests {
     fn expire_is_deterministic_order() {
         let mut rt: RpcTracker<u32> = RpcTracker::new();
         let mut pol = StaticTimeout(SimDuration::from_secs(1));
-        let ids: Vec<u64> = (0..20).map(|i| rt.begin(tag(i), t(0), &mut pol, i as u32)).collect();
+        let ids: Vec<u64> = (0..20)
+            .map(|i| rt.begin(tag(i), t(0), &mut pol, i as u32))
+            .collect();
         let exp = rt.expire(t(10), &mut pol);
         let got: Vec<u64> = exp.iter().map(|p| p.corr_id).collect();
         assert_eq!(got, ids, "expired in corr-id order");

@@ -33,9 +33,7 @@ pub fn packet_from_event(ev: &Event) -> Option<Result<(ProcessId, Packet), Packe
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ew_sim::{
-        HostSpec, HostTable, NetModel, Process, Sim, SimDuration, SimTime, SiteSpec,
-    };
+    use ew_sim::{HostSpec, HostTable, NetModel, Process, Sim, SimDuration, SimTime, SiteSpec};
 
     struct Responder {
         seen: Vec<Packet>,
@@ -74,12 +72,7 @@ mod tests {
     #[test]
     fn request_response_over_simulator() {
         let mut net = NetModel::new(0.0);
-        let s = net.add_site(SiteSpec::simple(
-            "s",
-            SimDuration::from_millis(5),
-            1e6,
-            0.0,
-        ));
+        let s = net.add_site(SiteSpec::simple("s", SimDuration::from_millis(5), 1e6, 0.0));
         let mut hosts = HostTable::new();
         let h = hosts.add(HostSpec::dedicated("h", s, 1e6));
         let mut sim = Sim::new(net, hosts, 1);

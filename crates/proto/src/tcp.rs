@@ -160,11 +160,7 @@ impl TcpNode {
         if !self.outgoing.contains_key(&to) {
             let stream = TcpStream::connect_timeout(&to, Duration::from_secs(5))?;
             let _ = stream.set_nodelay(true);
-            spawn_reader(
-                stream.try_clone()?,
-                self.tx.clone(),
-                Arc::clone(&self.stop),
-            );
+            spawn_reader(stream.try_clone()?, self.tx.clone(), Arc::clone(&self.stop));
             self.outgoing.insert(to, stream);
         }
         let stream = self.outgoing.get_mut(&to).expect("just inserted");
@@ -224,7 +220,9 @@ mod tests {
         let mut client = node();
         let pkt = Packet::oneway(mtype::APP_BASE, b"hello".to_vec());
         client.send(server.local_addr(), &pkt).unwrap();
-        let got = server.recv_timeout(Duration::from_secs(5)).expect("delivered");
+        let got = server
+            .recv_timeout(Duration::from_secs(5))
+            .expect("delivered");
         assert_eq!(got.packet, pkt);
     }
 
@@ -234,11 +232,15 @@ mod tests {
         let mut client = node();
         let req = Packet::request(mtype::APP_BASE + 2, 42, b"work?".to_vec());
         client.send(server.local_addr(), &req).unwrap();
-        let mut inc = server.recv_timeout(Duration::from_secs(5)).expect("request");
+        let mut inc = server
+            .recv_timeout(Duration::from_secs(5))
+            .expect("request");
         assert!(inc.packet.is_request());
         inc.reply(&Packet::response_to(&inc.packet, b"unit-9".to_vec()))
             .unwrap();
-        let resp = client.recv_timeout(Duration::from_secs(5)).expect("response");
+        let resp = client
+            .recv_timeout(Duration::from_secs(5))
+            .expect("response");
         assert!(resp.packet.is_response());
         assert_eq!(resp.packet.corr_id, 42);
         assert_eq!(resp.packet.payload, b"unit-9");
@@ -276,7 +278,9 @@ mod tests {
             .collect();
         let pkt = Packet::oneway(mtype::APP_BASE, payload.clone());
         client.send(server.local_addr(), &pkt).unwrap();
-        let got = server.recv_timeout(Duration::from_secs(10)).expect("delivered");
+        let got = server
+            .recv_timeout(Duration::from_secs(10))
+            .expect("delivered");
         assert_eq!(got.packet.payload, payload);
     }
 

@@ -316,7 +316,7 @@ mod tests {
         round_trip(i64::MIN);
         round_trip(true);
         round_trip(false);
-        round_trip(3.141592653589793f64);
+        round_trip(std::f64::consts::PI);
         round_trip(f64::NEG_INFINITY);
     }
 
@@ -355,7 +355,10 @@ mod tests {
     fn trailing_bytes_rejected() {
         let mut bytes = 7u16.to_wire();
         bytes.push(0);
-        assert_eq!(u16::from_wire(&bytes).unwrap_err(), WireError::TrailingBytes(1));
+        assert_eq!(
+            u16::from_wire(&bytes).unwrap_err(),
+            WireError::TrailingBytes(1)
+        );
     }
 
     #[test]
@@ -389,7 +392,10 @@ mod tests {
         u32::MAX.encode(&mut bytes);
         bytes.extend_from_slice(&[0, 0]);
         let err = Vec::<u64>::from_wire(&bytes).unwrap_err();
-        assert!(matches!(err, WireError::Truncated { .. } | WireError::LengthOverflow(_)));
+        assert!(matches!(
+            err,
+            WireError::Truncated { .. } | WireError::LengthOverflow(_)
+        ));
     }
 
     #[test]
@@ -401,7 +407,12 @@ mod tests {
             rates: Vec<f64>,
             retry: Option<u32>,
         }
-        wire_struct!(Probe { id, name, rates, retry });
+        wire_struct!(Probe {
+            id,
+            name,
+            rates,
+            retry
+        });
         let p = Probe {
             id: 9,
             name: "sdsc".into(),

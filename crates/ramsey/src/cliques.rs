@@ -156,7 +156,13 @@ mod tests {
 
     /// Brute-force reference counter.
     fn brute_count(g: &ColoredGraph, color: Color, k: usize) -> u64 {
-        fn rec(g: &ColoredGraph, color: Color, chosen: &mut Vec<usize>, start: usize, k: usize) -> u64 {
+        fn rec(
+            g: &ColoredGraph,
+            color: Color,
+            chosen: &mut Vec<usize>,
+            start: usize,
+            k: usize,
+        ) -> u64 {
             if chosen.len() == k {
                 return 1;
             }
@@ -192,7 +198,11 @@ mod tests {
     #[test]
     fn paley_17_has_no_mono_4_clique() {
         let g = ColoredGraph::paley(17);
-        assert_eq!(count_total(&g, 4, &mut ops()), 0, "Paley(17) proves R(4) > 17");
+        assert_eq!(
+            count_total(&g, 4, &mut ops()),
+            0,
+            "Paley(17) proves R(4) > 17"
+        );
         // But it has monochromatic triangles, of course.
         assert!(count_total(&g, 3, &mut ops()) > 0);
     }
@@ -234,6 +244,7 @@ mod tests {
                 // Brute force: count k-subsets containing u, v, all same color.
                 let mut expect = 0u64;
                 let others: Vec<usize> = (0..15).filter(|&x| x != u && x != v).collect();
+                #[allow(clippy::too_many_arguments)]
                 fn subsets(
                     g: &ColoredGraph,
                     color: Color,
@@ -288,10 +299,7 @@ mod tests {
             let mut g = ColoredGraph::random(14, &mut rng);
             let k = 4;
             let before = count_total(&g, k, &mut ops()) as i64;
-            let (u, v) = (
-                rng.next_below(14) as usize,
-                rng.next_below(14) as usize,
-            );
+            let (u, v) = (rng.next_below(14) as usize, rng.next_below(14) as usize);
             if u == v {
                 continue;
             }
@@ -322,7 +330,11 @@ mod tests {
         let g = ColoredGraph::paley(17);
         let mut c = ops();
         count_total(&g, 4, &mut c);
-        assert!(c.total() > 100, "counting should cost real work: {}", c.total());
+        assert!(
+            c.total() > 100,
+            "counting should cost real work: {}",
+            c.total()
+        );
         let before = c.total();
         count_total(&g, 4, &mut c);
         assert_eq!(c.total(), before * 2);

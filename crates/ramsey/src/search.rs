@@ -398,7 +398,11 @@ mod tests {
         let rep = run_search(&mut st, h.as_mut(), &mut rng, budget);
         if let Some(ce) = &rep.counter_example {
             let mut ops = OpsCounter::new();
-            assert_eq!(count_total(ce, k, &mut ops), 0, "claimed solution must verify");
+            assert_eq!(
+                count_total(ce, k, &mut ops),
+                0,
+                "claimed solution must verify"
+            );
             true
         } else {
             false
@@ -476,7 +480,10 @@ mod tests {
                 StepOutcome::Moved { .. } => {}
             }
         }
-        assert!(saw_stuck, "greedy must bottom out on an unsolvable instance");
+        assert!(
+            saw_stuck,
+            "greedy must bottom out on an unsolvable instance"
+        );
         assert!(st.count() > 0);
     }
 

@@ -6,9 +6,9 @@
 //! counter-example found. Both travel over the lingua franca, so both are
 //! wire-encoded structs.
 
-use ew_proto::wire_struct;
 #[cfg(test)]
 use ew_proto::wire::{WireDecode, WireEncode};
+use ew_proto::wire_struct;
 use ew_sim::Xoshiro256;
 
 use crate::graph::ColoredGraph;
@@ -152,7 +152,10 @@ mod tests {
     #[test]
     fn executing_easy_unit_finds_verified_counter_example() {
         let r = execute_work_unit(&unit(3, 5, 1, 1000));
-        assert!(!r.counter_example.is_empty(), "R(3)>5 witness should be found");
+        assert!(
+            !r.counter_example.is_empty(),
+            "R(3)>5 witness should be found"
+        );
         let g = ColoredGraph::from_bytes(&r.counter_example).unwrap();
         let mut ops = OpsCounter::new();
         assert!(matches!(

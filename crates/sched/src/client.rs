@@ -14,7 +14,7 @@ use ew_forecast::ForecastTimeout;
 use ew_proto::sim_net::{packet_from_event, send_packet};
 use ew_proto::{EventTag, Packet, RpcTracker, WireDecode, WireEncode};
 use ew_ramsey::{execute_work_unit, WorkResult, WorkUnit};
-use ew_sim::{Ctx, Event, Process, ProcessId, SimDuration, SimTime};
+use ew_sim::{CounterId, Ctx, Event, Process, ProcessId, SeriesId, SimDuration, SimTime, SpanId};
 use ew_state::messages::{sm, FetchReply, FetchRequest, StoreRequest};
 
 use crate::messages::{scm, Directive, DirectiveKind, ProgressReport, WorkGrant};
@@ -89,6 +89,44 @@ enum Req {
     RestoreFetch,
 }
 
+/// Interned metric handles, resolved once at `Started`.
+#[derive(Clone, Copy)]
+struct ClientTele {
+    checkpoints: CounterId,
+    switches: CounterId,
+    abandons: CounterId,
+    failovers: CounterId,
+    store_timeouts: CounterId,
+    resumes: CounterId,
+    stores_accepted: CounterId,
+    stores_rejected: CounterId,
+    ops_total: CounterId,
+    ops_infra: CounterId,
+    ops_series: SeriesId,
+    migrate_span: SpanId,
+    timeout_span: SpanId,
+}
+
+impl ClientTele {
+    fn intern(ctx: &mut Ctx<'_>, infra: &str) -> Self {
+        ClientTele {
+            checkpoints: ctx.counter("client.checkpoints"),
+            switches: ctx.counter("client.switches"),
+            abandons: ctx.counter("client.abandons"),
+            failovers: ctx.counter("client.failovers"),
+            store_timeouts: ctx.counter("client.store_timeouts"),
+            resumes: ctx.counter("client.resumes"),
+            stores_accepted: ctx.counter("client.stores_accepted"),
+            stores_rejected: ctx.counter("client.stores_rejected"),
+            ops_total: ctx.counter("ops.total"),
+            ops_infra: ctx.counter(&format!("ops.{infra}")),
+            ops_series: ctx.series(&format!("ops_series.{infra}")),
+            migrate_span: ctx.span("sched.migrate"),
+            timeout_span: ctx.span("proto.timeout"),
+        }
+    }
+}
+
 struct UnitProgress {
     unit: WorkUnit,
     steps_done: u64,
@@ -107,6 +145,7 @@ pub struct ComputeClient {
     compute_gen: u64,
     waiting_for_work: bool,
     chunks_since_checkpoint: u64,
+    tele: Option<ClientTele>,
     /// Total useful ops delivered by this client.
     pub total_ops: u64,
     /// Units completed (budget exhausted or solved).
@@ -132,6 +171,7 @@ impl ComputeClient {
             compute_gen: 0,
             waiting_for_work: false,
             chunks_since_checkpoint: 0,
+            tele: None,
             total_ops: 0,
             units_completed: 0,
             failovers: 0,
@@ -161,7 +201,8 @@ impl ComputeClient {
             value: ck.to_wire(),
         };
         self.send_request(ctx, state, sm::STORE, req.to_wire(), Req::Checkpoint);
-        ctx.metric_add("client.checkpoints", 1.0);
+        let tele = self.tele.expect("started");
+        ctx.inc(tele.checkpoints);
     }
 
     /// Invalidate the host's checkpoint (unit finished or migrated away);
@@ -310,36 +351,43 @@ impl ComputeClient {
     }
 
     fn on_directive(&mut self, ctx: &mut Ctx<'_>, d: Directive) {
+        let tele = self.tele.expect("started");
         match DirectiveKind::from_wire_id(d.kind) {
             DirectiveKind::Continue => {}
             DirectiveKind::SwitchHeuristic => {
                 if let Some(up) = self.unit.as_mut() {
                     up.unit.heuristic = d.heuristic;
-                    ctx.metric_add("client.switches", 1.0);
+                    ctx.inc(tele.switches);
                 }
             }
             DirectiveKind::Abandon => {
                 // The unit migrates; invalidate in-flight compute and the
                 // host checkpoint.
+                let unit_id = self.unit.as_ref().map(|up| up.unit.id).unwrap_or(0);
+                ctx.span_enter(tele.migrate_span, unit_id);
                 self.unit = None;
                 self.compute_gen += 1;
                 self.chunks_since_checkpoint = 0;
                 self.clear_checkpoint(ctx);
-                ctx.metric_add("client.abandons", 1.0);
+                ctx.inc(tele.abandons);
                 self.request_work(ctx);
+                ctx.span_exit(tele.migrate_span, unit_id);
             }
         }
     }
 
     fn tick(&mut self, ctx: &mut Ctx<'_>) {
-        let expired = self.rpc.expire(ctx.now(), &mut self.policy);
+        let tele = self.tele.expect("started");
+        let expired = self
+            .rpc
+            .expire_traced(ctx, tele.timeout_span, &mut self.policy);
         for pending in expired {
             match pending.context {
                 Req::GetWork => {
                     // Scheduler unreachable: fail over and re-request.
                     self.sched_idx += 1;
                     self.failovers += 1;
-                    ctx.metric_add("client.failovers", 1.0);
+                    ctx.inc(tele.failovers);
                     self.waiting_for_work = false;
                     self.request_work(ctx);
                 }
@@ -348,13 +396,13 @@ impl ComputeClient {
                     // scheduler if this one is gone.
                     self.sched_idx += 1;
                     self.failovers += 1;
-                    ctx.metric_add("client.failovers", 1.0);
+                    ctx.inc(tele.failovers);
                 }
                 Req::Result(result) => {
                     // Results matter: retry against the next scheduler.
                     self.sched_idx += 1;
                     self.failovers += 1;
-                    ctx.metric_add("client.failovers", 1.0);
+                    ctx.inc(tele.failovers);
                     let sched = self.scheduler();
                     self.send_request(
                         ctx,
@@ -365,7 +413,7 @@ impl ComputeClient {
                     );
                 }
                 Req::Store | Req::Checkpoint => {
-                    ctx.metric_add("client.store_timeouts", 1.0);
+                    ctx.inc(tele.store_timeouts);
                 }
                 Req::RestoreFetch => {
                     // State service unreachable: start fresh.
@@ -381,6 +429,7 @@ impl Process for ComputeClient {
     fn on_event(&mut self, ctx: &mut Ctx<'_>, ev: Event) {
         match &ev {
             Event::Started => {
+                self.tele = Some(ClientTele::intern(ctx, &self.cfg.infra));
                 // Restart path first: a checkpoint from a predecessor on
                 // this host resumes its unit instead of asking for new
                 // work ("application-level checkpointing", §2.3).
@@ -403,11 +452,11 @@ impl Process for ComputeClient {
                 if *tag != self.compute_gen {
                     return; // stale chunk from an abandoned unit
                 }
-                let infra = self.cfg.infra.clone();
+                let tele = self.tele.expect("started");
                 self.total_ops += ops;
-                ctx.metric_add("ops.total", *ops as f64);
-                ctx.metric_add(&format!("ops.{infra}"), *ops as f64);
-                ctx.metric_record(&format!("ops_series.{infra}"), *ops as f64);
+                ctx.add(tele.ops_total, *ops as f64);
+                ctx.add(tele.ops_infra, *ops as f64);
+                ctx.record(tele.ops_series, *ops as f64);
                 let done = {
                     let steps_per_chunk = (self.cfg.chunk_ops / self.cfg.ops_per_step).max(1);
                     let Some(up) = self.unit.as_mut() else { return };
@@ -457,7 +506,8 @@ impl Process for ComputeClient {
                                     match Checkpoint::from_wire(&reply.value) {
                                         Ok(ck) if ck.steps_done < ck.unit.step_budget => {
                                             self.resumes += 1;
-                                            ctx.metric_add("client.resumes", 1.0);
+                                            let tele = self.tele.expect("started");
+                                            ctx.inc(tele.resumes);
                                             self.unit = Some(UnitProgress {
                                                 unit: ck.unit,
                                                 steps_done: ck.steps_done,
@@ -479,11 +529,12 @@ impl Process for ComputeClient {
                         }
                         Req::Store => {
                             if let Ok(reply) = pkt.body::<ew_state::StoreReply>() {
+                                let tele = self.tele.expect("started");
                                 if reply.accepted {
                                     self.stores_accepted += 1;
-                                    ctx.metric_add("client.stores_accepted", 1.0);
+                                    ctx.inc(tele.stores_accepted);
                                 } else {
-                                    ctx.metric_add("client.stores_rejected", 1.0);
+                                    ctx.inc(tele.stores_rejected);
                                 }
                             }
                         }
@@ -500,9 +551,7 @@ mod tests {
     use super::*;
     use crate::server::{SchedulerConfig, SchedulerServer};
     use ew_ramsey::RamseyProblem;
-    use ew_sim::{
-        AvailabilitySchedule, HostSpec, HostTable, NetModel, Sim, SimTime, SiteSpec,
-    };
+    use ew_sim::{AvailabilitySchedule, HostSpec, HostTable, NetModel, Sim, SimTime, SiteSpec};
 
     fn world(n_hosts: usize, speed: f64) -> (Sim, Vec<ew_sim::HostId>) {
         let mut net = NetModel::new(0.05);
@@ -540,7 +589,11 @@ mod tests {
     #[test]
     fn client_computes_and_completes_units() {
         let (mut sim, hids) = world(2, 1e8);
-        let s = sim.spawn("sched", hids[0], Box::new(SchedulerServer::new(sched_cfg())));
+        let s = sim.spawn(
+            "sched",
+            hids[0],
+            Box::new(SchedulerServer::new(sched_cfg())),
+        );
         let c = sim.spawn(
             "client",
             hids[1],
@@ -597,7 +650,10 @@ mod tests {
             .with_process::<ComputeClient, _>(c, |c| (c.failovers, c.units_completed))
             .unwrap();
         assert!(failovers >= 1, "client must notice the dead scheduler");
-        assert!(units > 50, "work continues on the backup scheduler: {units}");
+        assert!(
+            units > 50,
+            "work continues on the backup scheduler: {units}"
+        );
         let s2_results = sim
             .with_process::<SchedulerServer, _>(s2, |s| s.results.len())
             .unwrap();
@@ -627,8 +683,7 @@ mod tests {
                     .next()
                     .and_then(|s| s.parse().ok())
                     .ok_or("bad key")?;
-                let g = ew_ramsey::ColoredGraph::from_bytes(bytes)
-                    .ok_or("not a graph")?;
+                let g = ew_ramsey::ColoredGraph::from_bytes(bytes).ok_or("not a graph")?;
                 let mut ops = ew_ramsey::OpsCounter::new();
                 match ew_ramsey::verify_counter_example(&g, k, &mut ops) {
                     ew_ramsey::Verification::Valid { .. } => Ok(()),
@@ -656,9 +711,7 @@ mod tests {
             .unwrap();
         assert!(accepted >= 1, "a real R(3)>5 witness must be stored");
         let stored = sim
-            .with_process::<PersistentStateServer, _>(p, |s| {
-                s.get("ramsey/best/3").cloned()
-            })
+            .with_process::<PersistentStateServer, _>(p, |s| s.get("ramsey/best/3").cloned())
             .unwrap()
             .expect("key present");
         let g = ew_ramsey::ColoredGraph::from_bytes(&stored).unwrap();

@@ -17,7 +17,7 @@ use ew_gossip::{Comparator, GossipClient, VersionedBlob};
 use ew_proto::sim_net::{packet_from_event, send_packet};
 use ew_proto::{Packet, WireEncode};
 use ew_ramsey::{RamseyProblem, WorkResult, WorkUnit};
-use ew_sim::{Ctx, Event, Process, ProcessId, SimDuration, SimTime};
+use ew_sim::{CounterId, Ctx, Event, Process, ProcessId, SimDuration, SimTime, SpanId};
 use ew_state::{sm, LogRecord};
 
 /// State type the schedulers synchronize through the Gossip pool: the best
@@ -66,6 +66,28 @@ impl Default for SchedulerConfig {
     }
 }
 
+/// Interned metric handles, resolved once at `Started`.
+#[derive(Clone, Copy)]
+struct SchedTele {
+    grants: CounterId,
+    reports: CounterId,
+    results: CounterId,
+    /// Per-report control decision (continue / switch / abandon-migrate);
+    /// tagged with the unit id so migration latencies are traceable.
+    decide_span: SpanId,
+}
+
+impl SchedTele {
+    fn intern(ctx: &mut Ctx<'_>) -> Self {
+        SchedTele {
+            grants: ctx.counter("sched.grants"),
+            reports: ctx.counter("sched.reports"),
+            results: ctx.counter("sched.results"),
+            decide_span: ctx.span("sched.decide"),
+        }
+    }
+}
+
 struct Outstanding {
     client: u64,
     heuristic: u8,
@@ -106,6 +128,7 @@ pub struct SchedulerServer {
     /// Abandon directives issued for unknown units (stale resumes,
     /// already-migrated work, restarted schedulers).
     pub issued_unknown: u64,
+    tele: Option<SchedTele>,
     gossip: Option<(u64, GossipClient)>,
     /// Logging server to forward per-report performance records to
     /// (§3.1.3: "Before the information is discarded, it is forwarded to
@@ -135,6 +158,7 @@ impl SchedulerServer {
             issued_switch: 0,
             issued_abandon: 0,
             issued_unknown: 0,
+            tele: None,
             gossip: None,
             log_server: None,
             best_known: None,
@@ -194,8 +218,7 @@ impl SchedulerServer {
     fn fresh_unit(&mut self) -> WorkUnit {
         let id = self.next_unit;
         self.next_unit += 1;
-        let heuristic = self.cfg.heuristic_mix
-            [(id as usize) % self.cfg.heuristic_mix.len().max(1)];
+        let heuristic = self.cfg.heuristic_mix[(id as usize) % self.cfg.heuristic_mix.len().max(1)];
         WorkUnit {
             id,
             problem: self.cfg.problem,
@@ -219,9 +242,7 @@ impl SchedulerServer {
         // then fires on *anomalies* (a host suddenly slowed by load), not
         // on the pool's permanent heterogeneity.
         let scale = match (self.rate_estimate(client), self.pool_median_rate()) {
-            (Some(est), Some(median)) if median > 0.0 => {
-                (est / median).clamp(0.02, 4.0)
-            }
+            (Some(est), Some(median)) if median > 0.0 => (est / median).clamp(0.02, 4.0),
             _ => 1.0,
         };
         let budget = ((self.cfg.step_budget as f64 * scale) as u64).max(100);
@@ -296,10 +317,7 @@ impl SchedulerServer {
         self.rates.observe(report.client, report.rate);
         self.last_rate.insert(report.client, report.rate);
         self.last_seen.insert(report.client, now);
-        let baseline = self
-            .baselines
-            .entry(report.client)
-            .or_insert(report.rate);
+        let baseline = self.baselines.entry(report.client).or_insert(report.rate);
         *baseline = (*baseline * 0.995).max(report.rate);
         if self.cfg.use_forecasts {
             if let Some(f) = self.rates.forecast(&report.client) {
@@ -398,6 +416,7 @@ impl SchedulerServer {
 impl Process for SchedulerServer {
     fn on_event(&mut self, ctx: &mut Ctx<'_>, ev: Event) {
         if let Event::Started = ev {
+            self.tele = Some(SchedTele::intern(ctx));
             if let Some((addr, client)) = self.gossip.as_mut() {
                 let gossip_pid = ProcessId(*addr as u32);
                 client.register(ctx, gossip_pid);
@@ -430,10 +449,11 @@ impl Process for SchedulerServer {
         if !pkt.is_request() {
             return;
         }
+        let tele = self.tele.expect("started");
         match pkt.mtype {
             scm::GET_WORK => {
                 let unit = self.grant_work(ctx.now(), from.0 as u64);
-                ctx.metric_add("sched.grants", 1.0);
+                ctx.inc(tele.grants);
                 let grant = WorkGrant {
                     granted: true,
                     unit,
@@ -442,7 +462,7 @@ impl Process for SchedulerServer {
             }
             scm::REPORT => {
                 if let Ok(report) = pkt.body::<ProgressReport>() {
-                    ctx.metric_add("sched.reports", 1.0);
+                    ctx.inc(tele.reports);
                     if let Some(log) = self.log_server {
                         let rec = LogRecord {
                             source: report.client,
@@ -456,13 +476,16 @@ impl Process for SchedulerServer {
                             &Packet::oneway(sm::LOG, rec.to_wire()),
                         );
                     }
+                    let unit_id = report.unit_id;
+                    ctx.span_enter(tele.decide_span, unit_id);
                     let directive = self.handle_report(ctx.now(), report);
+                    ctx.span_exit(tele.decide_span, unit_id);
                     send_packet(ctx, from, &Packet::response_to(&pkt, directive.to_wire()));
                 }
             }
             scm::RESULT => {
                 if let Ok(result) = pkt.body::<WorkResult>() {
-                    ctx.metric_add("sched.results", 1.0);
+                    ctx.inc(tele.results);
                     self.handle_result(result);
                     send_packet(ctx, from, &Packet::response_to(&pkt, Vec::new()));
                 }
@@ -542,10 +565,7 @@ mod tests {
         // The switched heuristic differs from the original.
         let d = s.handle_report(t(3), report(1, u.id, 50, 1e6));
         let _ = d;
-        assert_ne!(
-            s.outstanding.get(&u.id).map(|o| o.heuristic),
-            Some(start_h)
-        );
+        assert_ne!(s.outstanding.get(&u.id).map(|o| o.heuristic), Some(start_h));
     }
 
     #[test]
@@ -565,14 +585,20 @@ mod tests {
         // clear anomaly against its own baseline. A couple of reports let
         // the forecast track the collapse.
         let slow_graph = report(3, u3.id, 100, 1e3).graph;
-        let mut last = Directive { kind: 0, heuristic: 0 };
+        let mut last = Directive {
+            kind: 0,
+            heuristic: 0,
+        };
         for _ in 0..12 {
             last = s.handle_report(t(2), report(3, u3.id, 100, 1e3));
             if DirectiveKind::from_wire_id(last.kind) == DirectiveKind::Abandon {
                 break;
             }
         }
-        assert_eq!(DirectiveKind::from_wire_id(last.kind), DirectiveKind::Abandon);
+        assert_eq!(
+            DirectiveKind::from_wire_id(last.kind),
+            DirectiveKind::Abandon
+        );
         assert_eq!(s.migration_queue_len(), 1);
         // Next requester inherits the unit, graph and all.
         let migrated = s.grant_work(t(3), 4);

@@ -16,6 +16,8 @@ use std::any::Any;
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap};
 
+use ew_telemetry::{CounterId, GaugeId, HistogramId, Registry, SeriesId, SpanId};
+
 use crate::host::{HostId, HostTable};
 use crate::net::NetModel;
 use crate::rng::{StreamSeeder, Xoshiro256};
@@ -107,50 +109,120 @@ struct ProcMeta {
     rng: Xoshiro256,
 }
 
-/// Named counters and time series collected during a run; the raw material
-/// for every figure in EXPERIMENTS.md.
+/// Metrics collected during a run; the raw material for every figure in
+/// EXPERIMENTS.md.
+///
+/// A thin facade over [`ew_telemetry::Registry`]: the string-keyed methods
+/// intern the name on every call and exist for drivers and tests that
+/// touch a metric a handful of times. Hot-path recording goes through the
+/// interned handles handed out by [`Ctx`] (and by [`Metrics::registry_mut`]).
 #[derive(Default)]
 pub struct Metrics {
-    counters: HashMap<String, f64>,
-    series: HashMap<String, Vec<(SimTime, f64)>>,
+    reg: Registry,
 }
 
 impl Metrics {
     /// Add `v` to the named counter (creating it at zero).
+    ///
+    /// Interns the name each call; prefer [`Ctx::counter`] + [`Ctx::add`]
+    /// from process code.
     pub fn add(&mut self, name: &str, v: f64) {
-        *self.counters.entry(name.to_string()).or_insert(0.0) += v;
+        let id = self.reg.counter(name);
+        self.reg.add(id, v);
     }
 
     /// Append a `(t, v)` point to the named series.
+    ///
+    /// Interns the name each call; prefer [`Ctx::series`] + [`Ctx::record`]
+    /// from process code.
     pub fn record(&mut self, name: &str, t: SimTime, v: f64) {
-        self.series
-            .entry(name.to_string())
-            .or_default()
-            .push((t, v));
+        let id = self.reg.series(name);
+        self.reg.record(id, t.as_micros(), v);
     }
 
     /// Current counter value (zero if never touched).
     pub fn counter(&self, name: &str) -> f64 {
-        self.counters.get(name).copied().unwrap_or(0.0)
+        self.reg
+            .counter_lookup(name)
+            .map(|id| self.reg.counter_value(id))
+            .unwrap_or(0.0)
     }
 
     /// The recorded series (empty if never touched).
-    pub fn series(&self, name: &str) -> &[(SimTime, f64)] {
-        self.series.get(name).map(Vec::as_slice).unwrap_or(&[])
+    pub fn series(&self, name: &str) -> Vec<(SimTime, f64)> {
+        self.reg
+            .series_lookup(name)
+            .map(|id| {
+                self.reg
+                    .series_points(id)
+                    .iter()
+                    .map(|&(t_us, v)| (SimTime::from_micros(t_us), v))
+                    .collect()
+            })
+            .unwrap_or_default()
     }
 
     /// All counter names, sorted.
     pub fn counter_names(&self) -> Vec<&str> {
-        let mut names: Vec<&str> = self.counters.keys().map(String::as_str).collect();
-        names.sort_unstable();
-        names
+        self.reg.counters().into_iter().map(|(n, _)| n).collect()
     }
 
     /// All series names, sorted.
     pub fn series_names(&self) -> Vec<&str> {
-        let mut names: Vec<&str> = self.series.keys().map(String::as_str).collect();
-        names.sort_unstable();
-        names
+        self.reg.series_names()
+    }
+
+    /// The backing registry (histograms, gauges, health reports, tracing).
+    pub fn registry(&self) -> &Registry {
+        &self.reg
+    }
+
+    /// Mutable access to the backing registry.
+    pub fn registry_mut(&mut self) -> &mut Registry {
+        &mut self.reg
+    }
+}
+
+/// Kernel-owned metric handles, interned once at [`Sim::new`] so the
+/// send/dispatch hot paths never touch a string.
+struct KernelTele {
+    send_to_unknown: CounterId,
+    dropped_partition: CounterId,
+    messages: CounterId,
+    bytes: CounterId,
+    came_up: CounterId,
+    went_down: CounterId,
+    killed_by_host_down: CounterId,
+    exited: CounterId,
+    dropped_dead_dest: CounterId,
+    dispatch_span: SpanId,
+}
+
+impl KernelTele {
+    fn intern(reg: &mut Registry) -> Self {
+        KernelTele {
+            send_to_unknown: reg.counter("net.send_to_unknown"),
+            dropped_partition: reg.counter("net.dropped_partition"),
+            messages: reg.counter("net.messages"),
+            bytes: reg.counter("net.bytes"),
+            came_up: reg.counter("hosts.came_up"),
+            went_down: reg.counter("hosts.went_down"),
+            killed_by_host_down: reg.counter("procs.killed_by_host_down"),
+            exited: reg.counter("procs.exited"),
+            dropped_dead_dest: reg.counter("events.dropped_dead_dest"),
+            dispatch_span: reg.span("kernel.dispatch"),
+        }
+    }
+}
+
+/// Stable tag identifying an [`Event`] variant in trace records.
+fn event_tag(ev: &Event) -> u64 {
+    match ev {
+        Event::Started => 0,
+        Event::Timer { .. } => 1,
+        Event::Message { .. } => 2,
+        Event::ComputeDone { .. } => 3,
+        Event::HostStateChanged { .. } => 4,
     }
 }
 
@@ -166,6 +238,7 @@ struct Shared {
     seeder: StreamSeeder,
     net_rng: Xoshiro256,
     metrics: Metrics,
+    tele: KernelTele,
     pending_spawns: Vec<(ProcessId, Box<dyn Process>)>,
     pending_exits: Vec<ProcessId>,
     events_dispatched: u64,
@@ -234,7 +307,8 @@ impl<'a> Ctx<'a> {
     /// generation number in the tag and ignore stale firings.
     pub fn set_timer(&mut self, after: SimDuration, tag: u64) {
         let at = self.shared.now + after;
-        self.shared.push(at, Target::Proc(self.me), Some(Event::Timer { tag }));
+        self.shared
+            .push(at, Target::Proc(self.me), Some(Event::Timer { tag }));
     }
 
     /// Send a message to another process through the network model.
@@ -246,7 +320,8 @@ impl<'a> Ctx<'a> {
     pub fn send(&mut self, to: ProcessId, mtype: u32, payload: Vec<u8>) {
         let from_host = self.shared.meta[self.me.0 as usize].host;
         let Some(to_meta) = self.shared.meta.get(to.0 as usize) else {
-            self.shared.metrics.add("net.send_to_unknown", 1.0);
+            let id = self.shared.tele.send_to_unknown;
+            self.shared.metrics.reg.inc(id);
             return;
         };
         let to_host = to_meta.host;
@@ -260,11 +335,13 @@ impl<'a> Ctx<'a> {
             .delay(from_site, to_site, bytes, now, &mut self.shared.net_rng)
         {
             None => {
-                self.shared.metrics.add("net.dropped_partition", 1.0);
+                let id = self.shared.tele.dropped_partition;
+                self.shared.metrics.reg.inc(id);
             }
             Some(d) => {
-                self.shared.metrics.add("net.messages", 1.0);
-                self.shared.metrics.add("net.bytes", bytes as f64);
+                let (m, b) = (self.shared.tele.messages, self.shared.tele.bytes);
+                self.shared.metrics.reg.inc(m);
+                self.shared.metrics.reg.add(b, bytes as f64);
                 self.shared.push(
                     now + d,
                     Target::Proc(to),
@@ -283,10 +360,17 @@ impl<'a> Ctx<'a> {
     /// background load determine the duration.
     pub fn compute(&mut self, ops: u64, tag: u64) {
         let host = self.shared.meta[self.me.0 as usize].host;
-        let d = self.shared.hosts.get(host).compute_time(ops, self.shared.now);
+        let d = self
+            .shared
+            .hosts
+            .get(host)
+            .compute_time(ops, self.shared.now);
         let at = self.shared.now + d;
-        self.shared
-            .push(at, Target::Proc(self.me), Some(Event::ComputeDone { tag, ops }));
+        self.shared.push(
+            at,
+            Target::Proc(self.me),
+            Some(Event::ComputeDone { tag, ops }),
+        );
     }
 
     /// Spawn a new process on `host`. It receives `Event::Started` at the
@@ -342,12 +426,108 @@ impl<'a> Ctx<'a> {
         self.shared.hosts.get(host).speed_ops
     }
 
+    // ---- telemetry: interned handles ----
+    //
+    // Intern once (normally on `Event::Started`), store the copyable ids in
+    // process state, and record through them on the hot path.
+
+    /// Intern a counter name, returning a copyable handle.
+    pub fn counter(&mut self, name: &str) -> CounterId {
+        self.shared.metrics.reg.counter(name)
+    }
+
+    /// Add `v` to an interned counter.
+    #[inline]
+    pub fn add(&mut self, id: CounterId, v: f64) {
+        self.shared.metrics.reg.add(id, v);
+    }
+
+    /// Add 1 to an interned counter.
+    #[inline]
+    pub fn inc(&mut self, id: CounterId) {
+        self.shared.metrics.reg.inc(id);
+    }
+
+    /// Intern a time-series name, returning a copyable handle.
+    pub fn series(&mut self, name: &str) -> SeriesId {
+        self.shared.metrics.reg.series(name)
+    }
+
+    /// Record `v` at the current simulated time on an interned series.
+    #[inline]
+    pub fn record(&mut self, id: SeriesId, v: f64) {
+        let t_us = self.shared.now.as_micros();
+        self.shared.metrics.reg.record(id, t_us, v);
+    }
+
+    /// Intern a gauge name, returning a copyable handle.
+    pub fn gauge(&mut self, name: &str) -> GaugeId {
+        self.shared.metrics.reg.gauge(name)
+    }
+
+    /// Set an interned gauge to `v`.
+    #[inline]
+    pub fn set_gauge(&mut self, id: GaugeId, v: f64) {
+        self.shared.metrics.reg.set_gauge(id, v);
+    }
+
+    /// Intern a histogram name, returning a copyable handle.
+    pub fn histogram(&mut self, name: &str) -> HistogramId {
+        self.shared.metrics.reg.histogram(name)
+    }
+
+    /// Record one observation into an interned histogram.
+    #[inline]
+    pub fn observe(&mut self, id: HistogramId, v: f64) {
+        self.shared.metrics.reg.observe(id, v);
+    }
+
+    /// Intern a span name, returning a copyable handle.
+    pub fn span(&mut self, name: &str) -> SpanId {
+        self.shared.metrics.reg.span(name)
+    }
+
+    /// Whether span tracing is collecting records. Components may use this
+    /// to skip building expensive tags, never to change behavior.
+    #[inline]
+    pub fn tracing_enabled(&self) -> bool {
+        self.shared.metrics.reg.tracing_enabled()
+    }
+
+    /// Record a span entry at the current simulated time (no-op unless
+    /// tracing is enabled; the actor is this process).
+    #[inline]
+    pub fn span_enter(&mut self, span: SpanId, tag: u64) {
+        let t_us = self.shared.now.as_micros();
+        let actor = self.me.0 as u64;
+        self.shared.metrics.reg.span_enter(t_us, span, actor, tag);
+    }
+
+    /// Record a span exit at the current simulated time (no-op unless
+    /// tracing is enabled; the actor is this process).
+    #[inline]
+    pub fn span_exit(&mut self, span: SpanId, tag: u64) {
+        let t_us = self.shared.now.as_micros();
+        let actor = self.me.0 as u64;
+        self.shared.metrics.reg.span_exit(t_us, span, actor, tag);
+    }
+
+    // ---- telemetry: deprecated string-keyed shims ----
+
     /// Add to a named metric counter.
+    #[deprecated(
+        since = "0.2.0",
+        note = "intern a CounterId with Ctx::counter at Started and use Ctx::add"
+    )]
     pub fn metric_add(&mut self, name: &str, v: f64) {
         self.shared.metrics.add(name, v);
     }
 
     /// Record a point on a named metric series.
+    #[deprecated(
+        since = "0.2.0",
+        note = "intern a SeriesId with Ctx::series at Started and use Ctx::record"
+    )]
     pub fn metric_record(&mut self, name: &str, v: f64) {
         let now = self.shared.now;
         self.shared.metrics.record(name, now, v);
@@ -377,6 +557,8 @@ impl Sim {
         let seeder = StreamSeeder::new(seed);
         let net_rng = seeder.stream_named("kernel.net");
         let host_up = vec![true; hosts.len()];
+        let mut metrics = Metrics::default();
+        let tele = KernelTele::intern(metrics.registry_mut());
         Sim {
             shared: Shared {
                 now: SimTime::ZERO,
@@ -389,7 +571,8 @@ impl Sim {
                 watchers: HashMap::new(),
                 seeder,
                 net_rng,
-                metrics: Metrics::default(),
+                metrics,
+                tele,
                 pending_spawns: Vec::new(),
                 pending_exits: Vec::new(),
                 events_dispatched: 0,
@@ -419,6 +602,31 @@ impl Sim {
         &self.shared.metrics
     }
 
+    /// The telemetry registry behind [`Sim::metrics`] (histograms, gauges,
+    /// health reports, span tracing).
+    pub fn telemetry(&self) -> &Registry {
+        self.shared.metrics.registry()
+    }
+
+    /// Mutable access to the telemetry registry, e.g. for drivers that
+    /// intern handles before a run.
+    pub fn telemetry_mut(&mut self) -> &mut Registry {
+        self.shared.metrics.registry_mut()
+    }
+
+    /// Start collecting span trace records into a ring of `capacity`
+    /// entries. Tracing is purely observational: a run is bit-identical
+    /// with tracing on or off.
+    pub fn enable_tracing(&mut self, capacity: usize) {
+        self.shared.metrics.reg.enable_tracing(capacity);
+    }
+
+    /// Export collected span records as deterministic JSONL (empty string
+    /// when tracing was never enabled).
+    pub fn export_trace_jsonl(&self) -> String {
+        self.shared.metrics.reg.export_trace_jsonl()
+    }
+
     /// Whether a process is alive.
     pub fn process_alive(&self, pid: ProcessId) -> bool {
         self.shared
@@ -430,7 +638,10 @@ impl Sim {
 
     /// Name a process was spawned with.
     pub fn process_name(&self, pid: ProcessId) -> Option<&str> {
-        self.shared.meta.get(pid.0 as usize).map(|m| m.name.as_str())
+        self.shared
+            .meta
+            .get(pid.0 as usize)
+            .map(|m| m.name.as_str())
     }
 
     /// Host table (read-only).
@@ -477,26 +688,25 @@ impl Sim {
             return;
         }
         self.shared.host_up[host.0 as usize] = up;
-        self.shared
-            .metrics
-            .add(if up { "hosts.came_up" } else { "hosts.went_down" }, 1.0);
+        let transition = if up {
+            self.shared.tele.came_up
+        } else {
+            self.shared.tele.went_down
+        };
+        self.shared.metrics.reg.inc(transition);
         if !up {
             // Kill every process on the host, without warning.
+            let killed = self.shared.tele.killed_by_host_down;
             for (i, m) in self.shared.meta.iter_mut().enumerate() {
                 if m.alive && m.host == host {
                     m.alive = false;
                     self.procs[i] = None;
-                    self.shared.metrics.add("procs.killed_by_host_down", 1.0);
+                    self.shared.metrics.reg.inc(killed);
                 }
             }
         }
         // Notify watchers (infrastructure supervisors).
-        let watchers = self
-            .shared
-            .watchers
-            .get(&host)
-            .cloned()
-            .unwrap_or_default();
+        let watchers = self.shared.watchers.get(&host).cloned().unwrap_or_default();
         let now = self.shared.now;
         for w in watchers {
             if self.shared.meta[w.0 as usize].alive {
@@ -518,11 +728,12 @@ impl Sim {
             self.procs[pid.0 as usize] = Some(p);
         }
         let exits = std::mem::take(&mut self.shared.pending_exits);
+        let exited = self.shared.tele.exited;
         for pid in exits {
             if self.shared.meta[pid.0 as usize].alive {
                 self.shared.meta[pid.0 as usize].alive = false;
                 self.procs[pid.0 as usize] = None;
-                self.shared.metrics.add("procs.exited", 1.0);
+                self.shared.metrics.reg.inc(exited);
             }
         }
     }
@@ -532,10 +743,7 @@ impl Sim {
     pub fn run_until(&mut self, t_end: SimTime) -> RunStats {
         self.schedule_host_transitions();
         let start_events = self.shared.events_dispatched;
-        loop {
-            let Some(Reverse(top)) = self.shared.queue.peek() else {
-                break;
-            };
+        while let Some(Reverse(top)) = self.shared.queue.peek() {
             if top.time > t_end {
                 break;
             }
@@ -554,6 +762,13 @@ impl Sim {
                         if let Some(mut p) = self.procs[idx].take() {
                             let ev = sch.ev.expect("process events carry payloads");
                             self.shared.events_dispatched += 1;
+                            let tag = event_tag(&ev);
+                            let (t_us, span) =
+                                (self.shared.now.as_micros(), self.shared.tele.dispatch_span);
+                            self.shared
+                                .metrics
+                                .reg
+                                .span_enter(t_us, span, pid.0 as u64, tag);
                             {
                                 let mut ctx = Ctx {
                                     shared: &mut self.shared,
@@ -561,6 +776,10 @@ impl Sim {
                                 };
                                 p.on_event(&mut ctx, ev);
                             }
+                            self.shared
+                                .metrics
+                                .reg
+                                .span_exit(t_us, span, pid.0 as u64, tag);
                             // The process may have exited or been re-slotted;
                             // only put it back if the slot is still empty.
                             if self.procs[idx].is_none() {
@@ -568,7 +787,8 @@ impl Sim {
                             }
                         }
                     } else {
-                        self.shared.metrics.add("events.dropped_dead_dest", 1.0);
+                        let dropped = self.shared.tele.dropped_dead_dest;
+                        self.shared.metrics.reg.inc(dropped);
                     }
                 }
             }
@@ -665,13 +885,22 @@ mod tests {
     fn ping_pong_round_trip() {
         let (mut sim, h0, h1) = small_world();
         let echo = sim.spawn("echo", h1, Box::new(Echo { got: vec![] }));
-        let pinger = sim.spawn("pinger", h0, Box::new(Pinger { peer: echo, replies: 0 }));
+        let pinger = sim.spawn(
+            "pinger",
+            h0,
+            Box::new(Pinger {
+                peer: echo,
+                replies: 0,
+            }),
+        );
         sim.run_until(SimTime::from_secs(1));
         let replies = sim
             .with_process::<Pinger, _>(pinger, |p| p.replies)
             .unwrap();
         assert_eq!(replies, 1);
-        let got = sim.with_process::<Echo, _>(echo, |e| e.got.clone()).unwrap();
+        let got = sim
+            .with_process::<Echo, _>(echo, |e| e.got.clone())
+            .unwrap();
         assert_eq!(got, vec![(10, b"ping".to_vec())]);
         assert!(sim.metrics().counter("net.messages") >= 2.0);
     }
@@ -763,7 +992,8 @@ mod tests {
         fn on_event(&mut self, ctx: &mut Ctx<'_>, ev: Event) {
             if let Event::Started = ev {
                 let host = ctx.host();
-                self.child = Some(ctx.spawn("child", host, Box::new(TimerCounter { fired: vec![] })));
+                self.child =
+                    Some(ctx.spawn("child", host, Box::new(TimerCounter { fired: vec![] })));
             }
         }
     }
@@ -773,7 +1003,10 @@ mod tests {
         let (mut sim, h0, _) = small_world();
         let p = sim.spawn("spawner", h0, Box::new(Spawner { child: None }));
         sim.run_until(SimTime::from_secs(10));
-        let child = sim.with_process::<Spawner, _>(p, |s| s.child).unwrap().unwrap();
+        let child = sim
+            .with_process::<Spawner, _>(p, |s| s.child)
+            .unwrap()
+            .unwrap();
         let fired = sim
             .with_process::<TimerCounter, _>(child, |t| t.fired.clone())
             .unwrap();
@@ -903,7 +1136,10 @@ mod tests {
         let replies = sim
             .with_process::<LatePinger, _>(pinger, |p| p.replies)
             .unwrap();
-        assert_eq!(replies, 0, "message sent at t=6 to host down since t=5 is lost");
+        assert_eq!(
+            replies, 0,
+            "message sent at t=6 to host down since t=5 is lost"
+        );
         assert!(sim.metrics().counter("events.dropped_dead_dest") >= 1.0);
     }
 
@@ -941,8 +1177,22 @@ mod tests {
                     }
                 }
             }
-            let a = sim.spawn("a", h0, Box::new(Chatter { peer: None, count: 0 }));
-            let b = sim.spawn("b", h1, Box::new(Chatter { peer: Some(a), count: 0 }));
+            let a = sim.spawn(
+                "a",
+                h0,
+                Box::new(Chatter {
+                    peer: None,
+                    count: 0,
+                }),
+            );
+            let b = sim.spawn(
+                "b",
+                h1,
+                Box::new(Chatter {
+                    peer: Some(a),
+                    count: 0,
+                }),
+            );
             let _ = b;
             sim.run_until(SimTime::from_secs(30));
             (
@@ -952,7 +1202,11 @@ mod tests {
             )
         };
         assert_eq!(run(123), run(123));
-        assert_ne!(run(123).1, run(456).1, "different seeds should differ in bytes");
+        assert_ne!(
+            run(123).1,
+            run(456).1,
+            "different seeds should differ in bytes"
+        );
     }
 
     #[test]

@@ -32,6 +32,10 @@ pub mod rng;
 pub mod time;
 pub mod trace;
 
+pub use ew_telemetry::{
+    CounterId, GaugeId, Histogram, HistogramId, HistogramSummary, Registry, SeriesId, Snapshot,
+    SpanId, SubsystemHealth,
+};
 pub use host::{HostId, HostSpec, HostTable};
 pub use kernel::{Ctx, Event, Metrics, Process, ProcessId, RunStats, Sim};
 pub use net::{NetModel, Partition, SiteId, SiteSpec};

@@ -239,7 +239,9 @@ mod tests {
             0.0,
         ));
         let mut rng = Xoshiro256::seed_from_u64(1);
-        let before = net.delay(a, b, 1000, SimTime::from_secs(50), &mut rng).unwrap();
+        let before = net
+            .delay(a, b, 1000, SimTime::from_secs(50), &mut rng)
+            .unwrap();
         let during = net
             .delay(a, b, 1000, SimTime::from_secs(150), &mut rng)
             .unwrap();
@@ -269,7 +271,9 @@ mod tests {
         assert!(net.delay(a, b, 10, t_in, &mut rng).is_none());
         assert!(net.delay(b, a, 10, t_in, &mut rng).is_none());
         assert!(net.delay(a, c, 10, t_in, &mut rng).is_some());
-        assert!(net.delay(a, b, 10, SimTime::from_secs(25), &mut rng).is_some());
+        assert!(net
+            .delay(a, b, 10, SimTime::from_secs(25), &mut rng)
+            .is_some());
     }
 
     #[test]
@@ -282,9 +286,13 @@ mod tests {
             until: SimTime::from_secs(100),
         });
         let mut rng = Xoshiro256::seed_from_u64(1);
-        assert!(net.delay(a, b, 10, SimTime::from_secs(5), &mut rng).is_none());
+        assert!(net
+            .delay(a, b, 10, SimTime::from_secs(5), &mut rng)
+            .is_none());
         // Intra-site traffic survives isolation.
-        assert!(net.delay(a, a, 10, SimTime::from_secs(5), &mut rng).is_some());
+        assert!(net
+            .delay(a, a, 10, SimTime::from_secs(5), &mut rng)
+            .is_some());
     }
 
     #[test]
@@ -325,6 +333,9 @@ mod tests {
             until: SimTime::from_secs(1),
         });
         assert!(!net.reachable(a, b, SimTime::ZERO));
-        assert!(net.reachable(a, a, SimTime::ZERO), "same site always reachable");
+        assert!(
+            net.reachable(a, a, SimTime::ZERO),
+            "same site always reachable"
+        );
     }
 }

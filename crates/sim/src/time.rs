@@ -230,10 +230,7 @@ mod tests {
 
     #[test]
     fn scalar_ops() {
-        assert_eq!(
-            SimDuration::from_secs(3) * 2,
-            SimDuration::from_secs(6)
-        );
+        assert_eq!(SimDuration::from_secs(3) * 2, SimDuration::from_secs(6));
         assert_eq!(SimDuration::from_secs(6) / 2, SimDuration::from_secs(3));
         assert_eq!(
             SimDuration::from_secs(2).saturating_mul_f64(1.5),

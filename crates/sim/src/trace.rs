@@ -194,7 +194,7 @@ impl AvailabilitySchedule {
         while t < SimTime::ZERO + horizon {
             let mean = if up { mean_up } else { mean_down };
             let dwell = SimDuration::from_secs_f64(rng.exponential(mean.as_secs_f64()).max(1.0));
-            t = t + dwell;
+            t += dwell;
             up = !up;
             transitions.push((t, up));
         }

@@ -12,7 +12,7 @@ use std::collections::BTreeMap;
 
 use ew_proto::sim_net::{packet_from_event, send_packet};
 use ew_proto::{Packet, WireEncode};
-use ew_sim::{Ctx, Event, Process, ProcessId};
+use ew_sim::{CounterId, Ctx, Event, Process, ProcessId};
 
 use crate::messages::{sm, FetchReply, FetchRequest, StoreReply, StoreRequest};
 
@@ -32,6 +32,15 @@ pub struct PersistentStateServer {
     pub stores_ok: u64,
     /// Rejected store operations (validation or capacity).
     pub stores_rejected: u64,
+    tele: Option<StateTele>,
+}
+
+/// Interned metric handles, resolved once at `Started`.
+#[derive(Clone, Copy)]
+struct StateTele {
+    stores_ok: CounterId,
+    stores_rejected: CounterId,
+    fetches: CounterId,
 }
 
 impl PersistentStateServer {
@@ -45,6 +54,7 @@ impl PersistentStateServer {
             used: 0,
             stores_ok: 0,
             stores_rejected: 0,
+            tele: None,
         }
     }
 
@@ -111,19 +121,17 @@ impl PersistentStateServer {
     }
 
     fn handle(&mut self, ctx: &mut Ctx<'_>, from: ProcessId, pkt: Packet) {
+        let tele = self.tele.expect("started");
         match pkt.mtype {
             sm::STORE if pkt.is_request() => {
                 let reply = match pkt.body::<StoreRequest>() {
                     Ok(req) => {
                         let r = self.try_store(&req);
-                        ctx.metric_add(
-                            if r.accepted {
-                                "state.stores_ok"
-                            } else {
-                                "state.stores_rejected"
-                            },
-                            1.0,
-                        );
+                        ctx.inc(if r.accepted {
+                            tele.stores_ok
+                        } else {
+                            tele.stores_rejected
+                        });
                         r
                     }
                     Err(e) => StoreReply {
@@ -150,7 +158,7 @@ impl PersistentStateServer {
                         value: Vec::new(),
                     },
                 };
-                ctx.metric_add("state.fetches", 1.0);
+                ctx.inc(tele.fetches);
                 send_packet(ctx, from, &Packet::response_to(&pkt, reply.to_wire()));
             }
             _ => {}
@@ -160,6 +168,14 @@ impl PersistentStateServer {
 
 impl Process for PersistentStateServer {
     fn on_event(&mut self, ctx: &mut Ctx<'_>, ev: Event) {
+        if let Event::Started = ev {
+            self.tele = Some(StateTele {
+                stores_ok: ctx.counter("state.stores_ok"),
+                stores_rejected: ctx.counter("state.stores_rejected"),
+                fetches: ctx.counter("state.fetches"),
+            });
+            return;
+        }
         if let Some(Ok((from, pkt))) = packet_from_event(&ev) {
             self.handle(ctx, from, pkt);
         }

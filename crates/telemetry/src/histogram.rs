@@ -1,0 +1,231 @@
+//! Log-bucketed histograms.
+//!
+//! Buckets are powers of two keyed off the value's IEEE-754 exponent
+//! bits — no `log2` call, fully deterministic across platforms. Bucket
+//! `i` covers `[2^(i - EXPONENT_OFFSET), 2^(i + 1 - EXPONENT_OFFSET))`,
+//! spanning roughly 1.5e-5 through 1.4e14: microsecond-scale latencies
+//! up to multi-year durations all land in distinct buckets. Values at or
+//! below zero (and non-finite values) fall into bucket 0.
+
+/// Number of log2 buckets per histogram.
+pub const NUM_BUCKETS: usize = 64;
+
+/// Smallest representable exponent; bucket index = exponent + offset.
+const EXPONENT_OFFSET: i32 = 16;
+
+/// A fixed-size log2 histogram with count/sum/min/max.
+///
+/// [`Histogram::merge`] is associative and commutative (bucket-wise and
+/// count/sum addition; min/max lattice), so partial histograms from
+/// different processes can be combined in any order.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Histogram {
+    buckets: [u64; NUM_BUCKETS],
+    count: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            buckets: [0; NUM_BUCKETS],
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Histogram::default()
+    }
+
+    /// Bucket index for `v`.
+    pub fn bucket_index(v: f64) -> usize {
+        if v <= 0.0 || !v.is_finite() {
+            return 0;
+        }
+        let exponent = ((v.to_bits() >> 52) & 0x7ff) as i32 - 1023;
+        (exponent + EXPONENT_OFFSET).clamp(0, NUM_BUCKETS as i32 - 1) as usize
+    }
+
+    /// Lower bound of bucket `i` (0 for the underflow bucket).
+    pub fn bucket_floor(i: usize) -> f64 {
+        if i == 0 {
+            0.0
+        } else {
+            (2.0f64).powi(i as i32 - EXPONENT_OFFSET)
+        }
+    }
+
+    /// Record one observation.
+    pub fn observe(&mut self, v: f64) {
+        self.buckets[Self::bucket_index(v)] += 1;
+        self.count += 1;
+        if v.is_finite() {
+            self.sum += v;
+            self.min = self.min.min(v);
+            self.max = self.max.max(v);
+        }
+    }
+
+    /// Fold `other` into `self`. Associative and commutative.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Total observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all finite observations.
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Smallest finite observation, if any.
+    pub fn min(&self) -> Option<f64> {
+        (self.count > 0 && self.min.is_finite()).then_some(self.min)
+    }
+
+    /// Largest finite observation, if any.
+    pub fn max(&self) -> Option<f64> {
+        (self.count > 0 && self.max.is_finite()).then_some(self.max)
+    }
+
+    /// Mean of finite observations (`None` when empty).
+    pub fn mean(&self) -> Option<f64> {
+        (self.count > 0).then(|| self.sum / self.count as f64)
+    }
+
+    /// Raw bucket counts.
+    pub fn buckets(&self) -> &[u64; NUM_BUCKETS] {
+        &self.buckets
+    }
+
+    /// Approximate quantile from bucket floors (`q` in `[0, 1]`).
+    ///
+    /// Walks buckets until the cumulative count crosses `q * count` and
+    /// returns that bucket's floor — a deterministic lower-bound estimate.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if self.count == 0 {
+            return None;
+        }
+        let rank = (q.clamp(0.0, 1.0) * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return Some(Self::bucket_floor(i));
+            }
+        }
+        Some(Self::bucket_floor(NUM_BUCKETS - 1))
+    }
+
+    /// Condensed view for health reports.
+    pub fn summary(&self) -> HistogramSummary {
+        HistogramSummary {
+            count: self.count,
+            sum: self.sum,
+            min: self.min(),
+            max: self.max(),
+            mean: self.mean(),
+            p50: self.quantile(0.50),
+            p99: self.quantile(0.99),
+        }
+    }
+}
+
+/// Condensed histogram statistics for display.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct HistogramSummary {
+    /// Total observations.
+    pub count: u64,
+    /// Sum of finite observations.
+    pub sum: f64,
+    /// Smallest observation.
+    pub min: Option<f64>,
+    /// Largest observation.
+    pub max: Option<f64>,
+    /// Arithmetic mean.
+    pub mean: Option<f64>,
+    /// Approximate median (bucket floor).
+    pub p50: Option<f64>,
+    /// Approximate 99th percentile (bucket floor).
+    pub p99: Option<f64>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucketing_is_log2() {
+        assert_eq!(Histogram::bucket_index(0.0), 0);
+        assert_eq!(Histogram::bucket_index(-5.0), 0);
+        assert_eq!(Histogram::bucket_index(f64::NAN), 0);
+        assert_eq!(Histogram::bucket_index(1.0), EXPONENT_OFFSET as usize);
+        assert_eq!(Histogram::bucket_index(1.99), EXPONENT_OFFSET as usize);
+        assert_eq!(Histogram::bucket_index(2.0), EXPONENT_OFFSET as usize + 1);
+        assert_eq!(
+            Histogram::bucket_index(1024.0),
+            EXPONENT_OFFSET as usize + 10
+        );
+        // Huge values clamp into the top bucket.
+        assert_eq!(Histogram::bucket_index(1e300), NUM_BUCKETS - 1);
+    }
+
+    #[test]
+    fn observe_tracks_stats() {
+        let mut h = Histogram::new();
+        for v in [1.0, 4.0, 16.0, 64.0] {
+            h.observe(v);
+        }
+        assert_eq!(h.count(), 4);
+        assert_eq!(h.sum(), 85.0);
+        assert_eq!(h.min(), Some(1.0));
+        assert_eq!(h.max(), Some(64.0));
+        assert_eq!(h.mean(), Some(21.25));
+    }
+
+    #[test]
+    fn merge_matches_pooled_observations() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        let mut pooled = Histogram::new();
+        for (i, v) in [0.5, 3.0, 100.0, 7.5, 0.001, 9e9].iter().enumerate() {
+            if i % 2 == 0 {
+                a.observe(*v);
+            } else {
+                b.observe(*v);
+            }
+            pooled.observe(*v);
+        }
+        a.merge(&b);
+        assert_eq!(a, pooled);
+    }
+
+    #[test]
+    fn quantiles_walk_buckets() {
+        let mut h = Histogram::new();
+        for _ in 0..99 {
+            h.observe(1.0);
+        }
+        h.observe(1024.0);
+        assert_eq!(h.quantile(0.5), Some(1.0));
+        assert_eq!(h.quantile(1.0), Some(1024.0));
+        assert_eq!(Histogram::new().quantile(0.5), None);
+    }
+}

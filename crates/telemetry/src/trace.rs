@@ -1,0 +1,177 @@
+//! Span-based event tracing.
+//!
+//! Enter/exit records accumulate in a bounded ring buffer; when full, the
+//! oldest records are evicted (the tail of a run is usually the part under
+//! investigation). Export is deterministic JSONL: records in arrival
+//! order, fields in a fixed order, integers only — two identical
+//! simulations produce byte-identical traces.
+
+use crate::registry::SpanId;
+
+/// Whether a record marks the start or end of a span.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SpanPhase {
+    /// Work began.
+    Enter,
+    /// Work finished.
+    Exit,
+}
+
+impl SpanPhase {
+    fn as_str(self) -> &'static str {
+        match self {
+            SpanPhase::Enter => "enter",
+            SpanPhase::Exit => "exit",
+        }
+    }
+}
+
+/// One trace record.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TraceRecord {
+    /// Timestamp in microseconds.
+    pub t_us: u64,
+    /// Which span (interned name).
+    pub span: SpanId,
+    /// Enter or exit.
+    pub phase: SpanPhase,
+    /// Acting entity (process id, host id, ...; caller-defined).
+    pub actor: u64,
+    /// Free-form detail (event kind, peer id, byte count, ...).
+    pub tag: u64,
+}
+
+/// Bounded ring of [`TraceRecord`]s.
+#[derive(Debug, Default)]
+pub struct TraceBuffer {
+    records: Vec<TraceRecord>,
+    /// Index of the oldest record once the ring has wrapped.
+    head: usize,
+    capacity: usize,
+    dropped: u64,
+}
+
+impl TraceBuffer {
+    /// A ring holding at most `capacity` records (min 1).
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        TraceBuffer {
+            records: Vec::with_capacity(capacity.min(4096)),
+            head: 0,
+            capacity,
+            dropped: 0,
+        }
+    }
+
+    /// Append a record, evicting the oldest if full.
+    pub fn push(&mut self, rec: TraceRecord) {
+        if self.records.len() < self.capacity {
+            self.records.push(rec);
+        } else {
+            self.records[self.head] = rec;
+            self.head = (self.head + 1) % self.capacity;
+            self.dropped += 1;
+        }
+    }
+
+    /// Records currently held, oldest first.
+    pub fn iter(&self) -> impl Iterator<Item = &TraceRecord> {
+        let (wrapped, recent) = self.records.split_at(self.head.min(self.records.len()));
+        recent.iter().chain(wrapped.iter())
+    }
+
+    /// Number of records currently held.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// True when no records are held.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Records evicted because the ring was full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Serialize to JSONL, resolving span ids through `span_name`.
+    ///
+    /// One record per line, keys in fixed order; output depends only on
+    /// the records and names, so identical runs export identical bytes.
+    pub fn to_jsonl(&self, span_name: impl Fn(SpanId) -> String) -> String {
+        let mut out = String::with_capacity(self.len() * 96);
+        for r in self.iter() {
+            out.push_str(&format!(
+                "{{\"t_us\":{},\"span\":\"{}\",\"phase\":\"{}\",\"actor\":{},\"tag\":{}}}\n",
+                r.t_us,
+                escape(&span_name(r.span)),
+                r.phase.as_str(),
+                r.actor,
+                r.tag
+            ));
+        }
+        out
+    }
+}
+
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::Registry;
+
+    fn rec(t: u64, span: SpanId, phase: SpanPhase) -> TraceRecord {
+        TraceRecord {
+            t_us: t,
+            span,
+            phase,
+            actor: 7,
+            tag: 0,
+        }
+    }
+
+    #[test]
+    fn ring_evicts_oldest() {
+        let mut reg = Registry::new();
+        let s = reg.span("kernel.dispatch");
+        let mut tb = TraceBuffer::new(3);
+        for t in 0..5 {
+            tb.push(rec(t, s, SpanPhase::Enter));
+        }
+        let times: Vec<u64> = tb.iter().map(|r| r.t_us).collect();
+        assert_eq!(times, vec![2, 3, 4]);
+        assert_eq!(tb.dropped(), 2);
+    }
+
+    #[test]
+    fn jsonl_is_deterministic_and_ordered() {
+        let mut reg = Registry::new();
+        let s = reg.span("gossip.reconcile");
+        let mut tb = TraceBuffer::new(8);
+        tb.push(rec(10, s, SpanPhase::Enter));
+        tb.push(rec(15, s, SpanPhase::Exit));
+        let name = |id| reg.span_name(id).unwrap_or_default().to_string();
+        let a = tb.to_jsonl(name);
+        let b = tb.to_jsonl(|id| reg.span_name(id).unwrap_or_default().to_string());
+        assert_eq!(a, b);
+        assert_eq!(
+            a,
+            "{\"t_us\":10,\"span\":\"gossip.reconcile\",\"phase\":\"enter\",\"actor\":7,\"tag\":0}\n\
+             {\"t_us\":15,\"span\":\"gossip.reconcile\",\"phase\":\"exit\",\"actor\":7,\"tag\":0}\n"
+        );
+    }
+}

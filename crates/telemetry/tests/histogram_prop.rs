@@ -1,0 +1,93 @@
+//! Property tests: [`Histogram::merge`] forms a commutative monoid over
+//! partial histograms, so per-process shards can be combined in any
+//! order and grouping without changing the result. This is what lets the
+//! registry fold subsystem histograms for health reports without caring
+//! which component observed what first.
+
+use proptest::prelude::*;
+
+use ew_telemetry::Histogram;
+
+fn from_obs(obs: &[f64]) -> Histogram {
+    let mut h = Histogram::new();
+    for &v in obs {
+        h.observe(v);
+    }
+    h
+}
+
+/// Observation magnitudes spanning the whole bucket range, including the
+/// underflow bucket (zero) and sub-microsecond values.
+fn obs_vec() -> impl Strategy<Value = Vec<f64>> {
+    collection::vec(
+        prop_oneof![
+            Just(0.0),
+            (1e-7f64..1e-3).boxed(),
+            (1e-3f64..1e3).boxed(),
+            (1e3f64..1e12).boxed(),
+        ],
+        0..40,
+    )
+}
+
+proptest! {
+    #[test]
+    fn merge_is_commutative(xs in obs_vec(), ys in obs_vec()) {
+        let (a, b) = (from_obs(&xs), from_obs(&ys));
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        // IEEE-754 addition commutes exactly, min/max form a lattice, and
+        // bucket counts are integers — the merged structs are identical.
+        prop_assert_eq!(ab, ba);
+    }
+
+    #[test]
+    fn merge_is_associative(xs in obs_vec(), ys in obs_vec(), zs in obs_vec()) {
+        let (a, b, c) = (from_obs(&xs), from_obs(&ys), from_obs(&zs));
+        let mut left = a.clone();
+        left.merge(&b);
+        left.merge(&c);
+        let mut bc = b.clone();
+        bc.merge(&c);
+        let mut right = a.clone();
+        right.merge(&bc);
+        // Buckets, counts, and the min/max lattice associate exactly.
+        prop_assert_eq!(left.buckets(), right.buckets());
+        prop_assert_eq!(left.count(), right.count());
+        prop_assert_eq!(left.min(), right.min());
+        prop_assert_eq!(left.max(), right.max());
+        // Float addition only associates up to rounding.
+        let tol = 1e-9 * left.sum().abs().max(1.0);
+        prop_assert!(
+            (left.sum() - right.sum()).abs() <= tol,
+            "sums diverge beyond rounding: {} vs {}",
+            left.sum(),
+            right.sum()
+        );
+    }
+
+    #[test]
+    fn empty_histogram_is_the_identity(xs in obs_vec()) {
+        let a = from_obs(&xs);
+        let mut left = a.clone();
+        left.merge(&Histogram::new());
+        prop_assert_eq!(&left, &a);
+        let mut right = Histogram::new();
+        right.merge(&a);
+        prop_assert_eq!(&right, &a);
+    }
+
+    #[test]
+    fn merge_matches_pooled_observations(xs in obs_vec(), ys in obs_vec()) {
+        let mut merged = from_obs(&xs);
+        merged.merge(&from_obs(&ys));
+        let pooled: Vec<f64> = xs.iter().chain(ys.iter()).copied().collect();
+        let pooled = from_obs(&pooled);
+        prop_assert_eq!(merged.buckets(), pooled.buckets());
+        prop_assert_eq!(merged.count(), pooled.count());
+        prop_assert_eq!(merged.min(), pooled.min());
+        prop_assert_eq!(merged.max(), pooled.max());
+    }
+}

@@ -62,8 +62,7 @@ fn main() -> std::io::Result<()> {
             Some(inc) => {
                 let rtt = sent.elapsed();
                 policy.observe_rtt(tag, SimDuration::from_secs_f64(rtt.as_secs_f64()));
-                let (seq, busy): (u32, bool) =
-                    inc.packet.body().expect("typed body decodes");
+                let (seq, busy): (u32, bool) = inc.packet.body().expect("typed body decodes");
                 println!(
                     "| {seq}{} | {:.1} | {:.1} | (battery of 17, MAE-ranked) |",
                     if busy { " (busy)" } else { "" },

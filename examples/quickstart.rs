@@ -9,7 +9,7 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use everyware::{deploy_services, DeployConfig};
+use everyware::{DeployConfig, Deployment};
 use ew_infra::{InfraSpec, InfraSupervisor};
 use ew_ramsey::RamseyProblem;
 use ew_sched::{ClientConfig, SchedulerConfig, SchedulerServer};
@@ -54,29 +54,26 @@ fn main() {
     };
     let compute: Vec<_> = (0..8)
         .map(|i| {
-            let (site, speed) = if i < 4 {
-                (lab, 1e8)
-            } else {
-                (campus, 5e6)
-            };
+            let (site, speed) = if i < 4 { (lab, 1e8) } else { (campus, 5e6) };
             hosts.add(HostSpec::dedicated(&format!("node-{i}"), site, speed))
         })
         .collect();
 
     // 3. Deploy the EveryWare stack and one infrastructure.
     let mut sim = Sim::new(net, hosts, 7);
-    let dep = deploy_services(
-        &mut sim,
-        &service_hosts,
-        &DeployConfig {
-            sched: SchedulerConfig {
-                problem: RamseyProblem { k: 5, n: 43 },
-                step_budget: 2_000,
-                ..SchedulerConfig::default()
-            },
-            ..DeployConfig::default()
+    let dep = Deployment::builder(DeployConfig {
+        sched: SchedulerConfig {
+            problem: RamseyProblem { k: 5, n: 43 },
+            step_budget: 2_000,
+            ..SchedulerConfig::default()
         },
-    );
+        ..DeployConfig::default()
+    })
+    .gossip_pool(&service_hosts.gossips)
+    .schedulers(&service_hosts.schedulers)
+    .state_manager(service_hosts.state)
+    .log_server(service_hosts.log)
+    .spawn(&mut sim);
     sim.spawn(
         "supervisor",
         service_hosts.log,
@@ -119,9 +116,9 @@ fn main() {
         .with_process::<SchedulerServer, _>(dep.schedulers[0], |s| s.best_known.clone())
         .flatten();
     match best {
-        Some((count, _)) => println!(
-            "best R(5,5) coloring seen pool-wide: {count} monochromatic 5-cliques"
-        ),
+        Some((count, _)) => {
+            println!("best R(5,5) coloring seen pool-wide: {count} monochromatic 5-cliques")
+        }
         None => println!("no best-state synchronized yet (run longer)"),
     }
 }

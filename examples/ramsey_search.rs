@@ -59,9 +59,7 @@ fn prove(k: u32, n: u32, step_budget: u64, units: u64) {
             );
             println!("{}", render(w));
         }
-        None => println!(
-            "no witness found within the budget — raise step_budget/units.\n"
-        ),
+        None => println!("no witness found within the budget — raise step_budget/units.\n"),
     }
 }
 

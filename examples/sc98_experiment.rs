@@ -28,7 +28,10 @@ fn main() {
 
     println!("== SC98 rerun ==");
     println!("total useful ops delivered : {:.3e}", rep.total_ops);
-    println!("peak 5-min rate            : {:.3e} ops/s  (paper: 2.39e9)", rep.peak_rate);
+    println!(
+        "peak 5-min rate            : {:.3e} ops/s  (paper: 2.39e9)",
+        rep.peak_rate
+    );
     if cfg.judging {
         println!(
             "judging-window dip         : {:.3e} ops/s  (paper: 1.1e9)",
@@ -49,14 +52,19 @@ fn main() {
         .collect();
     rows.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
     for (name, m) in rows {
-        println!("  {name:>9}: {m:.3e}   (CoV {:.2})", rep.cov_per_infra[&name]);
+        println!(
+            "  {name:>9}: {m:.3e}   (CoV {:.2})",
+            rep.cov_per_infra[&name]
+        );
     }
 
     if cfg.judging {
         println!("\n5-minute series around the judging window:");
-        for p in rep.total.iter().filter(|p| {
-            p.t >= SimTime::from_secs(JUDGING_START_S.saturating_sub(1800))
-        }) {
+        for p in rep
+            .total
+            .iter()
+            .filter(|p| p.t >= SimTime::from_secs(JUDGING_START_S.saturating_sub(1800)))
+        {
             let bar_len = (p.value / 5e7) as usize;
             println!(
                 "  {}  {:>10.3e}  {}",

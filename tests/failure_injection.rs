@@ -3,7 +3,7 @@
 //! requirement of §2, verified component by component against the kernel's
 //! kill-without-warning semantics.
 
-use everyware::{deploy_services, DeployConfig};
+use everyware::{DeployConfig, Deployment};
 use ew_gossip::GossipServer;
 use ew_infra::{InfraSpec, InfraSupervisor, ServiceHosts};
 use ew_ramsey::RamseyProblem;
@@ -72,10 +72,15 @@ fn work_survives_scheduler_host_death() {
         };
         w.hosts.add(h)
     };
-    let h_s1 = w.hosts.add(HostSpec::dedicated("stable-sched", svc_site, 8e7));
+    let h_s1 = w
+        .hosts
+        .add(HostSpec::dedicated("stable-sched", svc_site, 8e7));
     let work_site = w.sites[1];
     let compute: Vec<HostId> = (0..4)
-        .map(|i| w.hosts.add(HostSpec::dedicated(&format!("w{i}"), work_site, 1e8)))
+        .map(|i| {
+            w.hosts
+                .add(HostSpec::dedicated(&format!("w{i}"), work_site, 1e8))
+        })
         .collect();
     let mut sim = Sim::new(w.net, w.hosts, 31);
     let s0 = sim.spawn("s0", h_s0, Box::new(SchedulerServer::new(sched_cfg())));
@@ -121,7 +126,10 @@ fn compute_continues_through_state_server_outage() {
     let state_host = svc.state;
     let work_site = w.sites[1];
     let compute: Vec<HostId> = (0..3)
-        .map(|i| w.hosts.add(HostSpec::dedicated(&format!("w{i}"), work_site, 1e8)))
+        .map(|i| {
+            w.hosts
+                .add(HostSpec::dedicated(&format!("w{i}"), work_site, 1e8))
+        })
         .collect();
     // Rebuild the host entry with downtime; HostTable has no mutation API,
     // so instead use a partition to make the state site unreachable —
@@ -134,14 +142,12 @@ fn compute_continues_through_state_server_outage() {
     });
     let _ = state_host;
     let mut sim = Sim::new(w.net, w.hosts, 33);
-    let dep = deploy_services(
-        &mut sim,
-        &svc,
-        &DeployConfig {
-            sched: sched_cfg(),
-            ..DeployConfig::default()
-        },
-    );
+    let dep = Deployment::builder(DeployConfig {
+        sched: sched_cfg(),
+        ..DeployConfig::default()
+    })
+    .service_hosts(&svc)
+    .spawn(&mut sim);
     let clients: Vec<_> = compute
         .iter()
         .enumerate()
@@ -192,7 +198,9 @@ fn gossip_pool_survives_partition_between_service_sites() {
         until: SimTime::from_secs(900),
     });
     let mut sim = Sim::new(w.net, w.hosts, 35);
-    let dep = deploy_services(&mut sim, &svc, &DeployConfig::default());
+    let dep = Deployment::builder(DeployConfig::default())
+        .service_hosts(&svc)
+        .spawn(&mut sim);
     sim.run_until(SimTime::from_secs(500));
     let full: Vec<u64> = dep.gossips.iter().map(|p| p.0 as u64).collect();
     let members = sim
@@ -238,14 +246,12 @@ fn mass_reclamation_and_respawn() {
         })
         .collect();
     let mut sim = Sim::new(w.net, w.hosts, 37);
-    let dep = deploy_services(
-        &mut sim,
-        &svc,
-        &DeployConfig {
-            sched: sched_cfg(),
-            ..DeployConfig::default()
-        },
-    );
+    let dep = Deployment::builder(DeployConfig {
+        sched: sched_cfg(),
+        ..DeployConfig::default()
+    })
+    .service_hosts(&svc)
+    .spawn(&mut sim);
     let sup = sim.spawn(
         "sup",
         svc.log,
@@ -308,19 +314,17 @@ fn killed_client_resumes_from_checkpoint() {
         w.hosts.add(h)
     };
     let mut sim = Sim::new(w.net, w.hosts, 71);
-    let dep = deploy_services(
-        &mut sim,
-        &svc,
-        &DeployConfig {
-            sched: SchedulerConfig {
-                // One enormous unit: it cannot finish before the kill, so
-                // resume-vs-restart is observable.
-                step_budget: 10_000_000,
-                ..sched_cfg()
-            },
-            ..DeployConfig::default()
+    let dep = Deployment::builder(DeployConfig {
+        sched: SchedulerConfig {
+            // One enormous unit: it cannot finish before the kill, so
+            // resume-vs-restart is observable.
+            step_budget: 10_000_000,
+            ..sched_cfg()
         },
-    );
+        ..DeployConfig::default()
+    })
+    .service_hosts(&svc)
+    .spawn(&mut sim);
     let template = ClientConfig {
         schedulers: dep.scheduler_addrs(),
         state_server: Some(dep.state_addr()),

@@ -3,10 +3,8 @@
 //! persistent state manager through the real validator, and schedulers
 //! synchronizing the best-found state through the Gossip pool.
 
-use everyware::{deploy_services, DeployConfig};
-use ew_ramsey::{
-    verify_counter_example, ColoredGraph, OpsCounter, RamseyProblem, Verification,
-};
+use everyware::{DeployConfig, Deployment};
+use ew_ramsey::{verify_counter_example, ColoredGraph, OpsCounter, RamseyProblem, Verification};
 use ew_sched::{ClientConfig, ComputeClient, SchedulerConfig, SchedulerServer};
 use ew_sim::{HostSpec, HostTable, NetModel, Sim, SimDuration, SimTime, SiteSpec};
 use ew_state::PersistentStateServer;
@@ -43,18 +41,16 @@ fn distributed_real_search_stores_verified_witness() {
         .map(|i| hosts.add(HostSpec::dedicated(&format!("w{i}"), work_site, 1e8)))
         .collect();
     let mut sim = Sim::new(net, hosts, 41);
-    let dep = deploy_services(
-        &mut sim,
-        &svc,
-        &DeployConfig {
-            sched: SchedulerConfig {
-                problem: RamseyProblem { k: 4, n: 17 },
-                step_budget: 5_000,
-                ..SchedulerConfig::default()
-            },
-            ..DeployConfig::default()
+    let dep = Deployment::builder(DeployConfig {
+        sched: SchedulerConfig {
+            problem: RamseyProblem { k: 4, n: 17 },
+            step_budget: 5_000,
+            ..SchedulerConfig::default()
         },
-    );
+        ..DeployConfig::default()
+    })
+    .service_hosts(&svc)
+    .spawn(&mut sim);
     for (i, &h) in compute.iter().enumerate() {
         sim.spawn(
             &format!("c{i}"),
@@ -78,7 +74,11 @@ fn distributed_real_search_stores_verified_witness() {
     // the real clique-counting validator on the way in.
     let stored = sim
         .with_process::<PersistentStateServer, _>(dep.state, |s| {
-            (s.get("ramsey/best/4").cloned(), s.stores_ok, s.stores_rejected)
+            (
+                s.get("ramsey/best/4").cloned(),
+                s.stores_ok,
+                s.stores_rejected,
+            )
         })
         .unwrap();
     let (blob, stores_ok, _rejected) = stored;
@@ -95,14 +95,12 @@ fn distributed_real_search_stores_verified_witness() {
     let mut bests = Vec::new();
     for &s in &dep.schedulers {
         bests.push(
-            sim.with_process::<SchedulerServer, _>(s, |s| {
-                s.best_known.as_ref().map(|(c, _)| *c)
-            })
-            .unwrap(),
+            sim.with_process::<SchedulerServer, _>(s, |s| s.best_known.as_ref().map(|(c, _)| *c))
+                .unwrap(),
         );
     }
     assert!(
-        bests.iter().any(|b| *b == Some(0)),
+        bests.contains(&Some(0)),
         "at least the receiving scheduler knows a perfect coloring: {bests:?}"
     );
     // Scheduler counter-example collection saw it too.
@@ -195,13 +193,18 @@ fn bogus_counter_examples_are_refused_by_the_state_service() {
         .with_process::<Adversary, _>(adv, |a| a.replies.clone())
         .unwrap();
     assert_eq!(replies.len(), 2);
-    assert!(replies.iter().all(|r| !r.accepted), "both fakes refused: {replies:?}");
+    assert!(
+        replies.iter().all(|r| !r.accepted),
+        "both fakes refused: {replies:?}"
+    );
     assert!(
         replies.iter().any(|r| r.reason.contains("monochromatic")),
         "the clique-count diagnostic appears: {replies:?}"
     );
     assert!(
-        replies.iter().any(|r| r.reason.contains("not a colored graph")),
+        replies
+            .iter()
+            .any(|r| r.reason.contains("not a colored graph")),
         "the decode diagnostic appears: {replies:?}"
     );
     // Nothing was persisted.

@@ -1,0 +1,122 @@
+//! Event-queue microbenchmark: hierarchical timing wheel vs the binary
+//! heap it replaced, isolated from the rest of the kernel. Each case
+//! pre-generates a batch of `(time, seq)` entries, then times inserting
+//! them all and draining them back out in order — the exact workload the
+//! kernel's `push`/`pop_upto` hot path puts on the queue.
+//!
+//! Times are drawn from the same distribution the `timer_storm` kernel
+//! bench uses (uniform over a 100-second horizon in microseconds), plus a
+//! small same-tick-tie fraction so the wheel's in-slot seq ordering is
+//! exercised rather than benchmarked around.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use ew_sim::TimingWheel;
+
+const HORIZON_US: u64 = 100_000_000;
+
+/// Deterministic xorshift64* batch of `(time, seq)` entries; every 8th
+/// entry reuses the previous time to create a same-tick tie.
+fn batch(n: u64) -> Vec<(u64, u64)> {
+    let mut s = 0x9e37_79b9_7f4a_7c15u64;
+    let mut out = Vec::with_capacity(n as usize);
+    let mut prev = 0u64;
+    for seq in 0..n {
+        s ^= s << 13;
+        s ^= s >> 7;
+        s ^= s << 17;
+        let t = if seq % 8 == 7 {
+            prev
+        } else {
+            s.wrapping_mul(0x2545_f491_4f6c_dd1d) % HORIZON_US
+        };
+        prev = t;
+        out.push((t, seq));
+    }
+    out
+}
+
+fn drain_wheel(entries: &[(u64, u64)]) -> u64 {
+    let mut w = TimingWheel::new();
+    for &(t, seq) in entries {
+        w.insert(t, seq, ());
+    }
+    let mut sum = 0u64;
+    while let Some((t, seq, ())) = w.pop_upto(u64::MAX) {
+        sum = sum.wrapping_add(t ^ seq);
+    }
+    sum
+}
+
+fn drain_heap(entries: &[(u64, u64)]) -> u64 {
+    let mut h = BinaryHeap::with_capacity(entries.len());
+    for &(t, seq) in entries {
+        h.push(Reverse((t, seq)));
+    }
+    let mut sum = 0u64;
+    while let Some(Reverse((t, seq))) = h.pop() {
+        sum = sum.wrapping_add(t ^ seq);
+    }
+    sum
+}
+
+/// The ping-pong pattern: a nearly-empty queue where each pop triggers one
+/// insert ~10 ms ahead. Exercises the wheel's slot-to-slot advance cost
+/// rather than its depth scaling.
+fn sparse_wheel(hops: u64) -> u64 {
+    let mut w = TimingWheel::new();
+    w.insert(10_000, 0, ());
+    let mut sum = 0u64;
+    for seq in 1..=hops {
+        let (t, s, ()) = w.pop_upto(u64::MAX).unwrap();
+        sum = sum.wrapping_add(t ^ s);
+        w.insert(t + 10_000, seq, ());
+    }
+    sum
+}
+
+fn sparse_heap(hops: u64) -> u64 {
+    let mut h = BinaryHeap::new();
+    h.push(Reverse((10_000u64, 0u64)));
+    let mut sum = 0u64;
+    for seq in 1..=hops {
+        let Reverse((t, s)) = h.pop().unwrap();
+        sum = sum.wrapping_add(t ^ s);
+        h.push(Reverse((t + 10_000, seq)));
+    }
+    sum
+}
+
+fn bench_event_queue(c: &mut Criterion) {
+    let mut g = c.benchmark_group("event_queue");
+    for &n in &[10_000u64, 100_000, 1_000_000] {
+        let entries = batch(n);
+        // Both structures must agree on the drain order before we bother
+        // timing them.
+        assert_eq!(drain_wheel(&entries), drain_heap(&entries));
+        g.throughput(Throughput::Elements(n));
+        if n >= 1_000_000 {
+            g.sample_size(10);
+        }
+        g.bench_function(BenchmarkId::new("wheel", n), |b| {
+            b.iter(|| drain_wheel(black_box(&entries)))
+        });
+        g.bench_function(BenchmarkId::new("heap", n), |b| {
+            b.iter(|| drain_heap(black_box(&entries)))
+        });
+    }
+    assert_eq!(sparse_wheel(10_000), sparse_heap(10_000));
+    g.throughput(Throughput::Elements(10_000));
+    g.bench_function("wheel/sparse_10k_hops", |b| {
+        b.iter(|| sparse_wheel(black_box(10_000)))
+    });
+    g.bench_function("heap/sparse_10k_hops", |b| {
+        b.iter(|| sparse_heap(black_box(10_000)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_event_queue);
+criterion_main!(benches);

@@ -171,6 +171,68 @@ fn bench_telemetry_overhead(c: &mut Criterion) {
     g.finish();
 }
 
+/// Arms a burst of timers at pseudo-random offsets, then lets them all
+/// fire: the queue starts ~100k deep and drains over the run, which is
+/// where per-event queue cost (heap log-factor vs wheel O(1)) dominates.
+struct TimerStorm {
+    timers: u32,
+    horizon_us: u64,
+}
+
+impl Process for TimerStorm {
+    fn on_event(&mut self, ctx: &mut Ctx<'_>, ev: Event) {
+        if let Event::Started = ev {
+            for _ in 0..self.timers {
+                let off = ctx.rng().next_below(self.horizon_us);
+                ctx.set_timer(SimDuration::from_micros(off), 0);
+            }
+        }
+    }
+}
+
+fn timer_storm_world(procs: usize, timers: u32) -> Sim {
+    let mut net = NetModel::new(0.0);
+    let site = net.add_site(SiteSpec::simple(
+        "s",
+        SimDuration::from_millis(5),
+        1.25e7,
+        0.0,
+    ));
+    let mut hosts = HostTable::new();
+    let hs: Vec<_> = (0..8)
+        .map(|i| hosts.add(HostSpec::dedicated(&format!("h{i}"), site, 1e8)))
+        .collect();
+    let mut sim = Sim::new(net, hosts, 3);
+    for i in 0..procs {
+        sim.spawn(
+            &format!("storm{i}"),
+            hs[i % hs.len()],
+            Box::new(TimerStorm {
+                timers,
+                horizon_us: 100_000_000,
+            }),
+        );
+    }
+    sim
+}
+
+/// The ISSUE-2 acceptance scenario: 100k pending events through the queue.
+fn bench_deep_queue(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sim_kernel");
+    g.throughput(Throughput::Elements(100_000));
+    g.bench_function("timer_storm_100k_events", |b| {
+        b.iter_batched(
+            || timer_storm_world(1_000, 100),
+            |mut sim| {
+                sim.run_until(SimTime::from_secs(100));
+                sim
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
 struct Cruncher;
 impl Process for Cruncher {
     fn on_event(&mut self, ctx: &mut Ctx<'_>, ev: Event) {
@@ -218,6 +280,7 @@ criterion_group!(
     benches,
     bench_message_events,
     bench_telemetry_overhead,
+    bench_deep_queue,
     bench_compute_events
 );
 criterion_main!(benches);

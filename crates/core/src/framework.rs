@@ -173,7 +173,7 @@ mod tests {
 
     struct Driver {
         svc: ProcessId,
-        replies: Vec<(bool, Vec<u8>)>,
+        replies: Vec<(bool, ew_proto::Payload)>,
     }
 
     impl Process for Driver {

@@ -99,6 +99,10 @@ pub struct Sc98Report {
     pub health: Vec<SubsystemHealth>,
     /// Span-trace JSONL, when [`Sc98Config::trace_capacity`] was set.
     pub trace_jsonl: Option<String>,
+    /// Kernel event-order hash: folds every dispatched `(time, seq,
+    /// target, event)` tuple, pinning the exact dispatch sequence. Used by
+    /// the determinism tests to prove event-queue changes preserve order.
+    pub event_order_hash: u64,
 }
 
 /// Run the experiment.
@@ -358,6 +362,7 @@ pub fn run_sc98(cfg: &Sc98Config) -> Sc98Report {
 
     let health = sim.telemetry().health();
     let trace_jsonl = cfg.trace_capacity.map(|_| sim.export_trace_jsonl());
+    let event_order_hash = sim.event_order_hash();
 
     Sc98Report {
         cfg: cfg.clone(),
@@ -373,6 +378,7 @@ pub fn run_sc98(cfg: &Sc98Config) -> Sc98Report {
         counters,
         health,
         trace_jsonl,
+        event_order_hash,
     }
 }
 

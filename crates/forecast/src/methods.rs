@@ -82,6 +82,46 @@ impl Window {
     }
 }
 
+/// Fixed-width ring that also keeps its contents sorted, for methods that
+/// take order statistics on every prediction. `push` costs two binary
+/// searches plus an O(w) memmove; order statistics are then O(1) reads of
+/// `sorted`. The sort-per-predict alternative is O(w log w) *and* a fresh
+/// allocation on every call, and `predict` runs at least once per
+/// measurement (the selector scores every method's outstanding prediction
+/// before feeding it the new value).
+#[derive(Clone, Debug)]
+struct SortedWindow {
+    cap: usize,
+    buf: VecDeque<f64>,
+    /// The same multiset as `buf`, ascending by `f64::total_cmp` (a total
+    /// order, so the outgoing element is always found by binary search).
+    sorted: Vec<f64>,
+}
+
+impl SortedWindow {
+    fn new(cap: usize) -> Self {
+        assert!(cap >= 1);
+        SortedWindow {
+            cap,
+            buf: VecDeque::with_capacity(cap),
+            sorted: Vec::with_capacity(cap),
+        }
+    }
+    fn push(&mut self, v: f64) {
+        if self.buf.len() == self.cap {
+            let old = self.buf.pop_front().expect("cap >= 1");
+            let i = self.sorted.partition_point(|x| x.total_cmp(&old).is_lt());
+            self.sorted.remove(i);
+        }
+        self.buf.push_back(v);
+        let i = self.sorted.partition_point(|x| x.total_cmp(&v).is_lt());
+        self.sorted.insert(i, v);
+    }
+    fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+}
+
 /// Mean of the last `w` measurements.
 #[derive(Clone, Debug)]
 pub struct SlidingMean {
@@ -120,7 +160,7 @@ impl Forecaster for SlidingMean {
 #[derive(Clone, Debug)]
 pub struct SlidingMedian {
     name: String,
-    win: Window,
+    win: SortedWindow,
 }
 
 impl SlidingMedian {
@@ -128,7 +168,7 @@ impl SlidingMedian {
     pub fn new(w: usize) -> Self {
         SlidingMedian {
             name: format!("median_{w}"),
-            win: Window::new(w),
+            win: SortedWindow::new(w),
         }
     }
 }
@@ -141,11 +181,10 @@ impl Forecaster for SlidingMedian {
         self.win.push(value);
     }
     fn predict(&self) -> Option<f64> {
-        if self.win.buf.is_empty() {
+        if self.win.is_empty() {
             return None;
         }
-        let mut v: Vec<f64> = self.win.buf.iter().copied().collect();
-        v.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        let v = &self.win.sorted;
         let n = v.len();
         Some(if n % 2 == 1 {
             v[n / 2]
@@ -160,7 +199,7 @@ impl Forecaster for SlidingMedian {
 #[derive(Clone, Debug)]
 pub struct TrimmedMean {
     name: String,
-    win: Window,
+    win: SortedWindow,
     trim: f64,
 }
 
@@ -170,7 +209,7 @@ impl TrimmedMean {
         assert!((0.0..0.5).contains(&trim));
         TrimmedMean {
             name: format!("trimmed_{w}_{:02}", (trim * 100.0) as u32),
-            win: Window::new(w),
+            win: SortedWindow::new(w),
             trim,
         }
     }
@@ -184,11 +223,10 @@ impl Forecaster for TrimmedMean {
         self.win.push(value);
     }
     fn predict(&self) -> Option<f64> {
-        if self.win.buf.is_empty() {
+        if self.win.is_empty() {
             return None;
         }
-        let mut v: Vec<f64> = self.win.buf.iter().copied().collect();
-        v.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        let v = &self.win.sorted;
         let k = (v.len() as f64 * self.trim).floor() as usize;
         let kept = &v[k..v.len() - k];
         if kept.is_empty() {

@@ -14,7 +14,7 @@
 
 use ew_proto::sim_net::{packet_from_event, send_packet};
 use ew_proto::wire_struct;
-use ew_proto::{mtype, EventTag, Packet, RpcTracker, WireEncode};
+use ew_proto::{mtype, DeadlineTimer, EventTag, Packet, RpcTracker, WireEncode};
 use ew_sim::{CounterId, Ctx, Event, Process, ProcessId, SeriesId, SimDuration, SimTime, SpanId};
 
 use crate::dynbench::DynamicBenchmark;
@@ -97,7 +97,9 @@ impl Default for SensorConfig {
 }
 
 const TIMER_PROBE: u64 = 1;
-const TIMER_TICK: u64 = 2;
+/// Deadline-exact expiry wake-up (see [`DeadlineTimer`]); historically a
+/// fixed 2 s poll tick.
+const TIMER_EXPIRE: u64 = 2;
 const CPU_PROBE_TAG: u64 = 0xC0;
 
 /// Telemetry handles interned by a sensor on `Event::Started`. The
@@ -138,6 +140,7 @@ pub struct NwsSensor {
     cfg: SensorConfig,
     rpc: RpcTracker<u64>, // context = peer addr
     policy: ForecastTimeout,
+    expiry: DeadlineTimer,
     cpu_probe_started: Option<SimTime>,
     tele: Option<SensorTele>,
     /// Network probes answered.
@@ -153,6 +156,7 @@ impl NwsSensor {
             cfg,
             rpc: RpcTracker::new(),
             policy: ForecastTimeout::wan_default(),
+            expiry: DeadlineTimer::new(TIMER_EXPIRE),
             cpu_probe_started: None,
             tele: None,
             probes_ok: 0,
@@ -189,6 +193,7 @@ impl NwsSensor {
             ctx.compute(self.cfg.cpu_probe_ops, CPU_PROBE_TAG);
         }
         ctx.set_timer(self.cfg.interval, TIMER_PROBE);
+        self.expiry.update(ctx, self.rpc.next_deadline());
     }
 }
 
@@ -197,14 +202,15 @@ impl Process for NwsSensor {
         match &ev {
             Event::Started => {
                 self.tele = Some(SensorTele::intern(ctx, &self.cfg.peers));
-                // Spread sensors out within the first interval.
+                // Spread sensors out within the first interval. The expiry
+                // timer is armed on demand by probe_round.
                 let jitter = SimDuration::from_millis(ctx.rng().next_below(5_000));
                 ctx.set_timer(jitter, TIMER_PROBE);
-                ctx.set_timer(SimDuration::from_secs(2), TIMER_TICK);
             }
             Event::Timer { tag } => match *tag {
                 TIMER_PROBE => self.probe_round(ctx),
-                TIMER_TICK => {
+                TIMER_EXPIRE => {
+                    self.expiry.note_fired();
                     let tele = self.tele.as_ref().expect("started");
                     let (probes_lost, timeout_span) = (tele.probes_lost, tele.timeout_span);
                     for pending in self.rpc.expire_traced(ctx, timeout_span, &mut self.policy) {
@@ -212,7 +218,7 @@ impl Process for NwsSensor {
                         ctx.inc(probes_lost);
                         let _ = pending;
                     }
-                    ctx.set_timer(SimDuration::from_secs(2), TIMER_TICK);
+                    self.expiry.update(ctx, self.rpc.next_deadline());
                 }
                 _ => {}
             },
@@ -247,6 +253,9 @@ impl Process for NwsSensor {
                                 ctx.record(series, secs);
                             }
                             self.report(ctx, format!("rtt.{me}.{peer}"), secs);
+                            // The completed request may have carried the
+                            // earliest deadline; re-arm (or disarm) exactly.
+                            self.expiry.update(ctx, self.rpc.next_deadline());
                         }
                     }
                 }

@@ -15,7 +15,7 @@
 //! reproduce the paper's inferior static-time-out baseline.
 
 use ew_forecast::ForecastTimeout;
-use ew_proto::sim_net::{packet_from_event, send_packet};
+use ew_proto::sim_net::{broadcast_packet, packet_from_event, send_packet};
 use ew_proto::{EventTag, Packet, RpcTracker, StaticTimeout, TimeoutPolicy};
 use ew_sim::{CounterId, Ctx, Event, HistogramId, Process, ProcessId, SimDuration, SpanId};
 
@@ -182,15 +182,17 @@ impl GossipServer {
             addr: me,
             known: self.well_known.clone(),
         };
-        for &peer in &self.well_known {
-            if peer != me {
-                send_packet(
-                    ctx,
-                    Self::pid(peer),
-                    &Packet::oneway(gm::ANNOUNCE, announce.to_wire()),
-                );
-            }
-        }
+        let targets: Vec<ProcessId> = self
+            .well_known
+            .iter()
+            .filter(|&&peer| peer != me)
+            .map(|&peer| Self::pid(peer))
+            .collect();
+        broadcast_packet(
+            ctx,
+            targets,
+            &Packet::oneway(gm::ANNOUNCE, announce.to_wire()),
+        );
         // Stagger periodic timers by a deterministic per-process offset so
         // co-located servers do not fire in lockstep.
         let jitter = SimDuration::from_millis(ctx.rng().next_below(1000));
@@ -240,16 +242,13 @@ impl GossipServer {
             peers: self.clique.as_ref().expect("started").known_peers(),
         };
         let members = self.clique.as_ref().expect("started").members().to_vec();
-        for &peer in &members {
-            if peer != me {
-                send_packet(
-                    ctx,
-                    Self::pid(peer),
-                    &Packet::oneway(gm::SYNC, body.to_wire()),
-                );
-                ctx.inc(tele.syncs_sent);
-            }
-        }
+        let targets: Vec<ProcessId> = members
+            .iter()
+            .filter(|&&peer| peer != me)
+            .map(|&peer| Self::pid(peer))
+            .collect();
+        ctx.add(tele.syncs_sent, targets.len() as f64);
+        broadcast_packet(ctx, targets, &Packet::oneway(gm::SYNC, body.to_wire()));
         ctx.set_timer(self.cfg.sync_interval, TIMER_SYNC);
     }
 
@@ -298,13 +297,12 @@ impl GossipServer {
         if clique.token_lost(now) {
             let (call, targets) = clique.start_election(now);
             ctx.inc(tele.elections);
-            for target in targets {
-                send_packet(
-                    ctx,
-                    Self::pid(target),
-                    &Packet::request(gm::ELECTION, 0, call.to_wire()),
-                );
-            }
+            let targets: Vec<ProcessId> = targets.into_iter().map(Self::pid).collect();
+            broadcast_packet(
+                ctx,
+                targets,
+                &Packet::request(gm::ELECTION, 0, call.to_wire()),
+            );
         } else if clique.election_deadline().is_some_and(|d| d <= now) {
             if let Some((to, tok)) = clique.finish_election(now) {
                 ctx.span_enter(tele.token_span, to);
@@ -395,15 +393,16 @@ impl GossipServer {
                             addr: ann.addr,
                             known: peers.clone(),
                         };
-                        for peer in peers {
-                            if peer != ann.addr && ProcessId(peer as u32) != from {
-                                send_packet(
-                                    ctx,
-                                    Self::pid(peer),
-                                    &Packet::oneway(gm::ANNOUNCE, relay.to_wire()),
-                                );
-                            }
-                        }
+                        let targets: Vec<ProcessId> = peers
+                            .into_iter()
+                            .filter(|&peer| peer != ann.addr && ProcessId(peer as u32) != from)
+                            .map(Self::pid)
+                            .collect();
+                        broadcast_packet(
+                            ctx,
+                            targets,
+                            &Packet::oneway(gm::ANNOUNCE, relay.to_wire()),
+                        );
                     }
                 }
             }

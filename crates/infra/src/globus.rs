@@ -146,7 +146,9 @@ impl Process for MdsDirectory {
 
 /// The GASS binary repository.
 pub struct GassServer {
-    binaries: HashMap<String, Vec<u8>>,
+    /// Shared buffers: every fetch response aliases the stored image
+    /// instead of deep-copying it.
+    binaries: HashMap<String, ew_proto::Payload>,
     /// Fetches served.
     pub fetches: u64,
     fetches_id: Option<CounterId>,
@@ -156,7 +158,7 @@ impl GassServer {
     /// A repository preloaded with named binaries.
     pub fn new(binaries: Vec<(String, Vec<u8>)>) -> Self {
         GassServer {
-            binaries: binaries.into_iter().collect(),
+            binaries: binaries.into_iter().map(|(n, b)| (n, b.into())).collect(),
             fetches: 0,
             fetches_id: None,
         }

@@ -22,6 +22,7 @@ pub mod sim_net;
 pub mod tcp;
 pub mod wire;
 
+pub use ew_sim::Payload;
 pub use packet::{flags, mtype, FrameReader, Packet, PacketError};
-pub use rpc::{EventTag, Pending, RpcTracker, StaticTimeout, TimeoutPolicy};
+pub use rpc::{DeadlineTimer, EventTag, Pending, RpcTracker, StaticTimeout, TimeoutPolicy};
 pub use wire::{WireDecode, WireEncode, WireError, WireReader};

@@ -7,6 +7,8 @@
 //! correlation-tagged record; [`FrameReader`] recovers packet boundaries
 //! from an arbitrary byte stream.
 
+use ew_sim::Payload;
+
 use crate::wire::{WireDecode, WireEncode, WireError, WireReader};
 
 /// `"EWPK"` — identifies an EveryWare packet stream.
@@ -86,8 +88,10 @@ pub struct Packet {
     pub flags: u8,
     /// Correlates responses with requests; 0 for one-way messages.
     pub corr_id: u64,
-    /// Typed body, encoded with [`WireEncode`].
-    pub payload: Vec<u8>,
+    /// Typed body, encoded with [`WireEncode`], in a shared buffer:
+    /// cloning a packet (or its payload) is O(1) and fan-out sends share
+    /// one allocation.
+    pub payload: Payload,
 }
 
 /// Errors raised while parsing a packet stream.
@@ -137,32 +141,32 @@ impl From<WireError> for PacketError {
 
 impl Packet {
     /// A one-way message.
-    pub fn oneway(mtype: u16, payload: Vec<u8>) -> Self {
+    pub fn oneway(mtype: u16, payload: impl Into<Payload>) -> Self {
         Packet {
             mtype,
             flags: 0,
             corr_id: 0,
-            payload,
+            payload: payload.into(),
         }
     }
 
     /// A request expecting a response under `corr_id`.
-    pub fn request(mtype: u16, corr_id: u64, payload: Vec<u8>) -> Self {
+    pub fn request(mtype: u16, corr_id: u64, payload: impl Into<Payload>) -> Self {
         Packet {
             mtype,
             flags: flags::REQUEST,
             corr_id,
-            payload,
+            payload: payload.into(),
         }
     }
 
     /// The response to `req`, carrying the same type block and correlation.
-    pub fn response_to(req: &Packet, payload: Vec<u8>) -> Self {
+    pub fn response_to(req: &Packet, payload: impl Into<Payload>) -> Self {
         Packet {
             mtype: req.mtype,
             flags: flags::RESPONSE,
             corr_id: req.corr_id,
-            payload,
+            payload: payload.into(),
         }
     }
 
@@ -172,7 +176,7 @@ impl Packet {
             mtype: req.mtype,
             flags: flags::RESPONSE | flags::ERROR,
             corr_id: req.corr_id,
-            payload: diagnostic.to_wire(),
+            payload: diagnostic.to_wire().into(),
         }
     }
 
@@ -214,21 +218,25 @@ impl Packet {
 
     /// Serialize for in-simulator transport: header without magic/crc (the
     /// simulated kernel delivers whole records, so framing is not needed,
-    /// but flags and correlation must still travel).
-    pub fn to_sim_bytes(&self) -> Vec<u8> {
-        let mut out = Vec::with_capacity(10 + self.payload.len());
+    /// but flags and correlation must still travel). Returned as a shared
+    /// [`Payload`] so a fan-out (build once, send to N peers) serializes
+    /// exactly once.
+    pub fn to_sim_payload(&self) -> Payload {
+        let mut out = Vec::with_capacity(9 + self.payload.len());
         self.flags.encode(&mut out);
         self.corr_id.encode(&mut out);
         out.extend_from_slice(&self.payload);
-        out
+        out.into()
     }
 
-    /// Inverse of [`Packet::to_sim_bytes`].
-    pub fn from_sim_bytes(mtype: u16, bytes: &[u8]) -> Result<Self, PacketError> {
+    /// Inverse of [`Packet::to_sim_payload`]. Zero-copy: the returned
+    /// packet's payload is a sub-slice view of `bytes`' buffer.
+    pub fn from_sim_payload(mtype: u16, bytes: &Payload) -> Result<Self, PacketError> {
         let mut r = WireReader::new(bytes);
         let flags = u8::decode(&mut r)?;
         let corr_id = u64::decode(&mut r)?;
-        let payload = r.take(r.remaining())?.to_vec();
+        // flags (1) + corr_id (8) decoded: the rest is the body.
+        let payload = bytes.slice_from(9);
         Ok(Packet {
             mtype,
             flags,
@@ -301,7 +309,7 @@ impl FrameReader {
                 actual,
             });
         }
-        let payload = self.buf[HEADER_LEN..total].to_vec();
+        let payload = Payload::from(&self.buf[HEADER_LEN..total]);
         self.buf.drain(..total);
         Ok(Some(Packet {
             mtype,
@@ -344,9 +352,11 @@ mod tests {
     #[test]
     fn sim_round_trip() {
         let p = sample();
-        let bytes = p.to_sim_bytes();
-        let got = Packet::from_sim_bytes(p.mtype, &bytes).unwrap();
+        let bytes = p.to_sim_payload();
+        let got = Packet::from_sim_payload(p.mtype, &bytes).unwrap();
         assert_eq!(got, p);
+        // Decode is zero-copy: the body is a view into the sim buffer.
+        assert!(bytes.is_shared());
     }
 
     #[test]
@@ -464,7 +474,7 @@ mod tests {
             corr: u64,
             payload in proptest::collection::vec(any::<u8>(), 0..512),
         ) {
-            let p = Packet { mtype: mtype_v, flags: flags_v, corr_id: corr, payload };
+            let p = Packet { mtype: mtype_v, flags: flags_v, corr_id: corr, payload: payload.into() };
             let mut fr = FrameReader::new();
             fr.feed(&p.to_stream_bytes());
             prop_assert_eq!(fr.next_packet().unwrap().unwrap(), p);

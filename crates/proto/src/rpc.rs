@@ -179,6 +179,55 @@ impl<M> RpcTracker<M> {
     }
 }
 
+/// Arms one kernel timer at a tracker's earliest outstanding deadline,
+/// replacing the fixed-period "poll every few seconds and scan" pattern:
+/// expiries are detected at the deadline instant (not up to a period
+/// late), and an idle tracker costs no events at all.
+///
+/// Owners call [`DeadlineTimer::update`] after every tracker mutation
+/// (begin, complete, expire). Re-arming cancels the previous timer through
+/// the kernel's lazy [`cancel_timer`](ew_sim::Ctx::cancel_timer), so no
+/// generation numbers or stale-fire checks are needed — a `Timer` event
+/// with this tag always means "the earliest armed deadline is due".
+pub struct DeadlineTimer {
+    tag: u64,
+    armed: Option<SimTime>,
+}
+
+impl DeadlineTimer {
+    /// A disarmed deadline timer using `tag` for its kernel timer events.
+    pub fn new(tag: u64) -> Self {
+        DeadlineTimer { tag, armed: None }
+    }
+
+    /// The kernel timer tag this helper owns.
+    pub fn tag(&self) -> u64 {
+        self.tag
+    }
+
+    /// Record that the armed timer just delivered. Call first in the
+    /// `Event::Timer` handler, so the following `update` re-arms even if
+    /// the next deadline happens to equal the one that fired.
+    pub fn note_fired(&mut self) {
+        self.armed = None;
+    }
+
+    /// Arm at `deadline`, cancelling any previously armed timer; `None`
+    /// disarms. A no-op when already armed at exactly `deadline`.
+    pub fn update(&mut self, ctx: &mut ew_sim::Ctx<'_>, deadline: Option<SimTime>) {
+        if self.armed == deadline {
+            return;
+        }
+        if self.armed.is_some() {
+            ctx.cancel_timer(self.tag);
+        }
+        if let Some(d) = deadline {
+            ctx.set_timer(d.since(ctx.now()), self.tag);
+        }
+        self.armed = deadline;
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -3,10 +3,10 @@
 //! Inside `ew-sim`, the kernel already delivers whole records, so packets
 //! skip the magic/CRC framing and ride `Event::Message` directly: the
 //! simulator's `mtype` field carries the packet's message type and the
-//! payload carries flags + correlation + body ([`Packet::to_sim_bytes`]).
-//! The same service code therefore runs unchanged on the simulator and on
-//! real TCP ([`crate::tcp`]) — EveryWare's "embarrassing portability",
-//! reproduced as a transport seam.
+//! payload carries flags + correlation + body
+//! ([`Packet::to_sim_payload`]). The same service code therefore runs
+//! unchanged on the simulator and on real TCP ([`crate::tcp`]) —
+//! EveryWare's "embarrassing portability", reproduced as a transport seam.
 
 use ew_sim::{Ctx, Event, ProcessId};
 
@@ -14,7 +14,20 @@ use crate::packet::{Packet, PacketError};
 
 /// Send a packet to a simulated process.
 pub fn send_packet(ctx: &mut Ctx<'_>, to: ProcessId, pkt: &Packet) {
-    ctx.send(to, pkt.mtype as u32, pkt.to_sim_bytes());
+    ctx.send(to, pkt.mtype as u32, pkt.to_sim_payload());
+}
+
+/// Send one packet to many peers, serializing it exactly once: every
+/// in-flight copy shares the same buffer (the kernel counts the dodged
+/// copies in `net.bytes_copy_saved`). The workhorse of gossip fan-out.
+pub fn broadcast_packet<I>(ctx: &mut Ctx<'_>, peers: I, pkt: &Packet)
+where
+    I: IntoIterator<Item = ProcessId>,
+{
+    let wire = pkt.to_sim_payload();
+    for to in peers {
+        ctx.send(to, pkt.mtype as u32, wire.clone());
+    }
 }
 
 /// Reconstruct a packet from a simulator message event. Returns `None` for
@@ -25,7 +38,7 @@ pub fn packet_from_event(ev: &Event) -> Option<Result<(ProcessId, Packet), Packe
             from,
             mtype,
             payload,
-        } => Some(Packet::from_sim_bytes(*mtype as u16, payload).map(|p| (*from, p))),
+        } => Some(Packet::from_sim_payload(*mtype as u16, payload).map(|p| (*from, p))),
         _ => None,
     }
 }

@@ -273,9 +273,12 @@ mod tests {
     fn large_payload_crosses_intact() {
         let server = node();
         let mut client = node();
-        let payload: Vec<u8> = (0..200_000u32)
-            .map(|i| (i.wrapping_mul(2654435761)) as u8)
-            .collect();
+        let payload = ew_sim::Payload::from(
+            (0..200_000u32)
+                .map(|i| (i.wrapping_mul(2654435761)) as u8)
+                .collect::<Vec<u8>>(),
+        );
+        // O(1) clone: the packet shares the comparison copy's buffer.
         let pkt = Packet::oneway(mtype::APP_BASE, payload.clone());
         client.send(server.local_addr(), &pkt).unwrap();
         let got = server

@@ -13,15 +13,16 @@
 //! Two runs with the same seed produce identical event orders and metrics.
 
 use std::any::Any;
-use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap};
+use std::collections::HashMap;
 
 use ew_telemetry::{CounterId, GaugeId, HistogramId, Registry, SeriesId, SpanId};
 
 use crate::host::{HostId, HostTable};
 use crate::net::NetModel;
+use crate::payload::Payload;
 use crate::rng::{StreamSeeder, Xoshiro256};
 use crate::time::{SimDuration, SimTime};
+use crate::wheel::TimingWheel;
 
 /// Identifies a process for the lifetime of a simulation. Ids are never
 /// reused; a dead process's id stays dead.
@@ -44,8 +45,8 @@ pub enum Event {
         from: ProcessId,
         /// Application-level message type (the lingua franca rides here).
         mtype: u32,
-        /// Opaque payload bytes.
-        payload: Vec<u8>,
+        /// Opaque payload bytes (shared, not copied, on fan-out sends).
+        payload: Payload,
     },
     /// A compute request issued with [`Ctx::compute`] finished.
     ComputeDone {
@@ -76,30 +77,6 @@ pub trait Process: Any {
 enum Target {
     Proc(ProcessId),
     HostTransition(HostId, bool),
-}
-
-struct Scheduled {
-    time: SimTime,
-    seq: u64,
-    target: Target,
-    ev: Option<Event>,
-}
-
-impl PartialEq for Scheduled {
-    fn eq(&self, other: &Self) -> bool {
-        self.time == other.time && self.seq == other.seq
-    }
-}
-impl Eq for Scheduled {}
-impl PartialOrd for Scheduled {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl Ord for Scheduled {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        (self.time, self.seq).cmp(&(other.time, other.seq))
-    }
 }
 
 struct ProcMeta {
@@ -190,11 +167,15 @@ struct KernelTele {
     dropped_partition: CounterId,
     messages: CounterId,
     bytes: CounterId,
+    bytes_copy_saved: CounterId,
     came_up: CounterId,
     went_down: CounterId,
     killed_by_host_down: CounterId,
     exited: CounterId,
     dropped_dead_dest: CounterId,
+    timers_cancelled: CounterId,
+    wheel_cascades: CounterId,
+    queue_depth: GaugeId,
     dispatch_span: SpanId,
 }
 
@@ -205,11 +186,15 @@ impl KernelTele {
             dropped_partition: reg.counter("net.dropped_partition"),
             messages: reg.counter("net.messages"),
             bytes: reg.counter("net.bytes"),
+            bytes_copy_saved: reg.counter("net.bytes_copy_saved"),
             came_up: reg.counter("hosts.came_up"),
             went_down: reg.counter("hosts.went_down"),
             killed_by_host_down: reg.counter("procs.killed_by_host_down"),
             exited: reg.counter("procs.exited"),
             dropped_dead_dest: reg.counter("events.dropped_dead_dest"),
+            timers_cancelled: reg.counter("kernel.timers_cancelled"),
+            wheel_cascades: reg.counter("kernel.wheel_cascades"),
+            queue_depth: reg.gauge("kernel.queue_depth"),
             dispatch_span: reg.span("kernel.dispatch"),
         }
     }
@@ -226,10 +211,31 @@ fn event_tag(ev: &Event) -> u64 {
     }
 }
 
+/// Arbitrary non-zero seed (the FNV-1a offset basis); the event-order
+/// hash starts here.
+const ORDER_HASH_BASIS: u64 = 0xcbf2_9ce4_8422_2325;
+
+/// Fold one 64-bit word into the running event-order hash: xor, a full
+/// multiplicative mix, and a rotation so high bits reach low positions.
+/// One multiply per word keeps the always-on fold invisible next to the
+/// rest of the dispatch loop (a byte-at-a-time FNV chain cost ~30 ns per
+/// event, a measurable share of sparse-queue scenarios).
+#[inline]
+fn order_hash_fold(h: u64, word: u64) -> u64 {
+    (h ^ word)
+        .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+        .rotate_left(23)
+}
+
 struct Shared {
     now: SimTime,
     seq: u64,
-    queue: BinaryHeap<Reverse<Scheduled>>,
+    /// Pending events, totally ordered by `(time, seq)`. The hierarchical
+    /// timing wheel gives O(1) schedule and amortised-O(1) pop; the golden
+    /// event-order-hash tests pin its order to the former binary heap's.
+    queue: TimingWheel<(Target, Option<Event>)>,
+    /// Wheel cascades already flushed into the telemetry counter.
+    cascades_seen: u64,
     net: NetModel,
     hosts: HostTable,
     host_up: Vec<bool>,
@@ -242,18 +248,20 @@ struct Shared {
     pending_spawns: Vec<(ProcessId, Box<dyn Process>)>,
     pending_exits: Vec<ProcessId>,
     events_dispatched: u64,
+    order_hash: u64,
+    /// Lazy timer cancellation: `(pid, tag)` → sequence-number watermark.
+    /// A pending `Event::Timer { tag }` for `pid` whose seq is below the
+    /// watermark was armed before the cancel and is swallowed at dispatch.
+    /// Entries are deliberately never removed when a post-cancel timer
+    /// fires: a pre-cancel timer may still be in flight behind it.
+    cancelled: HashMap<(u32, u64), u64>,
 }
 
 impl Shared {
     fn push(&mut self, time: SimTime, target: Target, ev: Option<Event>) {
         let seq = self.seq;
         self.seq += 1;
-        self.queue.push(Reverse(Scheduled {
-            time,
-            seq,
-            target,
-            ev,
-        }));
+        self.queue.insert(time.as_micros(), seq, (target, ev));
     }
 
     fn reserve_pid(&mut self, name: &str, host: HostId) -> ProcessId {
@@ -303,12 +311,23 @@ impl<'a> Ctx<'a> {
 
     /// Deliver `Event::Timer { tag }` to this process after `after`.
     ///
-    /// There is no cancellation: processes that re-arm timers should carry a
-    /// generation number in the tag and ignore stale firings.
+    /// Timers armed with the same tag can be revoked with
+    /// [`Ctx::cancel_timer`]; processes that prefer the classic pattern can
+    /// still carry a generation number in the tag and ignore stale firings.
     pub fn set_timer(&mut self, after: SimDuration, tag: u64) {
         let at = self.shared.now + after;
         self.shared
             .push(at, Target::Proc(self.me), Some(Event::Timer { tag }));
+    }
+
+    /// Cancel every `Event::Timer { tag }` this process armed *before* this
+    /// call. Cancellation is lazy (O(1)): the entries stay in the queue and
+    /// are swallowed when they surface, counted by `kernel.timers_cancelled`.
+    /// Timers armed with the same tag *after* this call fire normally, so
+    /// cancel-then-rearm implements deadline adjustment.
+    pub fn cancel_timer(&mut self, tag: u64) {
+        let watermark = self.shared.seq;
+        self.shared.cancelled.insert((self.me.0, tag), watermark);
     }
 
     /// Send a message to another process through the network model.
@@ -317,7 +336,13 @@ impl<'a> Ctx<'a> {
     /// transport was in practice: a partition drops the message silently, a
     /// dead destination swallows it, and the sender discovers the loss only
     /// through its own (forecast-derived) time-outs.
-    pub fn send(&mut self, to: ProcessId, mtype: u32, payload: Vec<u8>) {
+    ///
+    /// The payload is anything convertible to a shared [`Payload`]: a
+    /// `Vec<u8>` moves its buffer in, and a cloned `Payload` (the fan-out
+    /// pattern — build once, send to N peers) shares one allocation across
+    /// all in-flight copies.
+    pub fn send(&mut self, to: ProcessId, mtype: u32, payload: impl Into<Payload>) {
+        let payload = payload.into();
         let from_host = self.shared.meta[self.me.0 as usize].host;
         let Some(to_meta) = self.shared.meta.get(to.0 as usize) else {
             let id = self.shared.tele.send_to_unknown;
@@ -342,6 +367,13 @@ impl<'a> Ctx<'a> {
                 let (m, b) = (self.shared.tele.messages, self.shared.tele.bytes);
                 self.shared.metrics.reg.inc(m);
                 self.shared.metrics.reg.add(b, bytes as f64);
+                if payload.is_shared() {
+                    // Another live reference to this buffer exists (fan-out
+                    // master copy or a sibling in-flight message): a
+                    // Vec-payload kernel would have deep-copied here.
+                    let saved = self.shared.tele.bytes_copy_saved;
+                    self.shared.metrics.reg.add(saved, payload.len() as f64);
+                }
                 self.shared.push(
                     now + d,
                     Target::Proc(to),
@@ -563,7 +595,8 @@ impl Sim {
             shared: Shared {
                 now: SimTime::ZERO,
                 seq: 0,
-                queue: BinaryHeap::new(),
+                queue: TimingWheel::new(),
+                cascades_seen: 0,
                 net,
                 hosts,
                 host_up,
@@ -576,6 +609,8 @@ impl Sim {
                 pending_spawns: Vec::new(),
                 pending_exits: Vec::new(),
                 events_dispatched: 0,
+                order_hash: ORDER_HASH_BASIS,
+                cancelled: HashMap::new(),
             },
             procs: Vec::new(),
             transitions_scheduled: false,
@@ -585,6 +620,14 @@ impl Sim {
     /// Current simulated time.
     pub fn now(&self) -> SimTime {
         self.shared.now
+    }
+
+    /// Running hash over every dispatched `(time, seq, target,
+    /// event-variant)` tuple. Two runs dispatch the same events in the same
+    /// order if and only if their hashes agree — the guard that the event
+    /// queue's total order survives implementation changes.
+    pub fn event_order_hash(&self) -> u64 {
+        self.shared.order_hash
     }
 
     /// Spawn a process before or between runs.
@@ -743,14 +786,43 @@ impl Sim {
     pub fn run_until(&mut self, t_end: SimTime) -> RunStats {
         self.schedule_host_transitions();
         let start_events = self.shared.events_dispatched;
-        while let Some(Reverse(top)) = self.shared.queue.peek() {
-            if top.time > t_end {
-                break;
+        let limit = t_end.as_micros();
+        while let Some((t_us, seq, (target, ev))) = self.shared.queue.pop_upto(limit) {
+            let time = SimTime::from_micros(t_us);
+            debug_assert!(time >= self.shared.now, "time went backwards");
+            self.shared.now = time;
+            // Fold every popped entry into the order hash: (time, seq,
+            // target, event variant) pins the exact dispatch sequence, so
+            // any queue implementation producing a different total order is
+            // caught by the golden-hash determinism tests.
+            {
+                let mut h = self.shared.order_hash;
+                h = order_hash_fold(h, t_us);
+                h = order_hash_fold(h, seq);
+                h = order_hash_fold(
+                    h,
+                    match target {
+                        Target::Proc(pid) => (pid.0 as u64) << 3 | 0b001,
+                        Target::HostTransition(hid, up) => {
+                            (hid.0 as u64) << 3 | (up as u64) << 1 | 0b100
+                        }
+                    },
+                );
+                h = order_hash_fold(h, ev.as_ref().map_or(u64::MAX, event_tag));
+                self.shared.order_hash = h;
             }
-            let Reverse(sch) = self.shared.queue.pop().unwrap();
-            debug_assert!(sch.time >= self.shared.now, "time went backwards");
-            self.shared.now = sch.time;
-            match sch.target {
+            // Lazily-cancelled timer: armed before a cancel_timer() call on
+            // the same (pid, tag). Swallow it here instead of delivering.
+            if let (Target::Proc(pid), Some(Event::Timer { tag })) = (&target, &ev) {
+                if let Some(&watermark) = self.shared.cancelled.get(&(pid.0, *tag)) {
+                    if seq < watermark {
+                        let c = self.shared.tele.timers_cancelled;
+                        self.shared.metrics.reg.inc(c);
+                        continue;
+                    }
+                }
+            }
+            match target {
                 Target::HostTransition(h, up) => {
                     self.apply_host_transition(h, up);
                 }
@@ -760,7 +832,7 @@ impl Sim {
                         && self.shared.host_up[self.shared.meta[idx].host.0 as usize];
                     if deliverable {
                         if let Some(mut p) = self.procs[idx].take() {
-                            let ev = sch.ev.expect("process events carry payloads");
+                            let ev = ev.expect("process events carry payloads");
                             self.shared.events_dispatched += 1;
                             let tag = event_tag(&ev);
                             let (t_us, span) =
@@ -795,6 +867,16 @@ impl Sim {
             self.integrate_pending();
         }
         self.shared.now = t_end;
+        let depth = self.shared.tele.queue_depth;
+        let len = self.shared.queue.len() as f64;
+        self.shared.metrics.reg.set_gauge(depth, len);
+        let cascades = self.shared.queue.cascades();
+        let new_cascades = cascades - self.shared.cascades_seen;
+        if new_cascades > 0 {
+            self.shared.cascades_seen = cascades;
+            let c = self.shared.tele.wheel_cascades;
+            self.shared.metrics.reg.add(c, new_cascades as f64);
+        }
         RunStats {
             events: self.shared.events_dispatched - start_events,
             now: self.shared.now,
@@ -807,8 +889,8 @@ impl Sim {
         self.schedule_host_transitions();
         let start_events = self.shared.events_dispatched;
         while self.shared.events_dispatched - start_events < max_events {
-            let next = match self.shared.queue.peek() {
-                Some(Reverse(s)) => s.time,
+            let next = match self.shared.queue.next_time() {
+                Some(t) => SimTime::from_micros(t),
                 None => break,
             };
             self.run_until(next);
@@ -848,7 +930,7 @@ mod tests {
     }
 
     struct Echo {
-        got: Vec<(u32, Vec<u8>)>,
+        got: Vec<(u32, Payload)>,
     }
     impl Process for Echo {
         fn on_event(&mut self, ctx: &mut Ctx<'_>, ev: Event) {
@@ -901,7 +983,7 @@ mod tests {
         let got = sim
             .with_process::<Echo, _>(echo, |e| e.got.clone())
             .unwrap();
-        assert_eq!(got, vec![(10, b"ping".to_vec())]);
+        assert_eq!(got, vec![(10, Payload::from(b"ping"))]);
         assert!(sim.metrics().counter("net.messages") >= 2.0);
     }
 
@@ -948,6 +1030,38 @@ mod tests {
             .with_process::<TimerCounter, _>(p, |t| t.fired.clone())
             .unwrap();
         assert_eq!(done, vec![1, 2, 3]);
+    }
+
+    struct Canceller {
+        fired: Vec<u64>,
+    }
+    impl Process for Canceller {
+        fn on_event(&mut self, ctx: &mut Ctx<'_>, ev: Event) {
+            match ev {
+                Event::Started => {
+                    ctx.set_timer(SimDuration::from_secs(1), 7);
+                    ctx.set_timer(SimDuration::from_secs(2), 7);
+                    ctx.set_timer(SimDuration::from_secs(3), 9);
+                    ctx.cancel_timer(7);
+                    // Re-armed after the cancel: must still fire.
+                    ctx.set_timer(SimDuration::from_secs(4), 7);
+                }
+                Event::Timer { tag } => self.fired.push(tag),
+                _ => {}
+            }
+        }
+    }
+
+    #[test]
+    fn cancel_timer_swallows_prior_arms_only() {
+        let (mut sim, h0, _) = small_world();
+        let p = sim.spawn("c", h0, Box::new(Canceller { fired: vec![] }));
+        sim.run_until(SimTime::from_secs(10));
+        let fired = sim
+            .with_process::<Canceller, _>(p, |c| c.fired.clone())
+            .unwrap();
+        assert_eq!(fired, vec![9, 7]);
+        assert_eq!(sim.metrics().counter("kernel.timers_cancelled"), 2.0);
     }
 
     struct Computer {

@@ -28,9 +28,11 @@
 pub mod host;
 pub mod kernel;
 pub mod net;
+pub mod payload;
 pub mod rng;
 pub mod time;
 pub mod trace;
+pub mod wheel;
 
 pub use ew_telemetry::{
     CounterId, GaugeId, Histogram, HistogramId, HistogramSummary, Registry, SeriesId, Snapshot,
@@ -39,9 +41,11 @@ pub use ew_telemetry::{
 pub use host::{HostId, HostSpec, HostTable};
 pub use kernel::{Ctx, Event, Metrics, Process, ProcessId, RunStats, Sim};
 pub use net::{NetModel, Partition, SiteId, SiteSpec};
+pub use payload::Payload;
 pub use rng::{StreamSeeder, Xoshiro256};
 pub use time::{SimDuration, SimTime};
 pub use trace::{
     AvailabilitySchedule, CompositeLoad, ConstantLoad, DiurnalLoad, LoadTrace, RandomWalkLoad,
     SpikeLoad,
 };
+pub use wheel::TimingWheel;

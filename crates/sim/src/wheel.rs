@@ -1,0 +1,560 @@
+//! Hierarchical timing wheel — the kernel's event queue.
+//!
+//! A discrete-event simulator's hot loop is dominated by its pending-event
+//! structure. A binary heap costs O(log n) per insert *and* per pop, with
+//! poor cache behaviour once the queue is deep (the SC98 scenario keeps
+//! hundreds of thousands of timers in flight). This module replaces it with
+//! a hierarchical timing wheel in the style of Varghese & Lauck's hashed
+//! wheels as used by Tokio and kernel timer subsystems:
+//!
+//! * **O(1) insert** — the level is picked from the highest differing bit
+//!   between the entry's tick and the wheel's current tick (`time ^ cur`),
+//!   the slot by shifting; no comparisons against other entries.
+//! * **O(1) amortised pop** — the wheel only does work proportional to the
+//!   number of occupied slots it passes, found with per-level occupancy
+//!   bitmaps (`trailing_zeros`, no slot scans).
+//! * **Far future** — events beyond the wheel's horizon (≈50 days at µs
+//!   resolution: 7 levels × 6 bits = 42 bits) spill into an overflow list
+//!   with a cached minimum; they migrate into the wheel when the current
+//!   tick approaches (never observed in practice — the paper's experiments
+//!   span hours).
+//! * **Tiny mode** — while fewer than [`TINY_MAX`] entries are pending,
+//!   everything lives in one `(time, seq)`-sorted vector and the wheel
+//!   machinery is bypassed entirely. A ping-pong simulation with two
+//!   messages in flight pays a short sorted insert per event instead of
+//!   multi-level cascades; deep scenarios spill into the wheel the moment
+//!   they exceed the threshold and fall back once fully drained.
+//!
+//! ## Determinism
+//!
+//! The simulator's contract is a **total order by `(time, seq)`** where
+//! `seq` is the global schedule sequence number. The wheel preserves it:
+//!
+//! * A level-0 slot holds exactly one tick value per rotation, so every
+//!   entry gathered into the ready queue at a settle has `time == cur`;
+//!   one sort by `seq` after gathering restores the total order.
+//! * Entries inserted *at* the current tick (`time ^ cur == 0`) are
+//!   appended to the ready queue directly; their seqs are assigned
+//!   monotonically, so appending preserves sortedness.
+//! * `cur` only ever advances to the minimum candidate (occupied slot
+//!   start or overflow minimum), so no occupied slot is ever skipped, and
+//!   a settle bounded by `limit` parks `cur` at `limit` exactly — the
+//!   queue stays resumable across `run_until` boundaries.
+//!
+//! The kernel's golden event-order-hash tests pin this equivalence against
+//! the heap implementation bit-for-bit.
+
+use std::collections::VecDeque;
+
+/// Bits of the tick index consumed per level.
+const BITS: u32 = 6;
+/// Slots per level.
+const SLOTS: usize = 1 << BITS;
+/// Number of wheel levels; ticks needing more than `BITS * LEVELS` bits of
+/// lookahead go to the overflow list.
+const LEVELS: usize = 7;
+/// Below this pending-entry count the wheel runs in *tiny mode*: one
+/// sorted vector, no levels, no cascades. Sparse simulations (a couple of
+/// messages in flight) never pay wheel machinery; the structure spills
+/// into the wheel when it deepens and drops back once fully drained.
+const TINY_MAX: usize = 8;
+
+struct Entry<T> {
+    time: u64,
+    seq: u64,
+    item: T,
+}
+
+/// A hierarchical timing wheel over `u64` ticks with `(time, seq)` total
+/// ordering. See the module docs for the design and determinism argument.
+pub struct TimingWheel<T> {
+    /// Current tick. Every pending entry has `time >= cur`.
+    cur: u64,
+    /// Total entries across levels, ready queue, and overflow.
+    len: usize,
+    /// `levels[l][s]` holds entries whose tick lands in slot `s` of level
+    /// `l` for the current rotation.
+    levels: Vec<[Vec<Entry<T>>; SLOTS]>,
+    /// Per-level bitmap of non-empty slots.
+    occupied: [u64; LEVELS],
+    /// Bitmask of levels with any occupied slot (`occupied[l] != 0`), so
+    /// settles skip empty levels without touching their bitmaps.
+    active: u32,
+    /// Entries at exactly `cur`, sorted by `seq`; popped from the front.
+    ready: VecDeque<Entry<T>>,
+    /// Entries beyond the wheel horizon, unordered.
+    overflow: Vec<Entry<T>>,
+    /// Minimum `time` in `overflow` (`u64::MAX` when empty).
+    overflow_min: u64,
+    /// Number of entries re-filed from a higher level to a lower one (or
+    /// migrated out of overflow). A cheap health signal: cascades scale
+    /// with how far ahead processes arm timers.
+    cascades: u64,
+    /// Emptied slot vectors kept for reuse, so cascading doesn't pay an
+    /// allocation to re-grow the destination slot it just vacated.
+    spare: Vec<Vec<Entry<T>>>,
+    /// Tiny-mode storage, sorted descending by `(time, seq)` so the
+    /// minimum pops from the back. Unused (empty) in wheel mode.
+    tiny: Vec<Entry<T>>,
+    /// Whether the structure is in tiny mode (see [`TINY_MAX`]). While
+    /// true, `levels`/`ready`/`overflow` are all empty.
+    in_tiny: bool,
+}
+
+impl<T> Default for TimingWheel<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> TimingWheel<T> {
+    /// An empty wheel positioned at tick 0.
+    pub fn new() -> Self {
+        let levels = (0..LEVELS)
+            .map(|_| std::array::from_fn(|_| Vec::new()))
+            .collect();
+        TimingWheel {
+            cur: 0,
+            len: 0,
+            levels,
+            occupied: [0; LEVELS],
+            active: 0,
+            ready: VecDeque::new(),
+            overflow: Vec::new(),
+            overflow_min: u64::MAX,
+            cascades: 0,
+            spare: Vec::new(),
+            tiny: Vec::new(),
+            in_tiny: true,
+        }
+    }
+
+    /// Number of pending entries.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether no entries are pending.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Total entries re-filed to a lower level since construction.
+    pub fn cascades(&self) -> u64 {
+        self.cascades
+    }
+
+    /// Insert an entry. `time` must be `>= `the wheel's current tick (the
+    /// simulator never schedules into the past); `seq` must be globally
+    /// unique and monotonically assigned.
+    pub fn insert(&mut self, time: u64, seq: u64, item: T) {
+        debug_assert!(time >= self.cur, "scheduled into the past");
+        let time = time.max(self.cur);
+        self.len += 1;
+        let e = Entry { time, seq, item };
+        if self.in_tiny {
+            if self.tiny.len() < TINY_MAX {
+                let key = (time, seq);
+                let pos = self.tiny.partition_point(|x| (x.time, x.seq) > key);
+                self.tiny.insert(pos, e);
+            } else {
+                // Deepened past tiny mode: spill everything into the wheel
+                // (ascending, so same-tick entries reach `ready` in seq
+                // order) and file the newcomer normally.
+                self.in_tiny = false;
+                let mut spill = std::mem::take(&mut self.tiny);
+                for t in spill.drain(..).rev() {
+                    self.file(t);
+                }
+                self.tiny = spill;
+                self.file(e);
+            }
+            return;
+        }
+        self.file(e);
+    }
+
+    /// Route an entry to the ready queue, a wheel slot, or overflow,
+    /// based on the highest bit in which its tick differs from `cur`.
+    fn file(&mut self, e: Entry<T>) {
+        let x = e.time ^ self.cur;
+        if x == 0 {
+            // At the current tick. Direct inserts arrive in seq order
+            // (monotonic assignment), and settle sorts after gathering, so
+            // push_back maintains the sorted-by-seq invariant.
+            self.ready.push_back(e);
+            return;
+        }
+        let level = ((63 - x.leading_zeros()) / BITS) as usize;
+        if level >= LEVELS {
+            self.overflow_min = self.overflow_min.min(e.time);
+            self.overflow.push(e);
+            return;
+        }
+        let slot = ((e.time >> (BITS * level as u32)) & (SLOTS as u64 - 1)) as usize;
+        self.occupied[level] |= 1 << slot;
+        self.active |= 1 << level;
+        self.levels[level][slot].push(e);
+    }
+
+    /// Start of the first occupied slot of `level` at or after the current
+    /// position, or `None` if the level is empty for this rotation.
+    fn level_candidate(&self, level: usize) -> Option<u64> {
+        let shift = BITS * level as u32;
+        let cur_idx = ((self.cur >> shift) & (SLOTS as u64 - 1)) as u32;
+        // Invariant: occupied slots never trail the current index within a
+        // rotation (entries land strictly ahead of `cur`, and `cur` stops
+        // at every occupied slot start), so shifting out the passed slots
+        // is exhaustive.
+        let masked = self.occupied[level] >> cur_idx;
+        if masked == 0 {
+            return None;
+        }
+        let slot = cur_idx as u64 + masked.trailing_zeros() as u64;
+        let block = BITS * (level as u32 + 1);
+        let base = if block >= 64 {
+            0
+        } else {
+            self.cur & !((1u64 << block) - 1)
+        };
+        Some(base | (slot << shift))
+    }
+
+    /// Advance until the ready queue holds the earliest pending entries,
+    /// without moving past `limit`. Returns `true` when ready entries at
+    /// tick `<= limit` are available; otherwise parks `cur` at `limit`
+    /// (never backwards) and returns `false`.
+    fn settle_upto(&mut self, limit: u64) -> bool {
+        loop {
+            if let Some(front) = self.ready.front() {
+                return front.time <= limit;
+            }
+            if self.len == 0 {
+                // Drained: drop back to tiny mode so a sparse phase stops
+                // paying wheel costs. `cur` deliberately stays put — with
+                // nothing pending there is no position to resume, and
+                // parking at an unbounded limit (`next_time`'s u64::MAX)
+                // would clamp every later insert into the far future.
+                self.in_tiny = true;
+                return false;
+            }
+            let mut candidate = if self.overflow.is_empty() {
+                None
+            } else {
+                Some(self.overflow_min)
+            };
+            let mut lv = self.active;
+            while lv != 0 {
+                let l = lv.trailing_zeros() as usize;
+                lv &= lv - 1;
+                if let Some(c) = self.level_candidate(l) {
+                    candidate = Some(candidate.map_or(c, |m| m.min(c)));
+                }
+            }
+            let candidate = candidate.expect("len > 0 but no candidate");
+            if candidate > limit {
+                self.cur = self.cur.max(limit);
+                return false;
+            }
+            self.cur = candidate;
+            // Migrate due overflow entries: once `cur` reaches the cached
+            // minimum, every overflow entry is re-filed (most land back in
+            // the top wheel level; stragglers recompute the minimum).
+            if !self.overflow.is_empty() && self.overflow_min == candidate {
+                let spill = std::mem::take(&mut self.overflow);
+                self.overflow_min = u64::MAX;
+                self.cascades += spill.len() as u64;
+                for e in spill {
+                    self.file(e);
+                }
+            }
+            // Cascade every level whose slot starts exactly at `cur`,
+            // highest first so entries can fall multiple levels in one
+            // settle. Level-0 entries (and exact-tick hits) end in ready.
+            // A level-`l` slot starts at `cur` iff `cur`'s low `BITS * l`
+            // bits are zero, so the trailing-zero count bounds how high
+            // the scan needs to go (a level-1+ slot whose range merely
+            // contains `cur` was its own candidate).
+            let tz = if self.cur == 0 {
+                64
+            } else {
+                self.cur.trailing_zeros()
+            };
+            let top = ((tz / BITS) as usize).min(LEVELS - 1);
+            for level in (0..=top).rev() {
+                let shift = BITS * level as u32;
+                let slot = ((self.cur >> shift) & (SLOTS as u64 - 1)) as usize;
+                let bit = 1u64 << slot;
+                if self.occupied[level] & bit == 0 {
+                    continue;
+                }
+                self.occupied[level] &= !bit;
+                if self.occupied[level] == 0 {
+                    self.active &= !(1 << level);
+                }
+                // Swap in a recycled vector so the vacated slot keeps
+                // capacity for its next rotation instead of re-allocating.
+                let mut entries = std::mem::replace(
+                    &mut self.levels[level][slot],
+                    self.spare.pop().unwrap_or_default(),
+                );
+                if level > 0 {
+                    self.cascades += entries.len() as u64;
+                }
+                for e in entries.drain(..) {
+                    self.file(e);
+                }
+                self.spare.push(entries);
+            }
+            // Everything at `cur` is now in ready; one sort restores the
+            // (time, seq) total order (all ready ticks are equal).
+            if self.ready.len() > 1 {
+                self.ready.make_contiguous().sort_unstable_by_key(|e| e.seq);
+            }
+        }
+    }
+
+    /// Tick of the earliest pending entry if it is `<= limit`; advances the
+    /// wheel's internal position but pops nothing. When it returns `None`
+    /// the position is parked at `limit`, ready to resume later.
+    pub fn next_time_upto(&mut self, limit: u64) -> Option<u64> {
+        if self.in_tiny {
+            match self.tiny.last() {
+                Some(e) if e.time <= limit => return Some(e.time),
+                Some(_) => {
+                    self.cur = self.cur.max(limit);
+                    return None;
+                }
+                None => return None,
+            }
+        }
+        if self.settle_upto(limit) {
+            self.ready.front().map(|e| e.time)
+        } else {
+            None
+        }
+    }
+
+    /// Tick of the earliest pending entry, regardless of horizon.
+    pub fn next_time(&mut self) -> Option<u64> {
+        self.next_time_upto(u64::MAX)
+    }
+
+    /// Pop the earliest pending entry (by `(time, seq)`) at tick
+    /// `<= limit`, as `(time, seq, item)`.
+    pub fn pop_upto(&mut self, limit: u64) -> Option<(u64, u64, T)> {
+        if self.in_tiny {
+            match self.tiny.last() {
+                Some(e) if e.time <= limit => {}
+                Some(_) => {
+                    self.cur = self.cur.max(limit);
+                    return None;
+                }
+                None => return None,
+            }
+            let e = self.tiny.pop().expect("matched above");
+            self.cur = e.time;
+            self.len -= 1;
+            return Some((e.time, e.seq, e.item));
+        }
+        if !self.settle_upto(limit) {
+            return None;
+        }
+        let e = self.ready.pop_front()?;
+        self.len -= 1;
+        Some((e.time, e.seq, e.item))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cmp::Reverse;
+    use std::collections::BinaryHeap;
+
+    /// Pop both the wheel and a reference heap to exhaustion and assert
+    /// identical (time, seq) sequences.
+    fn check_against_heap(batch: Vec<(u64, u64)>) {
+        let mut wheel = TimingWheel::new();
+        let mut heap = BinaryHeap::new();
+        for &(t, s) in &batch {
+            wheel.insert(t, s, ());
+            heap.push(Reverse((t, s)));
+        }
+        let mut got = Vec::new();
+        while let Some((t, s, ())) = wheel.pop_upto(u64::MAX) {
+            got.push((t, s));
+        }
+        let mut want = Vec::new();
+        while let Some(Reverse(p)) = heap.pop() {
+            want.push(p);
+        }
+        assert_eq!(got, want);
+        assert!(wheel.is_empty());
+    }
+
+    #[test]
+    fn empty_wheel() {
+        let mut w: TimingWheel<()> = TimingWheel::new();
+        assert!(w.is_empty());
+        assert_eq!(w.next_time(), None);
+        assert_eq!(w.pop_upto(u64::MAX), None);
+    }
+
+    #[test]
+    fn single_entry_far_and_near() {
+        for t in [
+            0u64,
+            1,
+            63,
+            64,
+            65,
+            4095,
+            4096,
+            1 << 20,
+            1 << 41,
+            1 << 42,
+            1 << 63,
+            u64::MAX,
+        ] {
+            let mut w = TimingWheel::new();
+            w.insert(t, 0, "x");
+            assert_eq!(w.next_time(), Some(t));
+            assert_eq!(w.pop_upto(u64::MAX), Some((t, 0, "x")));
+            assert!(w.is_empty());
+        }
+    }
+
+    #[test]
+    fn same_tick_ties_pop_in_seq_order() {
+        check_against_heap(vec![(100, 5), (100, 1), (100, 3), (100, 2), (100, 4)]);
+    }
+
+    #[test]
+    fn mixed_batch_matches_heap() {
+        check_against_heap(vec![
+            (50, 0),
+            (1, 1),
+            (50, 2),
+            (1 << 50, 3), // overflow level
+            (0, 4),
+            (64, 5),
+            (63, 6),
+            (65, 7),
+            (1 << 50, 8),
+            (u64::MAX, 9),
+            (4096, 10),
+        ]);
+    }
+
+    #[test]
+    fn limit_parks_and_resumes() {
+        let mut w = TimingWheel::new();
+        w.insert(10, 0, ());
+        w.insert(1000, 1, ());
+        assert_eq!(w.next_time_upto(5), None);
+        assert_eq!(w.pop_upto(500), Some((10, 0, ())));
+        assert_eq!(w.pop_upto(500), None);
+        // Insert at the parked position (== a simulator's `now`).
+        w.insert(500, 2, ());
+        assert_eq!(w.pop_upto(500), Some((500, 2, ())));
+        assert_eq!(w.pop_upto(u64::MAX), Some((1000, 1, ())));
+        assert!(w.is_empty());
+    }
+
+    #[test]
+    fn interleaved_insert_pop_matches_heap() {
+        // Deterministic pseudo-random workload, no external rng needed.
+        let mut state = 0x243f_6a88_85a3_08d3u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let mut wheel = TimingWheel::new();
+        let mut heap = BinaryHeap::new();
+        let mut seq = 0u64;
+        let mut now = 0u64;
+        for round in 0..200 {
+            for _ in 0..(next() % 8 + 1) {
+                let horizon = if next() % 13 == 0 {
+                    1 << 50 // overflow territory
+                } else {
+                    1 << (next() % 20)
+                };
+                let t = now + next() % horizon;
+                wheel.insert(t, seq, seq);
+                heap.push(Reverse((t, seq)));
+                seq += 1;
+            }
+            let bound = now + next() % (1 << (next() % 22));
+            loop {
+                let got = wheel.pop_upto(bound);
+                let want = match heap.peek() {
+                    Some(&Reverse((t, _))) if t <= bound => {
+                        let Reverse((t, s)) = heap.pop().unwrap();
+                        Some((t, s))
+                    }
+                    _ => None,
+                };
+                assert_eq!(
+                    got.map(|(t, s, _)| (t, s)),
+                    want,
+                    "diverged at round {round}"
+                );
+                if got.is_none() {
+                    break;
+                }
+                now = got.unwrap().0.max(now);
+            }
+            now = bound;
+        }
+        // Drain the rest.
+        while let Some((t, s, _)) = wheel.pop_upto(u64::MAX) {
+            let Reverse(top) = heap.pop().unwrap();
+            assert_eq!((t, s), top);
+        }
+        assert!(heap.is_empty());
+    }
+
+    #[test]
+    fn tiny_mode_spills_and_returns() {
+        let mut w = TimingWheel::new();
+        // Stay tiny: a couple of in-flight entries, popped promptly.
+        w.insert(5, 0, ());
+        w.insert(3, 1, ());
+        assert_eq!(w.pop_upto(u64::MAX), Some((3, 1, ())));
+        // Deepen past TINY_MAX to force a spill into the wheel...
+        for i in 0..2 * TINY_MAX as u64 {
+            w.insert(100 + i * 7, 2 + i, ());
+        }
+        let mut prev = (0, 0);
+        while let Some((t, s, ())) = w.pop_upto(u64::MAX) {
+            assert!((t, s) > prev, "order broke across the spill");
+            prev = (t, s);
+        }
+        assert!(w.is_empty());
+        // ...and fully drained, later inserts are tiny again and must
+        // respect the advanced current tick.
+        w.insert(prev.0 + 1000, 99, ());
+        assert_eq!(w.pop_upto(u64::MAX), Some((prev.0 + 1000, 99, ())));
+    }
+
+    #[test]
+    fn cascade_counter_moves() {
+        let mut w = TimingWheel::new();
+        // Enough entries to leave tiny mode, landing on level 2+ (bits
+        // above 12), so draining must refile them downward.
+        for i in 0..=TINY_MAX as u64 {
+            w.insert((1 << 13) + (i << 7), i, ());
+        }
+        assert_eq!(w.cascades(), 0);
+        let mut prev = 0;
+        while let Some((t, _, ())) = w.pop_upto(u64::MAX) {
+            assert!(t >= prev);
+            prev = t;
+        }
+        assert!(w.cascades() >= 1);
+    }
+}

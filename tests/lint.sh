@@ -16,4 +16,7 @@ cargo fmt --all -- --check
 echo "== cargo clippy --workspace (warnings are errors)"
 cargo clippy --workspace --all-targets --offline -- -D warnings
 
+echo "== cargo bench --no-run (benches must keep compiling)"
+cargo bench --workspace --no-run --offline
+
 echo "lint gate: OK"

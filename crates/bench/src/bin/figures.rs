@@ -6,8 +6,11 @@
 //! ```
 //!
 //! Subcommands: `fig2`, `fig3a`, `fig3b`, `fig3c`, `java`, `timeout`,
-//! `condor`, `scaling`, `criteria`, `health`, `all`. `--short` runs a
-//! 2-hour window instead of the full 12 hours (for smoke tests).
+//! `condor`, `scaling`, `criteria`, `health`, `chaos`, `all`. `--short`
+//! runs a 2-hour window instead of the full 12 hours (for smoke tests);
+//! for `chaos` it cuts the campaign to one seed over 15 minutes. `chaos`
+//! sweeps the named fault plans of `ew-chaos` (see `results/chaos_*.json`
+//! and `results/BENCH_PR3.json`) and is not part of `all`.
 //! `--seed N` reseeds. `--trace PATH` turns on span tracing for the SC98
 //! run and writes the records to PATH as JSONL (the simulation itself is
 //! bit-identical with tracing on or off). Markdown goes to stdout; JSON
@@ -371,6 +374,45 @@ fn health(rep: &Sc98Report) {
     write_json("health", &serde_json::json!(j));
 }
 
+fn chaos(opts: &Options) {
+    let cfg = ew_chaos::CampaignConfig::standard(opts.seed, opts.short);
+    eprintln!(
+        "running the chaos campaign ({} plans × {} seed(s), {:.0} s horizon)...",
+        cfg.plans.len(),
+        cfg.seeds.len(),
+        cfg.horizon.as_secs_f64()
+    );
+    let reports = ew_chaos::run_campaign(&cfg);
+    println!("### Chaos campaign — adaptive retry/breaker stack vs static time-outs\n");
+    println!(
+        "| plan | seed | faults | lost % (adaptive) | lost % (static) | \
+         recovery s (adaptive) | SLO ok (adaptive) | retries | breaker opens |"
+    );
+    println!("|---|---|---|---|---|---|---|---|---|");
+    for r in &reports {
+        println!(
+            "| {} | {} | {} | {:.2} | {:.2} | {} | {:.2} | {} | {} |",
+            r.plan,
+            r.seed,
+            r.faults_injected,
+            r.adaptive.work_lost_pct,
+            r.static_baseline.work_lost_pct,
+            r.adaptive
+                .recovery_secs
+                .map(|s| format!("{s:.0}"))
+                .unwrap_or_else(|| "—".into()),
+            r.adaptive.slo_ok_fraction,
+            r.adaptive.retries,
+            r.adaptive.breaker_opens,
+        );
+    }
+    println!();
+    for (name, value) in ew_chaos::campaign_json(&cfg, &reports) {
+        write_json(&name, &value);
+    }
+    write_json("BENCH_PR3", &ew_chaos::bench_summary_json(&cfg, &reports));
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut cmd = String::from("all");
@@ -444,6 +486,7 @@ fn main() {
         "scaling" => scaling(),
         "criteria" => criteria(rep.as_ref().unwrap()),
         "health" => health(rep.as_ref().unwrap()),
+        "chaos" => chaos(&opts),
         "all" => {
             let rep = rep.as_ref().unwrap();
             fig2(rep);
@@ -460,7 +503,7 @@ fn main() {
         other => {
             eprintln!(
                 "unknown command {other:?}; expected one of fig2 fig3a fig3b fig3c \
-                 java timeout condor scaling criteria health all"
+                 java timeout condor scaling criteria health chaos all"
             );
             std::process::exit(2);
         }

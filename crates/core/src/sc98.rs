@@ -231,6 +231,7 @@ pub fn run_sc98(cfg: &Sc98Config) -> Sc98Report {
             // Condor-style reclamation makes checkpoint/restart valuable;
             // checkpoint every ~10 chunks (~100 s of compute).
             checkpoint_every_chunks: Some(10),
+            static_timeouts: None,
         };
         sim.spawn(
             &format!("sup-{}", build.name),

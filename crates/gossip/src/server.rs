@@ -16,8 +16,13 @@
 
 use ew_forecast::ForecastTimeout;
 use ew_proto::sim_net::{broadcast_packet, packet_from_event, send_packet};
-use ew_proto::{EventTag, Packet, RpcTracker, StaticTimeout, TimeoutPolicy};
-use ew_sim::{CounterId, Ctx, Event, HistogramId, Process, ProcessId, SimDuration, SpanId};
+use ew_proto::{
+    AdaptiveRetry, BreakerConfig, EventTag, Packet, RetryConfig, RetryDecision, RetryTele,
+    RpcTracker, StaticTimeout, TimeoutPolicy,
+};
+use ew_sim::{
+    CounterId, Ctx, Event, HistogramId, Process, ProcessId, SimDuration, SimTime, SpanId,
+};
 
 use crate::clique::{CliqueConfig, CliqueState};
 use crate::messages::{
@@ -61,7 +66,19 @@ const TIMER_TOKEN_HOLD: u64 = 4;
 
 /// What an outstanding RPC was for.
 enum RpcKind {
-    Poll { addr: u64, stype: u16 },
+    Poll {
+        addr: u64,
+        stype: u16,
+        attempts: u32,
+    },
+}
+
+/// A re-poll the adaptive layer scheduled for after a backoff.
+struct DeferredPoll {
+    due: SimTime,
+    addr: u64,
+    stype: u16,
+    attempts: u32,
 }
 
 /// Telemetry handles, interned once on `Event::Started`.
@@ -72,6 +89,8 @@ struct GossipTele {
     pushes: CounterId,
     poll_timeouts: CounterId,
     polls_ok: CounterId,
+    polls_suppressed: CounterId,
+    retry: RetryTele,
     elections: CounterId,
     elections_closed: CounterId,
     probes: CounterId,
@@ -90,6 +109,8 @@ impl GossipTele {
             pushes: ctx.counter("gossip.pushes"),
             poll_timeouts: ctx.counter("gossip.poll_timeouts"),
             polls_ok: ctx.counter("gossip.polls_ok"),
+            polls_suppressed: ctx.counter("gossip.polls_suppressed"),
+            retry: RetryTele::intern(ctx),
             elections: ctx.counter("clique.elections"),
             elections_closed: ctx.counter("clique.elections_closed"),
             probes: ctx.counter("clique.probes"),
@@ -110,6 +131,10 @@ pub struct GossipServer {
     clique: Option<CliqueState>,
     rpc: RpcTracker<RpcKind>,
     policy: Box<dyn TimeoutPolicy + Send>,
+    /// The unified retry/breaker layer; `None` on the static-baseline arm
+    /// (which keeps the pre-adaptive count-and-move-on behaviour).
+    adaptive: Option<AdaptiveRetry>,
+    deferred: Vec<DeferredPoll>,
     hold_pending: bool,
     tele: Option<GossipTele>,
     /// Successful poll round-trips (exposed for tests/experiments).
@@ -135,6 +160,8 @@ impl GossipServer {
             clique: None,
             rpc: RpcTracker::new(),
             policy,
+            adaptive: None,
+            deferred: Vec::new(),
             hold_pending: false,
             tele: None,
             polls_ok: 0,
@@ -199,6 +226,47 @@ impl GossipServer {
         ctx.set_timer(self.cfg.poll_interval + jitter, TIMER_POLL);
         ctx.set_timer(self.cfg.sync_interval + jitter, TIMER_SYNC);
         ctx.set_timer(self.cfg.tick_interval, TIMER_TICK);
+        if self.cfg.static_timeouts.is_none() {
+            // One backoff retry per poll before the periodic round takes
+            // over again; the breaker suppresses polls to components that
+            // keep timing out.
+            let seed = ctx.rng().next_u64();
+            self.adaptive = Some(AdaptiveRetry::new(
+                RetryConfig {
+                    base: SimDuration::from_secs(2),
+                    cap: self.cfg.poll_interval,
+                    budget: 2,
+                    jitter: 0.3,
+                },
+                BreakerConfig::default(),
+                seed,
+            ));
+        }
+    }
+
+    fn send_poll(&mut self, ctx: &mut Ctx<'_>, comp: u64, stype: u16, attempts: u32) {
+        let tele = self.tele.expect("started");
+        let tag = EventTag {
+            peer: comp,
+            mtype: gm::POLL,
+        };
+        let corr = self.rpc.begin(
+            tag,
+            ctx.now(),
+            self.policy.as_mut(),
+            RpcKind::Poll {
+                addr: comp,
+                stype,
+                attempts,
+            },
+        );
+        let body = Poll { stype };
+        send_packet(
+            ctx,
+            Self::pid(comp),
+            &Packet::request(gm::POLL, corr, body.to_wire()),
+        );
+        ctx.inc(tele.polls_sent);
     }
 
     fn poll_round(&mut self, ctx: &mut Ctx<'_>) {
@@ -209,24 +277,17 @@ impl GossipServer {
             if responsible_gossip(&members, comp) != Some(me) {
                 continue;
             }
+            // Components that keep timing out have an open circuit: skip
+            // them until the cool-down's half-open probe (which
+            // `try_acquire` itself admits).
+            if let Some(a) = self.adaptive.as_mut() {
+                if !a.try_acquire(comp, ctx.now()) {
+                    ctx.inc(tele.polls_suppressed);
+                    continue;
+                }
+            }
             for stype in self.store.types_of(comp) {
-                let tag = EventTag {
-                    peer: comp,
-                    mtype: gm::POLL,
-                };
-                let corr = self.rpc.begin(
-                    tag,
-                    ctx.now(),
-                    self.policy.as_mut(),
-                    RpcKind::Poll { addr: comp, stype },
-                );
-                let body = Poll { stype };
-                send_packet(
-                    ctx,
-                    Self::pid(comp),
-                    &Packet::request(gm::POLL, corr, body.to_wire()),
-                );
-                ctx.inc(tele.polls_sent);
+                self.send_poll(ctx, comp, stype, 1);
             }
         }
         ctx.set_timer(self.cfg.poll_interval, TIMER_POLL);
@@ -286,11 +347,42 @@ impl GossipServer {
             .expire_traced(ctx, tele.timeout_span, self.policy.as_mut())
         {
             match pending.context {
-                RpcKind::Poll { .. } => {
+                RpcKind::Poll {
+                    addr,
+                    stype,
+                    attempts,
+                } => {
                     self.polls_timed_out += 1;
                     ctx.inc(tele.poll_timeouts);
+                    if let Some(a) = self.adaptive.as_mut() {
+                        let (decision, opened) = a.on_timeout(addr, attempts, now);
+                        if opened {
+                            ctx.inc(tele.retry.breaker_open);
+                        }
+                        if let RetryDecision::Resend { after } = decision {
+                            // One backed-off re-poll; past the budget the
+                            // next periodic round (or the breaker's
+                            // half-open probe) takes over.
+                            ctx.inc(tele.retry.retries);
+                            self.deferred.push(DeferredPoll {
+                                due: now + after,
+                                addr,
+                                stype,
+                                attempts: attempts + 1,
+                            });
+                        }
+                    }
                 }
             }
+        }
+        let due: Vec<DeferredPoll> = {
+            let (due, later): (Vec<DeferredPoll>, Vec<DeferredPoll>) =
+                self.deferred.drain(..).partition(|d| d.due <= now);
+            self.deferred = later;
+            due
+        };
+        for d in due {
+            self.send_poll(ctx, d.addr, d.stype, d.attempts);
         }
         // Clique bookkeeping.
         let clique = self.clique.as_mut().expect("started");
@@ -341,7 +433,10 @@ impl GossipServer {
                 if let Some((pending, rtt)) =
                     self.rpc.complete(pkt.corr_id, now, self.policy.as_mut())
                 {
-                    let RpcKind::Poll { addr, stype } = pending.context;
+                    let RpcKind::Poll { addr, stype, .. } = pending.context;
+                    if let Some(a) = self.adaptive.as_mut() {
+                        a.on_success(addr);
+                    }
                     if let Ok(carrier) = pkt.body::<StateCarrier>() {
                         self.polls_ok += 1;
                         ctx.inc(tele.polls_ok);

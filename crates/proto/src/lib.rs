@@ -11,12 +11,16 @@
 //! * [`rpc`] — outstanding-request tracking with pluggable
 //!   [`rpc::TimeoutPolicy`] (static here; forecast-driven in
 //!   `ew-forecast`);
+//! * [`retry`] — the unified adaptive retry layer: exponential backoff
+//!   with seeded jitter and a per-peer circuit breaker, composed with the
+//!   time-out policy by every service's RPC path;
 //! * [`sim_net`] — packets over the `ew-sim` kernel;
 //! * [`tcp`] — packets over real `std::net` TCP for live deployment.
 
 #![warn(missing_docs)]
 
 pub mod packet;
+pub mod retry;
 pub mod rpc;
 pub mod sim_net;
 pub mod tcp;
@@ -24,5 +28,9 @@ pub mod wire;
 
 pub use ew_sim::Payload;
 pub use packet::{flags, mtype, FrameReader, Packet, PacketError};
+pub use retry::{
+    AdaptiveRetry, BreakerConfig, CircuitBreaker, RetryConfig, RetryDecision, RetryPolicy,
+    RetryTele,
+};
 pub use rpc::{DeadlineTimer, EventTag, Pending, RpcTracker, StaticTimeout, TimeoutPolicy};
 pub use wire::{WireDecode, WireEncode, WireError, WireReader};

@@ -112,6 +112,39 @@ impl<M> RpcTracker<M> {
         corr_id
     }
 
+    /// [`begin`](Self::begin), but with the policy's time-out clamped to
+    /// `cap`. Adaptive time-outs inflate on every expiry so that slow
+    /// links stop producing needless retries — but during a *partition*
+    /// the same inflation delays failure detection arbitrarily (a request
+    /// in flight when the cut heals can sit a full inflated time-out
+    /// before its retry goes out). Callers that pair the tracker with a
+    /// retry/breaker layer cap detection latency at the retry policy's
+    /// backoff ceiling: time-outs stay adaptive below the cap, and the
+    /// worst-case post-heal stall is bounded.
+    pub fn begin_capped(
+        &mut self,
+        tag: EventTag,
+        now: SimTime,
+        policy: &mut dyn TimeoutPolicy,
+        cap: SimDuration,
+        context: M,
+    ) -> u64 {
+        let corr_id = self.next_corr;
+        self.next_corr += 1;
+        let timeout = policy.timeout_for(tag).min(cap);
+        self.outstanding.insert(
+            corr_id,
+            Pending {
+                corr_id,
+                tag,
+                sent_at: now,
+                deadline: now + timeout,
+                context,
+            },
+        );
+        corr_id
+    }
+
     /// Record the arrival of a response. Returns the pending entry and its
     /// RTT, and reports the RTT to the policy. Late responses (after
     /// expiry was already taken) return `None` — exactly the "needless
@@ -129,8 +162,20 @@ impl<M> RpcTracker<M> {
     }
 
     /// Remove and return every request whose deadline has passed,
-    /// reporting each expiry to the policy. Results are sorted by
+    /// reporting expiries to the policy. Results are sorted by
     /// correlation id for determinism.
+    ///
+    /// The policy hears about each distinct [`EventTag`] **once per
+    /// batch**, not once per entry. Callers fall into two camps: exact
+    /// ones ([`DeadlineTimer`]-driven, e.g. the NWS sensor) expire a
+    /// single entry at its deadline instant, while tick-based ones (the
+    /// compute client and Gossip server scan on a 1–2 s cadence) can
+    /// collect several same-tag entries that all died of *one* underlying
+    /// outage. Reporting per entry made one outage inflate an adaptive
+    /// policy's back-off several times over for the batched callers but
+    /// only once for the exact ones — the same signal, counted
+    /// differently depending on the caller's timer style. One distinct
+    /// tag per batch restores "one outage, one signal" for both camps.
     pub fn expire(&mut self, now: SimTime, policy: &mut dyn TimeoutPolicy) -> Vec<Pending<M>> {
         let mut expired_ids: Vec<u64> = self
             .outstanding
@@ -139,11 +184,15 @@ impl<M> RpcTracker<M> {
             .map(|(&id, _)| id)
             .collect();
         expired_ids.sort_unstable();
+        let mut reported: Vec<EventTag> = Vec::new();
         expired_ids
             .into_iter()
             .map(|id| {
                 let p = self.outstanding.remove(&id).expect("listed above");
-                policy.observe_timeout(p.tag);
+                if !reported.contains(&p.tag) {
+                    reported.push(p.tag);
+                    policy.observe_timeout(p.tag);
+                }
                 p
             })
             .collect()
@@ -263,6 +312,19 @@ mod tests {
     }
 
     #[test]
+    fn begin_capped_bounds_the_policy_timeout() {
+        let mut rt: RpcTracker<()> = RpcTracker::new();
+        let mut pol = StaticTimeout(SimDuration::from_secs(100));
+        rt.begin_capped(tag(1), t(0), &mut pol, SimDuration::from_secs(30), ());
+        // The inflated 100 s policy value is clamped to the 30 s cap…
+        assert_eq!(rt.next_deadline(), Some(t(30)));
+        let mut fast = StaticTimeout(SimDuration::from_secs(5));
+        rt.begin_capped(tag(1), t(0), &mut fast, SimDuration::from_secs(30), ());
+        // …while values below the cap pass through untouched.
+        assert_eq!(rt.next_deadline(), Some(t(5)));
+    }
+
+    #[test]
     fn unknown_completion_is_none() {
         let mut rt: RpcTracker<()> = RpcTracker::new();
         let mut pol = StaticTimeout(SimDuration::from_secs(1));
@@ -303,6 +365,32 @@ mod tests {
         // Late completion of the expired id yields nothing.
         assert!(rt.complete(id1, t(6), &mut pol).is_none());
         assert_eq!(pol.rtts, 0);
+    }
+
+    #[test]
+    fn batched_expiry_reports_each_tag_once() {
+        struct TagCounter(Vec<EventTag>);
+        impl TimeoutPolicy for TagCounter {
+            fn timeout_for(&mut self, _t: EventTag) -> SimDuration {
+                SimDuration::from_secs(1)
+            }
+            fn observe_rtt(&mut self, _t: EventTag, _r: SimDuration) {}
+            fn observe_timeout(&mut self, t: EventTag) {
+                self.0.push(t);
+            }
+        }
+        let mut pol = TagCounter(Vec::new());
+        let mut rt: RpcTracker<u32> = RpcTracker::new();
+        // Three same-tag requests plus one to a different peer, all
+        // expiring inside one tick-based scan: one outage per tag, so one
+        // observe_timeout per tag, even though four entries are returned.
+        rt.begin(tag(1), t(0), &mut pol, 1);
+        rt.begin(tag(1), t(0), &mut pol, 2);
+        rt.begin(tag(1), t(0), &mut pol, 3);
+        rt.begin(tag(9), t(0), &mut pol, 4);
+        let exp = rt.expire(t(10), &mut pol);
+        assert_eq!(exp.len(), 4, "all expired entries are still returned");
+        assert_eq!(pol.0, vec![tag(1), tag(9)], "but each tag reports once");
     }
 
     #[test]

@@ -12,7 +12,10 @@
 
 use ew_forecast::ForecastTimeout;
 use ew_proto::sim_net::{packet_from_event, send_packet};
-use ew_proto::{EventTag, Packet, RpcTracker, WireDecode, WireEncode};
+use ew_proto::{
+    AdaptiveRetry, EventTag, Packet, Pending, RetryDecision, RetryTele, RpcTracker, StaticTimeout,
+    TimeoutPolicy, WireDecode, WireEncode,
+};
 use ew_ramsey::{execute_work_unit, WorkResult, WorkUnit};
 use ew_sim::{CounterId, Ctx, Event, Process, ProcessId, SeriesId, SimDuration, SimTime, SpanId};
 use ew_state::messages::{sm, FetchReply, FetchRequest, StoreRequest};
@@ -42,6 +45,12 @@ pub struct ClientConfig {
     /// many chunks, and resume from the checkpoint after a restart —
     /// "application-level checkpointing" (§2.3). Requires `state_server`.
     pub checkpoint_every_chunks: Option<u64>,
+    /// `Some(d)`: the §2.2 static-time-out baseline — fixed time-out `d`,
+    /// no backoff, no circuit breaker, immediate failover on every expiry
+    /// (the pre-adaptive behaviour, kept for the chaos A/B). `None`
+    /// (default): forecast-driven time-outs composed with the unified
+    /// retry/breaker layer.
+    pub static_timeouts: Option<SimDuration>,
 }
 
 impl Default for ClientConfig {
@@ -55,6 +64,7 @@ impl Default for ClientConfig {
             execute_real: false,
             infra: "unix".into(),
             checkpoint_every_chunks: None,
+            static_timeouts: None,
         }
     }
 }
@@ -84,9 +94,29 @@ enum Req {
     GetWork,
     Report,
     Result(WorkResult),
-    Store,
-    Checkpoint,
+    // Store/Checkpoint carry their wire bodies so the retry layer can
+    // resend them verbatim after a backoff.
+    Store(Vec<u8>),
+    Checkpoint(Vec<u8>),
     RestoreFetch,
+}
+
+/// Tracker context: the request kind plus how many times it has been sent
+/// (first send = 1), so the retry budget survives across expiries.
+struct ReqCtx {
+    req: Req,
+    attempts: u32,
+}
+
+/// A resend the adaptive layer scheduled for after a backoff; flushed by
+/// the periodic tick.
+struct Deferred {
+    due: SimTime,
+    peer: u64,
+    mtype: u16,
+    body: Vec<u8>,
+    req: Req,
+    attempts: u32,
 }
 
 /// Interned metric handles, resolved once at `Started`.
@@ -103,6 +133,8 @@ struct ClientTele {
     ops_total: CounterId,
     ops_infra: CounterId,
     ops_series: SeriesId,
+    units: CounterId,
+    retry: RetryTele,
     migrate_span: SpanId,
     timeout_span: SpanId,
 }
@@ -121,6 +153,8 @@ impl ClientTele {
             ops_total: ctx.counter("ops.total"),
             ops_infra: ctx.counter(&format!("ops.{infra}")),
             ops_series: ctx.series(&format!("ops_series.{infra}")),
+            units: ctx.counter("client.units_completed"),
+            retry: RetryTele::intern(ctx),
             migrate_span: ctx.span("sched.migrate"),
             timeout_span: ctx.span("proto.timeout"),
         }
@@ -140,8 +174,11 @@ pub struct ComputeClient {
     cfg: ClientConfig,
     sched_idx: usize,
     unit: Option<UnitProgress>,
-    rpc: RpcTracker<Req>,
-    policy: ForecastTimeout,
+    rpc: RpcTracker<ReqCtx>,
+    policy: Box<dyn TimeoutPolicy + Send>,
+    /// The unified retry/breaker layer; `None` on the static-baseline arm.
+    adaptive: Option<AdaptiveRetry>,
+    deferred: Vec<Deferred>,
     compute_gen: u64,
     waiting_for_work: bool,
     chunks_since_checkpoint: u64,
@@ -162,12 +199,18 @@ impl ComputeClient {
     /// A client with the given configuration.
     pub fn new(cfg: ClientConfig) -> Self {
         assert!(!cfg.schedulers.is_empty(), "client needs a scheduler");
+        let policy: Box<dyn TimeoutPolicy + Send> = match cfg.static_timeouts {
+            Some(d) => Box::new(StaticTimeout(d)),
+            None => Box::new(ForecastTimeout::wan_default()),
+        };
         ComputeClient {
             cfg,
             sched_idx: 0,
             unit: None,
             rpc: RpcTracker::new(),
-            policy: ForecastTimeout::wan_default(),
+            policy,
+            adaptive: None,
+            deferred: Vec::new(),
             compute_gen: 0,
             waiting_for_work: false,
             chunks_since_checkpoint: 0,
@@ -190,6 +233,14 @@ impl ComputeClient {
         let (Some(state), Some(up)) = (self.cfg.state_server, self.unit.as_ref()) else {
             return;
         };
+        // While the state server's circuit is open there is no point
+        // cutting a checkpoint only to watch it time out; the next
+        // checkpoint interval after the circuit closes will catch up.
+        if let Some(a) = self.adaptive.as_ref() {
+            if a.breaker.is_open(state, ctx.now()) {
+                return;
+            }
+        }
         let ck = Checkpoint {
             unit: up.unit.clone(),
             steps_done: up.steps_done,
@@ -200,7 +251,15 @@ impl ComputeClient {
             class: 0,
             value: ck.to_wire(),
         };
-        self.send_request(ctx, state, sm::STORE, req.to_wire(), Req::Checkpoint);
+        let body = req.to_wire();
+        self.send_request(
+            ctx,
+            state,
+            sm::STORE,
+            body.clone(),
+            Req::Checkpoint(body),
+            1,
+        );
         let tele = self.tele.expect("started");
         ctx.inc(tele.checkpoints);
     }
@@ -219,7 +278,15 @@ impl ComputeClient {
             class: 0,
             value: Vec::new(),
         };
-        self.send_request(ctx, state, sm::STORE, req.to_wire(), Req::Checkpoint);
+        let body = req.to_wire();
+        self.send_request(
+            ctx,
+            state,
+            sm::STORE,
+            body.clone(),
+            Req::Checkpoint(body),
+            1,
+        );
     }
 
     fn try_restore(&mut self, ctx: &mut Ctx<'_>) -> bool {
@@ -230,7 +297,7 @@ impl ComputeClient {
         let req = FetchRequest {
             key: Self::checkpoint_key(ctx),
         };
-        self.send_request(ctx, state, sm::FETCH, req.to_wire(), Req::RestoreFetch);
+        self.send_request(ctx, state, sm::FETCH, req.to_wire(), Req::RestoreFetch, 1);
         true
     }
 
@@ -238,9 +305,52 @@ impl ComputeClient {
         self.cfg.schedulers[self.sched_idx % self.cfg.schedulers.len()]
     }
 
-    fn send_request(&mut self, ctx: &mut Ctx<'_>, to: u64, mtype: u16, body: Vec<u8>, req: Req) {
+    /// The scheduler to address next: the failover rotation's current
+    /// choice, skipping peers whose circuit is open. Falls back to the
+    /// rotation's choice when every circuit is open (keep probing rather
+    /// than going silent).
+    fn pick_scheduler(&self, now: SimTime) -> u64 {
+        if let Some(a) = self.adaptive.as_ref() {
+            let n = self.cfg.schedulers.len();
+            for i in 0..n {
+                let peer = self.cfg.schedulers[(self.sched_idx + i) % n];
+                if !a.breaker.is_open(peer, now) {
+                    return peer;
+                }
+            }
+        }
+        self.scheduler()
+    }
+
+    fn send_request(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        to: u64,
+        mtype: u16,
+        body: Vec<u8>,
+        req: Req,
+        attempts: u32,
+    ) {
         let tag = EventTag { peer: to, mtype };
-        let corr = self.rpc.begin(tag, ctx.now(), &mut self.policy, req);
+        // With the adaptive stack, failure detection is bounded by the
+        // retry layer's backoff cap: the forecast time-out may inflate
+        // without limit during an outage, but a healed fault must never
+        // leave the client blind for longer than one cap.
+        let corr = match self.adaptive.as_ref() {
+            Some(a) => self.rpc.begin_capped(
+                tag,
+                ctx.now(),
+                self.policy.as_mut(),
+                a.retry.cap(),
+                ReqCtx { req, attempts },
+            ),
+            None => self.rpc.begin(
+                tag,
+                ctx.now(),
+                self.policy.as_mut(),
+                ReqCtx { req, attempts },
+            ),
+        };
         send_packet(
             ctx,
             ProcessId(to as u32),
@@ -253,8 +363,8 @@ impl ComputeClient {
             return;
         }
         self.waiting_for_work = true;
-        let sched = self.scheduler();
-        self.send_request(ctx, sched, scm::GET_WORK, Vec::new(), Req::GetWork);
+        let sched = self.pick_scheduler(ctx.now());
+        self.send_request(ctx, sched, scm::GET_WORK, Vec::new(), Req::GetWork, 1);
     }
 
     fn start_chunk(&mut self, ctx: &mut Ctx<'_>) {
@@ -285,6 +395,8 @@ impl ComputeClient {
             }
         };
         self.units_completed += 1;
+        let tele = self.tele.expect("started");
+        ctx.inc(tele.units);
         if !result.counter_example.is_empty() {
             if let Some(state) = self.cfg.state_server {
                 let store = StoreRequest {
@@ -292,16 +404,18 @@ impl ComputeClient {
                     class: 1,
                     value: result.counter_example.clone(),
                 };
-                self.send_request(ctx, state, sm::STORE, store.to_wire(), Req::Store);
+                let body = store.to_wire();
+                self.send_request(ctx, state, sm::STORE, body.clone(), Req::Store(body), 1);
             }
         }
-        let sched = self.scheduler();
+        let sched = self.pick_scheduler(ctx.now());
         self.send_request(
             ctx,
             sched,
             scm::RESULT,
             result.to_wire(),
             Req::Result(result),
+            1,
         );
         self.request_work(ctx);
     }
@@ -330,8 +444,8 @@ impl ComputeClient {
                 infra: self.cfg.infra.clone(),
             }
         };
-        let sched = self.scheduler();
-        self.send_request(ctx, sched, scm::REPORT, report.to_wire(), Req::Report);
+        let sched = self.pick_scheduler(now);
+        self.send_request(ctx, sched, scm::REPORT, report.to_wire(), Req::Report, 1);
     }
 
     fn on_grant(&mut self, ctx: &mut Ctx<'_>, grant: WorkGrant) {
@@ -380,48 +494,154 @@ impl ComputeClient {
         let tele = self.tele.expect("started");
         let expired = self
             .rpc
-            .expire_traced(ctx, tele.timeout_span, &mut self.policy);
+            .expire_traced(ctx, tele.timeout_span, self.policy.as_mut());
         for pending in expired {
-            match pending.context {
-                Req::GetWork => {
-                    // Scheduler unreachable: fail over and re-request.
-                    self.sched_idx += 1;
-                    self.failovers += 1;
-                    ctx.inc(tele.failovers);
-                    self.waiting_for_work = false;
-                    self.request_work(ctx);
-                }
-                Req::Report => {
-                    // Reports are periodic; the next one will try the next
-                    // scheduler if this one is gone.
-                    self.sched_idx += 1;
-                    self.failovers += 1;
-                    ctx.inc(tele.failovers);
-                }
-                Req::Result(result) => {
-                    // Results matter: retry against the next scheduler.
-                    self.sched_idx += 1;
-                    self.failovers += 1;
-                    ctx.inc(tele.failovers);
-                    let sched = self.scheduler();
-                    self.send_request(
-                        ctx,
-                        sched,
-                        scm::RESULT,
-                        result.to_wire(),
-                        Req::Result(result),
-                    );
-                }
-                Req::Store | Req::Checkpoint => {
-                    ctx.inc(tele.store_timeouts);
-                }
-                Req::RestoreFetch => {
-                    // State service unreachable: start fresh.
-                    self.request_work(ctx);
-                }
+            if self.adaptive.is_some() {
+                self.on_expiry_adaptive(ctx, tele, pending);
+            } else {
+                self.on_expiry_static(ctx, tele, pending);
             }
         }
+        self.flush_deferred(ctx);
         ctx.set_timer(SimDuration::from_secs(2), TIMER_TICK);
+    }
+
+    /// Adaptive arm: the breaker hears every time-out; within the retry
+    /// budget (and while the peer's circuit is closed) the request is
+    /// resent to the same peer after an exponential backoff; beyond it the
+    /// old per-kind recovery runs (failover, give up, start fresh).
+    fn on_expiry_adaptive(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        tele: ClientTele,
+        pending: Pending<ReqCtx>,
+    ) {
+        let now = ctx.now();
+        let peer = pending.tag.peer;
+        let attempts = pending.context.attempts;
+        let adaptive = self.adaptive.as_mut().expect("adaptive arm");
+        let (decision, opened) = adaptive.on_timeout(peer, attempts, now);
+        if opened {
+            ctx.inc(tele.retry.breaker_open);
+        }
+        match (pending.context.req, decision) {
+            (Req::Report, _) => {
+                // Reports are periodic and their rates are already stale:
+                // never resend. The time-out still fed the breaker above,
+                // so a dead scheduler's circuit opens even mid-unit.
+            }
+            (req, RetryDecision::Resend { after }) => {
+                let (mtype, body) = match &req {
+                    Req::GetWork => (scm::GET_WORK, Vec::new()),
+                    Req::Result(r) => (scm::RESULT, r.to_wire()),
+                    Req::Store(b) | Req::Checkpoint(b) => (sm::STORE, b.clone()),
+                    Req::RestoreFetch => {
+                        let fetch = FetchRequest {
+                            key: Self::checkpoint_key(ctx),
+                        };
+                        (sm::FETCH, fetch.to_wire())
+                    }
+                    Req::Report => unreachable!("handled above"),
+                };
+                ctx.inc(tele.retry.retries);
+                self.deferred.push(Deferred {
+                    due: now + after,
+                    peer,
+                    mtype,
+                    body,
+                    req,
+                    attempts: attempts + 1,
+                });
+            }
+            (Req::GetWork, RetryDecision::GiveUp) => {
+                // Scheduler unreachable past the budget: fail over.
+                self.sched_idx += 1;
+                self.failovers += 1;
+                ctx.inc(tele.failovers);
+                self.waiting_for_work = false;
+                self.request_work(ctx);
+            }
+            (Req::Result(result), RetryDecision::GiveUp) => {
+                // Results matter: fail over and resend with a fresh budget.
+                self.sched_idx += 1;
+                self.failovers += 1;
+                ctx.inc(tele.failovers);
+                let sched = self.pick_scheduler(now);
+                self.send_request(
+                    ctx,
+                    sched,
+                    scm::RESULT,
+                    result.to_wire(),
+                    Req::Result(result),
+                    1,
+                );
+            }
+            (Req::Store(_) | Req::Checkpoint(_), RetryDecision::GiveUp) => {
+                ctx.inc(tele.store_timeouts);
+            }
+            (Req::RestoreFetch, RetryDecision::GiveUp) => {
+                // State service unreachable: start fresh.
+                self.request_work(ctx);
+            }
+        }
+    }
+
+    /// Static-baseline arm (`static_timeouts = Some`): the pre-adaptive
+    /// behaviour — immediate failover on every expiry, no backoff, no
+    /// breaker.
+    fn on_expiry_static(&mut self, ctx: &mut Ctx<'_>, tele: ClientTele, pending: Pending<ReqCtx>) {
+        match pending.context.req {
+            Req::GetWork => {
+                // Scheduler unreachable: fail over and re-request.
+                self.sched_idx += 1;
+                self.failovers += 1;
+                ctx.inc(tele.failovers);
+                self.waiting_for_work = false;
+                self.request_work(ctx);
+            }
+            Req::Report => {
+                // Reports are periodic; the next one will try the next
+                // scheduler if this one is gone.
+                self.sched_idx += 1;
+                self.failovers += 1;
+                ctx.inc(tele.failovers);
+            }
+            Req::Result(result) => {
+                // Results matter: retry against the next scheduler.
+                self.sched_idx += 1;
+                self.failovers += 1;
+                ctx.inc(tele.failovers);
+                let sched = self.scheduler();
+                self.send_request(
+                    ctx,
+                    sched,
+                    scm::RESULT,
+                    result.to_wire(),
+                    Req::Result(result),
+                    1,
+                );
+            }
+            Req::Store(_) | Req::Checkpoint(_) => {
+                ctx.inc(tele.store_timeouts);
+            }
+            Req::RestoreFetch => {
+                // State service unreachable: start fresh.
+                self.request_work(ctx);
+            }
+        }
+    }
+
+    fn flush_deferred(&mut self, ctx: &mut Ctx<'_>) {
+        if self.deferred.is_empty() {
+            return;
+        }
+        let now = ctx.now();
+        let (due, later): (Vec<Deferred>, Vec<Deferred>) =
+            self.deferred.drain(..).partition(|d| d.due <= now);
+        self.deferred = later;
+        for d in due {
+            self.send_request(ctx, d.peer, d.mtype, d.body, d.req, d.attempts);
+        }
     }
 }
 
@@ -430,6 +650,12 @@ impl Process for ComputeClient {
         match &ev {
             Event::Started => {
                 self.tele = Some(ClientTele::intern(ctx, &self.cfg.infra));
+                if self.cfg.static_timeouts.is_none() {
+                    // Jitter stream seeded from the process rng so whole
+                    // campaigns replay bit-identically.
+                    let seed = ctx.rng().next_u64();
+                    self.adaptive = Some(AdaptiveRetry::with_defaults(seed));
+                }
                 // Restart path first: a checkpoint from a predecessor on
                 // this host resumes its unit instead of asking for new
                 // work ("application-level checkpointing", §2.3).
@@ -483,11 +709,15 @@ impl Process for ComputeClient {
                         return;
                     }
                     let Some((pending, _rtt)) =
-                        self.rpc.complete(pkt.corr_id, ctx.now(), &mut self.policy)
+                        self.rpc
+                            .complete(pkt.corr_id, ctx.now(), self.policy.as_mut())
                     else {
                         return;
                     };
-                    match pending.context {
+                    if let Some(a) = self.adaptive.as_mut() {
+                        a.on_success(pending.tag.peer);
+                    }
+                    match pending.context.req {
                         Req::GetWork => {
                             if let Ok(grant) = pkt.body::<WorkGrant>() {
                                 self.on_grant(ctx, grant);
@@ -499,7 +729,7 @@ impl Process for ComputeClient {
                             }
                         }
                         Req::Result(_) => {}
-                        Req::Checkpoint => {}
+                        Req::Checkpoint(_) => {}
                         Req::RestoreFetch => {
                             let resumed = match pkt.body::<FetchReply>() {
                                 Ok(reply) if reply.found && !reply.value.is_empty() => {
@@ -527,7 +757,7 @@ impl Process for ComputeClient {
                                 self.request_work(ctx);
                             }
                         }
-                        Req::Store => {
+                        Req::Store(_) => {
                             if let Ok(reply) = pkt.body::<ew_state::StoreReply>() {
                                 let tele = self.tele.expect("started");
                                 if reply.accepted {

@@ -165,6 +165,8 @@ impl Metrics {
 struct KernelTele {
     send_to_unknown: CounterId,
     dropped_partition: CounterId,
+    dropped_impaired: CounterId,
+    duplicated: CounterId,
     messages: CounterId,
     bytes: CounterId,
     bytes_copy_saved: CounterId,
@@ -184,6 +186,8 @@ impl KernelTele {
         KernelTele {
             send_to_unknown: reg.counter("net.send_to_unknown"),
             dropped_partition: reg.counter("net.dropped_partition"),
+            dropped_impaired: reg.counter("net.dropped_impaired"),
+            duplicated: reg.counter("net.duplicated"),
             messages: reg.counter("net.messages"),
             bytes: reg.counter("net.bytes"),
             bytes_copy_saved: reg.counter("net.bytes_copy_saved"),
@@ -354,6 +358,21 @@ impl<'a> Ctx<'a> {
         let to_site = self.shared.hosts.get(to_host).site;
         let bytes = payload.len() + 32; // packet header overhead
         let now = self.shared.now;
+        // Impairment sampling is gated behind `has_impairments` so worlds
+        // without lossy-link windows draw nothing from the net rng here
+        // and stay bit-identical to pre-impairment kernels.
+        let (imp_drop, imp_dup) = if self.shared.net.has_impairments() {
+            self.shared
+                .net
+                .impair(from_site, to_site, now, &mut self.shared.net_rng)
+        } else {
+            (false, false)
+        };
+        if imp_drop {
+            let id = self.shared.tele.dropped_impaired;
+            self.shared.metrics.reg.inc(id);
+            return;
+        }
         match self
             .shared
             .net
@@ -373,6 +392,29 @@ impl<'a> Ctx<'a> {
                     // Vec-payload kernel would have deep-copied here.
                     let saved = self.shared.tele.bytes_copy_saved;
                     self.shared.metrics.reg.add(saved, payload.len() as f64);
+                }
+                if imp_dup {
+                    // The duplicate shares the payload buffer and takes an
+                    // independently sampled flight time.
+                    if let Some(d2) = self.shared.net.delay(
+                        from_site,
+                        to_site,
+                        bytes,
+                        now,
+                        &mut self.shared.net_rng,
+                    ) {
+                        let id = self.shared.tele.duplicated;
+                        self.shared.metrics.reg.inc(id);
+                        self.shared.push(
+                            now + d2,
+                            Target::Proc(to),
+                            Some(Event::Message {
+                                from: self.me,
+                                mtype,
+                                payload: payload.clone(),
+                            }),
+                        );
+                    }
                 }
                 self.shared.push(
                     now + d,

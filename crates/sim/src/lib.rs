@@ -40,7 +40,7 @@ pub use ew_telemetry::{
 };
 pub use host::{HostId, HostSpec, HostTable};
 pub use kernel::{Ctx, Event, Metrics, Process, ProcessId, RunStats, Sim};
-pub use net::{NetModel, Partition, SiteId, SiteSpec};
+pub use net::{Impairment, NetModel, Partition, SiteId, SiteSpec};
 pub use payload::Payload;
 pub use rng::{StreamSeeder, Xoshiro256};
 pub use time::{SimDuration, SimTime};

@@ -75,10 +75,39 @@ impl Partition {
     }
 }
 
-/// The whole network: sites, partitions, and a jitter level.
+/// A lossy-link window: while active, traffic touching `site` is dropped
+/// or duplicated with the given probabilities. Models the SC98 show-floor
+/// reality of flaky media and on-the-fly SCINet reconfiguration (§2.2)
+/// below the partition level: messages *mostly* get through, but not
+/// reliably and sometimes twice.
+#[derive(Clone, Copy, Debug)]
+pub struct Impairment {
+    /// The impaired site; any message whose source or destination site is
+    /// this one is affected (including intra-site traffic).
+    pub site: SiteId,
+    /// Start of the window (inclusive).
+    pub from: SimTime,
+    /// End of the window (exclusive).
+    pub until: SimTime,
+    /// Probability a message is silently dropped.
+    pub drop: f64,
+    /// Probability a surviving message is delivered twice (the duplicate
+    /// takes an independently sampled delay).
+    pub duplicate: f64,
+}
+
+impl Impairment {
+    /// Whether this window affects traffic between `x` and `y` at `now`.
+    pub fn affects(&self, x: SiteId, y: SiteId, now: SimTime) -> bool {
+        now >= self.from && now < self.until && (self.site == x || self.site == y)
+    }
+}
+
+/// The whole network: sites, partitions, impairments, and a jitter level.
 pub struct NetModel {
     sites: Vec<SiteSpec>,
     partitions: Vec<Partition>,
+    impairments: Vec<Impairment>,
     /// Multiplicative log-normal-ish jitter scale (0 disables jitter).
     pub jitter: f64,
 }
@@ -89,6 +118,7 @@ impl NetModel {
         NetModel {
             sites: Vec::new(),
             partitions: Vec::new(),
+            impairments: Vec::new(),
             jitter,
         }
     }
@@ -103,6 +133,46 @@ impl NetModel {
     /// Schedule a partition.
     pub fn add_partition(&mut self, p: Partition) {
         self.partitions.push(p);
+    }
+
+    /// Schedule a lossy-link window.
+    pub fn add_impairment(&mut self, i: Impairment) {
+        self.impairments.push(i);
+    }
+
+    /// Whether any impairment window exists at all. The kernel's send path
+    /// checks this before sampling impairment randomness, so worlds
+    /// without impairments keep their rng streams (and golden event-order
+    /// hashes) bit-identical.
+    pub fn has_impairments(&self) -> bool {
+        !self.impairments.is_empty()
+    }
+
+    /// The fate of one message between `from` and `to` at `now` under the
+    /// active impairment windows: `(dropped, duplicated)`. Drop and
+    /// duplicate probabilities combine across overlapping windows, one
+    /// Bernoulli draw per window per question, in registration order.
+    pub fn impair(
+        &self,
+        from: SiteId,
+        to: SiteId,
+        now: SimTime,
+        rng: &mut Xoshiro256,
+    ) -> (bool, bool) {
+        let mut dropped = false;
+        let mut duplicated = false;
+        for w in &self.impairments {
+            if !w.affects(from, to, now) {
+                continue;
+            }
+            if w.drop > 0.0 && rng.chance(w.drop) {
+                dropped = true;
+            }
+            if w.duplicate > 0.0 && rng.chance(w.duplicate) {
+                duplicated = true;
+            }
+        }
+        (dropped, duplicated && !dropped)
     }
 
     /// Number of registered sites.
@@ -320,6 +390,70 @@ mod tests {
             distinct.insert(d.as_micros());
         }
         assert!(distinct.len() > 16, "jitter should vary the delay");
+    }
+
+    #[test]
+    fn impairment_window_affects_only_its_site_and_interval() {
+        let (net, a, b) = two_site_net();
+        let _ = net;
+        let w = Impairment {
+            site: a,
+            from: SimTime::from_secs(10),
+            until: SimTime::from_secs(20),
+            drop: 0.5,
+            duplicate: 0.0,
+        };
+        assert!(w.affects(a, b, SimTime::from_secs(15)));
+        assert!(w.affects(b, a, SimTime::from_secs(15)));
+        assert!(w.affects(a, a, SimTime::from_secs(15)), "intra-site too");
+        assert!(!w.affects(b, b, SimTime::from_secs(15)));
+        assert!(!w.affects(a, b, SimTime::from_secs(5)));
+        assert!(!w.affects(a, b, SimTime::from_secs(20)), "until exclusive");
+    }
+
+    #[test]
+    fn impair_drops_and_duplicates_at_roughly_configured_rates() {
+        let (mut net, a, b) = two_site_net();
+        net.add_impairment(Impairment {
+            site: a,
+            from: SimTime::ZERO,
+            until: SimTime::from_secs(100),
+            drop: 0.3,
+            duplicate: 0.2,
+        });
+        assert!(net.has_impairments());
+        let mut rng = Xoshiro256::seed_from_u64(5);
+        let (mut drops, mut dups) = (0, 0);
+        let n = 10_000;
+        for _ in 0..n {
+            let (d, dup) = net.impair(a, b, SimTime::from_secs(50), &mut rng);
+            drops += d as u32;
+            dups += dup as u32;
+        }
+        let drop_rate = drops as f64 / n as f64;
+        // Duplicates are only reported for surviving messages.
+        let dup_rate = dups as f64 / n as f64;
+        assert!((drop_rate - 0.3).abs() < 0.02, "drop rate {drop_rate}");
+        assert!((dup_rate - 0.2 * 0.7).abs() < 0.02, "dup rate {dup_rate}");
+        // Outside the window, nothing happens and nothing is sampled.
+        let before = rng.clone().next_u64();
+        assert_eq!(
+            net.impair(b, b, SimTime::from_secs(50), &mut rng),
+            (false, false)
+        );
+        assert_eq!(
+            rng.next_u64(),
+            before,
+            "unaffected traffic must not consume rng draws"
+        );
+    }
+
+    #[test]
+    fn no_impairments_means_no_effect() {
+        let (net, a, b) = two_site_net();
+        assert!(!net.has_impairments());
+        let mut rng = Xoshiro256::seed_from_u64(7);
+        assert_eq!(net.impair(a, b, SimTime::ZERO, &mut rng), (false, false));
     }
 
     #[test]

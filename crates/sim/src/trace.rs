@@ -148,7 +148,7 @@ impl LoadTrace for CompositeLoad {
 ///
 /// Transitions are generated ahead of the run (seeded), so the kernel simply
 /// schedules `HostUp`/`HostDown` events at the recorded instants.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq)]
 pub struct AvailabilitySchedule {
     /// Sorted `(instant, is_up)` transitions. The host is up from time zero
     /// unless the first transition is `(ZERO, false)`.

@@ -1,0 +1,37 @@
+//! Sim-farm macro-benchmark: one small chaos campaign per iteration at
+//! 1, 2, and 4 workers — the wall-clock scaling of PR 4's parallel
+//! execution layer. On an N-core host the speedup tracks
+//! `min(threads, N)`; on a single-CPU host every arm costs the same,
+//! which is itself the interesting number (the farm adds no overhead).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+
+use ew_chaos::{run_campaign_threads, CampaignConfig};
+use ew_sim::SimDuration;
+
+/// A deliberately small sweep (two plans, one seed, 5-minute horizon):
+/// ~6 cells, enough to occupy 4 workers without macro-bench run times.
+fn small_campaign() -> CampaignConfig {
+    let mut cfg = CampaignConfig::standard(42, true);
+    cfg.horizon = SimDuration::from_secs(300);
+    cfg.plans.truncate(2);
+    cfg
+}
+
+fn bench_campaign_threads(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sim_farm_campaign");
+    g.sample_size(10);
+    for threads in [1usize, 2, 4] {
+        g.bench_function(format!("threads_{threads}"), |b| {
+            b.iter_batched(
+                small_campaign,
+                |cfg| run_campaign_threads(&cfg, threads).reports.len(),
+                BatchSize::PerIteration,
+            )
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_campaign_threads);
+criterion_main!(benches);

@@ -3,23 +3,33 @@
 //! ```text
 //! cargo run --release -p ew-bench --bin figures -- all
 //! cargo run --release -p ew-bench --bin figures -- fig2 [--short]
+//! cargo run --release -p ew-bench --bin figures -- all --threads 4
 //! ```
 //!
 //! Subcommands: `fig2`, `fig3a`, `fig3b`, `fig3c`, `java`, `timeout`,
-//! `condor`, `scaling`, `criteria`, `health`, `chaos`, `all`. `--short`
-//! runs a 2-hour window instead of the full 12 hours (for smoke tests);
-//! for `chaos` it cuts the campaign to one seed over 15 minutes. `chaos`
-//! sweeps the named fault plans of `ew-chaos` (see `results/chaos_*.json`
-//! and `results/BENCH_PR3.json`) and is not part of `all`.
-//! `--seed N` reseeds. `--trace PATH` turns on span tracing for the SC98
-//! run and writes the records to PATH as JSONL (the simulation itself is
-//! bit-identical with tracing on or off). Markdown goes to stdout; JSON
-//! artifacts go to `results/`.
+//! `condor`, `scaling`, `criteria`, `health`, `chaos`, `bench-farm`,
+//! `all`. `--short` runs a 2-hour window instead of the full 12 hours
+//! (for smoke tests); for `chaos` it cuts the campaign to one seed over
+//! 15 minutes. `chaos` sweeps the named fault plans of `ew-chaos` (see
+//! `results/chaos_*.json` and `results/BENCH_PR3.json`) and is not part
+//! of `all`. `bench-farm` measures the sim farm's sequential-vs-parallel
+//! wall-clock and writes `results/BENCH_PR4.json`.
+//! `--seed N` reseeds. `--threads N` sets the sim-farm worker count
+//! (default: the `EW_THREADS` environment variable, else available
+//! parallelism; `--threads 1` reproduces the sequential behavior
+//! exactly). Every artifact is byte-identical for any thread count.
+//! `--trace PATH` turns on span tracing for the SC98 run and writes the
+//! records to PATH as JSONL (the simulation itself is bit-identical with
+//! tracing on or off). Markdown goes to stdout; JSON artifacts go to
+//! `results/`.
 
 use std::collections::BTreeMap;
 
 use everyware::{mean, run_sc98, Sc98Config, Sc98Report, JUDGING_END_S, JUDGING_START_S};
-use ew_bench::experiments::{condor_ablation, gossip_scaling, java_table, timeout_ablation};
+use ew_bench::experiments::{
+    condor_ablation, gossip_scaling, java_table, timeout_ablation, CondorAblation, JavaTable,
+    TimeoutAblation,
+};
 use ew_bench::{multi_series_table, series_json, series_table};
 use ew_sim::SimDuration;
 
@@ -27,11 +37,15 @@ struct Options {
     seed: u64,
     short: bool,
     trace: Option<String>,
+    threads: usize,
 }
 
 /// Span-trace ring size for `--trace`: large enough to hold every record
 /// of a 12-hour run without eviction.
 const TRACE_CAPACITY: usize = 1 << 22;
+
+/// Component counts swept by the `scaling` measurement.
+const SCALING_NS: [usize; 7] = [4, 8, 16, 32, 64, 128, 256];
 
 fn sc98_cfg(opts: &Options) -> Sc98Config {
     Sc98Config {
@@ -170,8 +184,7 @@ fn fig3c(rep: &Sc98Report) {
     );
 }
 
-fn java(opts: &Options) {
-    let t = java_table(opts.seed);
+fn java_render(t: &JavaTable) {
     println!("### §5.6 — Java applet performance (300 MHz Pentium II)\n");
     println!("| configuration | paper (ops/s) | model constant | delivered in 1 simulated hour |");
     println!("|---|---|---|---|");
@@ -196,9 +209,11 @@ fn java(opts: &Options) {
     );
 }
 
-fn timeout(opts: &Options) {
-    let duration = SimDuration::from_secs(if opts.short { 400 } else { 1800 });
-    let r = timeout_ablation(opts.seed, duration);
+fn timeout_duration(opts: &Options) -> SimDuration {
+    SimDuration::from_secs(if opts.short { 400 } else { 1800 })
+}
+
+fn timeout_render(r: &TimeoutAblation) {
     println!("### §2.2 ablation — static vs dynamic time-out discovery\n");
     println!("A state-exchange server polls a component whose round trips run ~8 s");
     println!("under ambient load (the SC98 show-floor situation).\n");
@@ -224,9 +239,11 @@ fn timeout(opts: &Options) {
     );
 }
 
-fn condor(opts: &Options) {
-    let duration = SimDuration::from_secs(if opts.short { 3600 } else { 10800 });
-    let r = condor_ablation(opts.seed, duration);
+fn condor_duration(opts: &Options) -> SimDuration {
+    SimDuration::from_secs(if opts.short { 3600 } else { 10800 })
+}
+
+fn condor_render(r: &CondorAblation) {
     println!("### §5.4 ablation — scheduler placement vs the Condor pool\n");
     println!("| configuration | client failovers | condor ops delivered | units completed |");
     println!("|---|---|---|---|");
@@ -253,12 +270,11 @@ fn condor(opts: &Options) {
     );
 }
 
-fn scaling() {
-    let rows = gossip_scaling(&[4, 8, 16, 32, 64, 128, 256]);
+fn scaling_render(rows: &[(usize, u64)]) {
     println!("### §2.3 — Gossip pairwise state comparison is O(N²)\n");
     println!("| registered components N | comparisons per reconciliation |");
     println!("|---|---|");
-    for (n, c) in &rows {
+    for (n, c) in rows {
         println!("| {n} | {c} |");
     }
     println!();
@@ -377,19 +393,25 @@ fn health(rep: &Sc98Report) {
 fn chaos(opts: &Options) {
     let cfg = ew_chaos::CampaignConfig::standard(opts.seed, opts.short);
     eprintln!(
-        "running the chaos campaign ({} plans × {} seed(s), {:.0} s horizon)...",
+        "running the chaos campaign ({} plans × {} seed(s), {:.0} s horizon, {} thread(s))...",
         cfg.plans.len(),
         cfg.seeds.len(),
-        cfg.horizon.as_secs_f64()
+        cfg.horizon.as_secs_f64(),
+        opts.threads,
     );
-    let reports = ew_chaos::run_campaign(&cfg);
+    let run = ew_chaos::run_campaign_threads(&cfg, opts.threads);
+    eprintln!(
+        "sim farm: {} cells on {} thread(s) in {:.0} ms",
+        run.stats.cells, run.stats.threads, run.stats.wall_ms
+    );
+    let reports = &run.reports;
     println!("### Chaos campaign — adaptive retry/breaker stack vs static time-outs\n");
     println!(
         "| plan | seed | faults | lost % (adaptive) | lost % (static) | \
          recovery s (adaptive) | SLO ok (adaptive) | retries | breaker opens |"
     );
     println!("|---|---|---|---|---|---|---|---|---|");
-    for r in &reports {
+    for r in reports {
         println!(
             "| {} | {} | {} | {:.2} | {:.2} | {} | {:.2} | {} | {} |",
             r.plan,
@@ -407,54 +429,287 @@ fn chaos(opts: &Options) {
         );
     }
     println!();
-    for (name, value) in ew_chaos::campaign_json(&cfg, &reports) {
+    for (name, value) in ew_chaos::campaign_json(&cfg, reports) {
         write_json(&name, &value);
     }
-    write_json("BENCH_PR3", &ew_chaos::bench_summary_json(&cfg, &reports));
+    write_json("BENCH_PR3", &ew_chaos::bench_summary_json(&cfg, reports));
 }
 
-fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let mut cmd = String::from("all");
+/// One cell of the parallel `all` sweep: the single SC98 run every figure
+/// shares, plus the four independent experiment batteries.
+enum Battery {
+    Sc98,
+    Java,
+    Timeout,
+    Condor,
+    Scaling,
+}
+
+enum BatteryOut {
+    Sc98(Box<Sc98Report>),
+    Java(JavaTable),
+    Timeout(TimeoutAblation),
+    Condor(CondorAblation),
+    Scaling(Vec<(usize, u64)>),
+}
+
+/// Compute every `all` battery on the sim farm. Inner batteries run
+/// sequentially (`threads = 1`): the farm already occupies the workers
+/// with whole batteries, and nesting pools would oversubscribe the host.
+fn run_all_batteries(opts: &Options) -> Vec<BatteryOut> {
+    let cells = [
+        Battery::Sc98,
+        Battery::Java,
+        Battery::Timeout,
+        Battery::Condor,
+        Battery::Scaling,
+    ];
+    let (outs, stats) = ew_sim::run_farm(opts.threads, &cells, |_, cell| match cell {
+        Battery::Sc98 => BatteryOut::Sc98(Box::new(run_sc98(&sc98_cfg(opts)))),
+        Battery::Java => BatteryOut::Java(java_table(opts.seed, 1)),
+        Battery::Timeout => {
+            BatteryOut::Timeout(timeout_ablation(opts.seed, timeout_duration(opts), 1))
+        }
+        Battery::Condor => BatteryOut::Condor(condor_ablation(opts.seed, condor_duration(opts), 1)),
+        Battery::Scaling => BatteryOut::Scaling(gossip_scaling(&SCALING_NS, 1)),
+    });
+    eprintln!(
+        "sim farm: {} experiment batteries on {} thread(s) in {:.0} ms",
+        stats.cells, stats.threads, stats.wall_ms
+    );
+    outs
+}
+
+/// Render everything `all` produces, in the canonical (historical) order,
+/// so stdout and the `results/` artifacts are byte-identical regardless
+/// of how many workers computed them.
+fn render_all(opts: &Options, outs: Vec<BatteryOut>) {
+    let mut sc98 = None;
+    let mut java = None;
+    let mut timeout = None;
+    let mut condor = None;
+    let mut scaling = None;
+    for out in outs {
+        match out {
+            BatteryOut::Sc98(r) => sc98 = Some(r),
+            BatteryOut::Java(t) => java = Some(t),
+            BatteryOut::Timeout(t) => timeout = Some(t),
+            BatteryOut::Condor(c) => condor = Some(c),
+            BatteryOut::Scaling(s) => scaling = Some(s),
+        }
+    }
+    let rep = sc98.expect("sc98 battery ran");
+    write_trace(opts, &rep);
+    fig2(&rep);
+    fig3a(&rep);
+    fig3b(&rep);
+    fig3c(&rep);
+    criteria(&rep);
+    health(&rep);
+    java_render(&java.expect("java battery ran"));
+    timeout_render(&timeout.expect("timeout battery ran"));
+    condor_render(&condor.expect("condor battery ran"));
+    scaling_render(&scaling.expect("scaling battery ran"));
+}
+
+/// Measure the sim farm: the full chaos campaign and the `all` experiment
+/// batteries, once sequentially (`--threads 1`) and once at the requested
+/// worker count, writing `results/BENCH_PR4.json`. Wall-clock is host
+/// time; the JSON it lands in is a bench report, not a deterministic
+/// artifact. The campaign rendering of both runs is compared so the
+/// report also certifies thread-count invariance.
+fn bench_farm(opts: &Options) {
+    let cpus = ew_sim::available_threads();
+    let par = opts.threads.max(2);
+    let cfg = ew_chaos::CampaignConfig::standard(opts.seed, opts.short);
+
+    eprintln!("bench-farm: chaos campaign at 1 thread...");
+    let seq = ew_chaos::run_campaign_threads(&cfg, 1);
+    eprintln!("bench-farm: chaos campaign at {par} threads...");
+    let parallel = ew_chaos::run_campaign_threads(&cfg, par);
+    let render = |reports: &[ew_chaos::PlanReport]| -> String {
+        ew_chaos::campaign_json(&cfg, reports)
+            .into_iter()
+            .map(|(n, v)| format!("{n}:{}", serde_json::to_string_pretty(&v).unwrap()))
+            .collect::<Vec<_>>()
+            .join("\n")
+    };
+    let identical = render(&seq.reports) == render(&parallel.reports);
+
+    eprintln!("bench-farm: figures batteries at 1 thread...");
+    let t0 = std::time::Instant::now();
+    let seq_out = {
+        let seq_opts = Options {
+            seed: opts.seed,
+            short: opts.short,
+            trace: None,
+            threads: 1,
+        };
+        run_all_batteries(&seq_opts)
+    };
+    let figures_seq_ms = t0.elapsed().as_secs_f64() * 1e3;
+    eprintln!("bench-farm: figures batteries at {par} threads...");
+    let t1 = std::time::Instant::now();
+    let par_out = {
+        let par_opts = Options {
+            seed: opts.seed,
+            short: opts.short,
+            trace: None,
+            threads: par,
+        };
+        run_all_batteries(&par_opts)
+    };
+    let figures_par_ms = t1.elapsed().as_secs_f64() * 1e3;
+    drop(seq_out);
+    drop(par_out);
+
+    let speedup = |seq_ms: f64, par_ms: f64| {
+        if par_ms > 0.0 {
+            seq_ms / par_ms
+        } else {
+            0.0
+        }
+    };
+    write_json(
+        "BENCH_PR4",
+        &serde_json::json!({
+            "bench": "sim-farm sequential vs parallel wall-clock (PR 4)",
+            "host_cpus": cpus,
+            "short": opts.short,
+            "seed": opts.seed,
+            "campaign": {
+                "cells": seq.stats.cells,
+                "threads_parallel": par,
+                "wall_ms_threads_1": seq.stats.wall_ms,
+                "wall_ms_parallel": parallel.stats.wall_ms,
+                "speedup": speedup(seq.stats.wall_ms, parallel.stats.wall_ms),
+                "artifacts_byte_identical": identical,
+            },
+            "figures_all": {
+                "batteries": 5,
+                "threads_parallel": par,
+                "wall_ms_threads_1": figures_seq_ms,
+                "wall_ms_parallel": figures_par_ms,
+                "speedup": speedup(figures_seq_ms, figures_par_ms),
+            },
+            "note": "wall-clock is host time and varies run to run; every deterministic \
+                     artifact in results/ is byte-identical across thread counts. Speedup \
+                     tracks min(threads, host_cpus): a single-CPU host shows ~1.0x.",
+        }),
+    );
+    if !identical {
+        eprintln!("bench-farm: ERROR — parallel campaign diverged from sequential!");
+        std::process::exit(1);
+    }
+}
+
+fn write_trace(opts: &Options, rep: &Sc98Report) {
+    if let Some(path) = &opts.trace {
+        match rep.trace_jsonl.as_ref() {
+            Some(jsonl) => match std::fs::write(path, jsonl) {
+                Ok(()) => eprintln!("wrote {} trace records to {path}", jsonl.lines().count()),
+                Err(e) => eprintln!("could not write {path}: {e}"),
+            },
+            None => eprintln!("--trace set but the run produced no trace"),
+        }
+    }
+}
+
+const COMMANDS: [&str; 16] = [
+    "fig2",
+    "fig3a",
+    "fig3b",
+    "fig3c",
+    "fig4a",
+    "fig4b",
+    "fig4c",
+    "java",
+    "timeout",
+    "condor",
+    "scaling",
+    "criteria",
+    "health",
+    "chaos",
+    "bench-farm",
+    "all",
+];
+
+fn usage() -> String {
+    format!(
+        "usage: figures -- <command> [--short] [--seed N] [--threads N] [--trace PATH]\n\
+         commands: {}\n\
+         \x20 --short       smoke-test sizes (2 h SC98 window; 1-seed 15-min chaos campaign)\n\
+         \x20 --seed N      master seed (default 1998)\n\
+         \x20 --threads N   sim-farm workers (default: EW_THREADS env, else available\n\
+         \x20               parallelism; 1 = sequential; artifacts are byte-identical\n\
+         \x20               for any value)\n\
+         \x20 --trace PATH  write SC98 span-trace JSONL to PATH",
+        COMMANDS.join(" ")
+    )
+}
+
+fn parse_args(args: &[String]) -> Result<(String, Options), String> {
+    let mut cmd: Option<String> = None;
     let mut opts = Options {
         seed: 1998,
         short: false,
         trace: None,
+        threads: 0,
     };
+    let mut threads_flag: Option<usize> = None;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
             "--short" => opts.short = true,
             "--seed" => match it.next().and_then(|s| s.parse().ok()) {
                 Some(seed) => opts.seed = seed,
-                None => {
-                    eprintln!("--seed needs a number");
-                    std::process::exit(2);
-                }
+                None => return Err("--seed needs a number".into()),
+            },
+            "--threads" => match it.next().and_then(|s| s.parse::<usize>().ok()) {
+                Some(n) if n >= 1 => threads_flag = Some(n),
+                _ => return Err("--threads needs a number >= 1".into()),
             },
             "--trace" => match it.next() {
                 Some(path) => opts.trace = Some(path.clone()),
-                None => {
-                    eprintln!("--trace needs a path");
-                    std::process::exit(2);
+                None => return Err("--trace needs a path".into()),
+            },
+            "--help" | "-h" => return Err(String::new()),
+            flag if flag.starts_with('-') => {
+                return Err(format!("unknown flag {flag:?}"));
+            }
+            other if COMMANDS.contains(&other) => match &cmd {
+                None => cmd = Some(other.to_string()),
+                Some(first) => {
+                    return Err(format!(
+                        "more than one command given ({first:?} then {other:?})"
+                    ));
                 }
             },
-            other => cmd = other.to_string(),
+            other => return Err(format!("unknown command {other:?}")),
         }
     }
+    opts.threads = ew_sim::resolve_threads(threads_flag);
+    Ok((cmd.unwrap_or_else(|| "all".into()), opts))
+}
 
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (cmd, opts) = match parse_args(&args) {
+        Ok(parsed) => parsed,
+        Err(msg) => {
+            if !msg.is_empty() {
+                eprintln!("figures: {msg}");
+            }
+            eprintln!("{}", usage());
+            std::process::exit(2);
+        }
+    };
+
+    // `all` computes its batteries concurrently; the single-figure
+    // commands that share the SC98 report run it once here.
     let needs_sc98 = matches!(
         cmd.as_str(),
-        "fig2"
-            | "fig3a"
-            | "fig3b"
-            | "fig3c"
-            | "fig4a"
-            | "fig4b"
-            | "fig4c"
-            | "criteria"
-            | "health"
-            | "all"
+        "fig2" | "fig3a" | "fig3b" | "fig3c" | "fig4a" | "fig4b" | "fig4c" | "criteria" | "health"
     );
     let rep = needs_sc98.then(|| {
         eprintln!(
@@ -464,15 +719,8 @@ fn main() {
         );
         run_sc98(&sc98_cfg(&opts))
     });
-
-    if let (Some(path), Some(rep)) = (&opts.trace, rep.as_ref()) {
-        match rep.trace_jsonl.as_ref() {
-            Some(jsonl) => match std::fs::write(path, jsonl) {
-                Ok(()) => eprintln!("wrote {} trace records to {path}", jsonl.lines().count()),
-                Err(e) => eprintln!("could not write {path}: {e}"),
-            },
-            None => eprintln!("--trace set but the run produced no trace"),
-        }
+    if let Some(rep) = rep.as_ref() {
+        write_trace(&opts, rep);
     }
 
     match cmd.as_str() {
@@ -480,32 +728,33 @@ fn main() {
         "fig3a" | "fig4a" => fig3a(rep.as_ref().unwrap()),
         "fig3b" | "fig4b" => fig3b(rep.as_ref().unwrap()),
         "fig3c" | "fig4c" => fig3c(rep.as_ref().unwrap()),
-        "java" => java(&opts),
-        "timeout" => timeout(&opts),
-        "condor" => condor(&opts),
-        "scaling" => scaling(),
+        "java" => java_render(&java_table(opts.seed, opts.threads)),
+        "timeout" => timeout_render(&timeout_ablation(
+            opts.seed,
+            timeout_duration(&opts),
+            opts.threads,
+        )),
+        "condor" => condor_render(&condor_ablation(
+            opts.seed,
+            condor_duration(&opts),
+            opts.threads,
+        )),
+        "scaling" => scaling_render(&gossip_scaling(&SCALING_NS, opts.threads)),
         "criteria" => criteria(rep.as_ref().unwrap()),
         "health" => health(rep.as_ref().unwrap()),
         "chaos" => chaos(&opts),
+        "bench-farm" => bench_farm(&opts),
         "all" => {
-            let rep = rep.as_ref().unwrap();
-            fig2(rep);
-            fig3a(rep);
-            fig3b(rep);
-            fig3c(rep);
-            criteria(rep);
-            health(rep);
-            java(&opts);
-            timeout(&opts);
-            condor(&opts);
-            scaling();
-        }
-        other => {
             eprintln!(
-                "unknown command {other:?}; expected one of fig2 fig3a fig3b fig3c \
-                 java timeout condor scaling criteria health chaos all"
+                "running the SC98 experiment and the ablation batteries \
+                 ({} window, seed {}, {} thread(s))...",
+                if opts.short { "2-hour" } else { "12-hour" },
+                opts.seed,
+                opts.threads,
             );
-            std::process::exit(2);
+            let outs = run_all_batteries(&opts);
+            render_all(&opts, outs);
         }
+        _ => unreachable!("parse_args validated the command"),
     }
 }

@@ -2,6 +2,12 @@
 //! placement ablation, the §5.6 Java speed table, and the §2.3 gossip
 //! scaling measurement. Each returns plain data; the `figures` binary
 //! formats it.
+//!
+//! Every battery takes a `threads` worker count and runs its independent
+//! arms on the sim farm ([`ew_sim::run_farm`]): each arm is an isolated
+//! deterministic simulation, and results come back in input order, so the
+//! numbers are identical for any thread count (`threads = 1` is the
+//! historical sequential path).
 
 use ew_gossip::{Comparator, GossipClient, GossipConfig, GossipServer, GossipStore, VersionedBlob};
 use ew_infra::java;
@@ -106,11 +112,17 @@ fn timeout_arm(seed: u64, static_to: Option<SimDuration>, duration: SimDuration)
     .expect("gossip alive")
 }
 
-/// Run both arms of the §2.2 ablation.
-pub fn timeout_ablation(seed: u64, duration: SimDuration) -> TimeoutAblation {
+/// Run both arms of the §2.2 ablation on `threads` workers.
+pub fn timeout_ablation(seed: u64, duration: SimDuration, threads: usize) -> TimeoutAblation {
+    let arms = [Some(SimDuration::from_secs(2)), None];
+    let (mut out, _) = ew_sim::run_farm(threads, &arms, |_, &static_to| {
+        timeout_arm(seed, static_to, duration)
+    });
+    let dynamic_arm = out.pop().expect("dynamic arm");
+    let static_arm = out.pop().expect("static arm");
     TimeoutAblation {
-        static_arm: timeout_arm(seed, Some(SimDuration::from_secs(2)), duration),
-        dynamic_arm: timeout_arm(seed, None, duration),
+        static_arm,
+        dynamic_arm,
     }
 }
 
@@ -154,12 +166,15 @@ fn condor_arm(seed: u64, duration: SimDuration, inside: bool) -> CondorArm {
     }
 }
 
-/// Run both arms of the §5.4 ablation.
-pub fn condor_ablation(seed: u64, duration: SimDuration) -> CondorAblation {
-    CondorAblation {
-        inside: condor_arm(seed, duration, true),
-        outside: condor_arm(seed, duration, false),
-    }
+/// Run both arms of the §5.4 ablation on `threads` workers.
+pub fn condor_ablation(seed: u64, duration: SimDuration, threads: usize) -> CondorAblation {
+    let arms = [true, false];
+    let (mut out, _) = ew_sim::run_farm(threads, &arms, |_, &inside| {
+        condor_arm(seed, duration, inside)
+    });
+    let outside = out.pop().expect("outside arm");
+    let inside = out.pop().expect("inside arm");
+    CondorAblation { inside, outside }
 }
 
 /// The §5.6 Java speeds, plus a one-hour simulated delivery check for each
@@ -177,8 +192,9 @@ pub struct JavaTable {
     pub jit_hour: f64,
 }
 
-/// Build the §5.6 table.
-pub fn java_table(seed: u64) -> JavaTable {
+/// Build the §5.6 table, running the two delivery checks on `threads`
+/// workers.
+pub fn java_table(seed: u64, threads: usize) -> JavaTable {
     let hour = |speed: f64| -> f64 {
         use ew_ramsey::RamseyProblem;
         use ew_sched::{ClientConfig, ComputeClient, SchedulerConfig, SchedulerServer};
@@ -216,43 +232,46 @@ pub fn java_table(seed: u64) -> JavaTable {
         sim.run_until(SimTime::from_secs(3600));
         sim.metrics().counter("ops.java")
     };
+    let speeds = [java::INTERPRETED_OPS, java::JIT_OPS];
+    let (mut hours, _) = ew_sim::run_farm(threads, &speeds, |_, &speed| hour(speed));
+    let jit_hour = hours.pop().expect("jit hour");
+    let interpreted_hour = hours.pop().expect("interpreted hour");
     JavaTable {
         interpreted: java::INTERPRETED_OPS,
         jit: java::JIT_OPS,
         speedup: java::JIT_OPS / java::INTERPRETED_OPS,
-        interpreted_hour: hour(java::INTERPRETED_OPS),
-        jit_hour: hour(java::JIT_OPS),
+        interpreted_hour,
+        jit_hour,
     }
 }
 
 /// §2.3 scaling: freshness comparisons per full reconciliation round as a
-/// function of registered components (one type each). Returns
-/// `(components, comparisons_per_round)` pairs.
-pub fn gossip_scaling(component_counts: &[usize]) -> Vec<(usize, u64)> {
+/// function of registered components (one type each), measured on
+/// `threads` workers. Returns `(components, comparisons_per_round)` pairs
+/// in input order.
+pub fn gossip_scaling(component_counts: &[usize], threads: usize) -> Vec<(usize, u64)> {
     use ew_gossip::messages::TypeRegistration;
-    component_counts
-        .iter()
-        .map(|&n| {
-            let mut store = GossipStore::new();
-            for c in 0..n as u64 {
-                store.register(
-                    c,
-                    &[TypeRegistration {
-                        stype: 1,
-                        comparator: 0,
-                    }],
-                );
-            }
-            // Every component reports once, then one prototype-faithful
-            // pairwise reconciliation pass (§2.3's N²).
-            for c in 0..n as u64 {
-                store.record_component_state(c, 1, VersionedBlob::new(c + 1, vec![]));
-            }
-            let before = store.comparisons();
-            store.pairwise_reconcile(1);
-            (n, store.comparisons() - before)
-        })
-        .collect()
+    let (rows, _) = ew_sim::run_farm(threads, component_counts, |_, &n| {
+        let mut store = GossipStore::new();
+        for c in 0..n as u64 {
+            store.register(
+                c,
+                &[TypeRegistration {
+                    stype: 1,
+                    comparator: 0,
+                }],
+            );
+        }
+        // Every component reports once, then one prototype-faithful
+        // pairwise reconciliation pass (§2.3's N²).
+        for c in 0..n as u64 {
+            store.record_component_state(c, 1, VersionedBlob::new(c + 1, vec![]));
+        }
+        let before = store.comparisons();
+        store.pairwise_reconcile(1);
+        (n, store.comparisons() - before)
+    });
+    rows
 }
 
 #[cfg(test)]
@@ -261,7 +280,7 @@ mod tests {
 
     #[test]
     fn timeout_ablation_reproduces_the_claim() {
-        let r = timeout_ablation(3, SimDuration::from_secs(400));
+        let r = timeout_ablation(3, SimDuration::from_secs(400), 2);
         assert_eq!(
             r.static_arm.polls_ok, 0,
             "2s static vs 8s RTT never succeeds"
@@ -273,7 +292,7 @@ mod tests {
 
     #[test]
     fn java_table_matches_paper_constants() {
-        let t = java_table(1);
+        let t = java_table(1, 2);
         assert_eq!(t.interpreted, 111_616.0);
         assert_eq!(t.jit, 12_109_720.0);
         assert!((t.speedup - 108.49).abs() < 0.1);
@@ -285,7 +304,7 @@ mod tests {
 
     #[test]
     fn gossip_scaling_is_quadratic_per_cycle() {
-        let rows = gossip_scaling(&[4, 8, 16, 32]);
+        let rows = gossip_scaling(&[4, 8, 16, 32], 2);
         assert_eq!(rows.len(), 4);
         // comparisons grow superlinearly: quadrupling N should much more
         // than quadruple total comparisons per cycle.

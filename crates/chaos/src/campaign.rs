@@ -181,13 +181,16 @@ fn spikes_for(compiled: Option<&CompiledFaults>, role: SiteRole) -> Vec<SpikeLoa
 }
 
 /// Build the three-site world, apply `compiled`, run to the horizon, and
-/// extract the raw outcome. `static_arm` selects the §2.2 baseline.
+/// extract the raw outcome plus the cell's whole telemetry registry.
+/// `static_arm` selects the §2.2 baseline. Each call builds a fresh
+/// kernel, registry, and rng universe from `(compiled, seed, static_arm)`
+/// alone — the isolation that lets the sim farm run cells concurrently.
 fn run_world(
     compiled: Option<&CompiledFaults>,
     seed: u64,
     horizon: SimDuration,
     static_arm: bool,
-) -> RunOutcome {
+) -> (RunOutcome, ew_sim::Registry) {
     let mut net = NetModel::new(0.05);
     let service = net.add_site(site_spec(
         "service",
@@ -317,13 +320,14 @@ fn run_world(
             bins[i] += ops;
         }
     }
-    RunOutcome {
+    let outcome = RunOutcome {
         units: m.counter("client.units_completed") as u64,
         bins,
         retries: m.counter("rpc.retries") as u64,
         breaker_opens: m.counter("rpc.breaker_open") as u64,
         faults_injected: m.counter("chaos.faults_injected") as u64,
-    }
+    };
+    (outcome, sim.into_metrics().into_registry())
 }
 
 fn post_warmup_mean(bins: &[f64]) -> f64 {
@@ -372,49 +376,138 @@ fn arm_report(faulted: RunOutcome, baseline: &RunOutcome, fault_end: SimTime) ->
     }
 }
 
-/// Run one `(plan, seed)` cell — both arms plus (caller-supplied)
-/// no-fault references.
-fn run_cell(
-    plan: &FaultPlan,
+/// One independent sim-farm work unit: a single `run_world` call.
+///
+/// `plan: None` is a no-fault reference run. Every input the cell needs
+/// is in this key (plus the shared, read-only `CampaignConfig`), so rng
+/// streams and fault schedules derive from the cell itself rather than
+/// any iteration state — the property that makes the sweep order-free.
+#[derive(Clone, Copy, Debug)]
+struct CellKey {
+    /// Index into `cfg.plans`, or `None` for the no-fault reference.
+    plan: Option<usize>,
+    /// Campaign seed of this cell.
     seed: u64,
-    horizon: SimDuration,
-    nofault_adaptive: &RunOutcome,
-    nofault_static: &RunOutcome,
-) -> PlanReport {
-    let compiled = plan.compile(seed, horizon, N_COMPUTE);
-    let fa = run_world(Some(&compiled), seed, horizon, false);
-    let fs = run_world(Some(&compiled), seed, horizon, true);
-    let faults_injected = fa.faults_injected;
-    PlanReport {
-        plan: plan.name.clone(),
-        seed,
-        faults_injected,
-        fault_end_secs: compiled.last_fault_end.as_secs_f64(),
-        baseline_adaptive_units: nofault_adaptive.units,
-        baseline_static_units: nofault_static.units,
-        adaptive: arm_report(fa, nofault_adaptive, compiled.last_fault_end),
-        static_baseline: arm_report(fs, nofault_static, compiled.last_fault_end),
+    /// `true` selects the §2.2 static-time-out baseline arm.
+    static_arm: bool,
+}
+
+/// Raw result of one executed cell.
+struct CellOut {
+    outcome: RunOutcome,
+    /// When the compiled plan's last fault clears (`ZERO` for no-fault).
+    fault_end: SimTime,
+    registry: ew_sim::Registry,
+}
+
+/// A finished campaign: the per-`(plan, seed)` reports plus the farm's
+/// execution stats and the merged (canonical-order) telemetry of every
+/// cell, including `farm.cells` / `farm.threads` / `farm.wall_ms`.
+pub struct CampaignRun {
+    /// One report per `(plan, seed)` cell, in `seeds × plans` order —
+    /// identical to the historical sequential sweep.
+    pub reports: Vec<PlanReport>,
+    /// What the run cost (wall-clock is host time: excluded from the
+    /// deterministic JSON artifacts).
+    pub stats: ew_sim::FarmStats,
+    /// Per-cell registries folded in input-index order via
+    /// [`ew_sim::Registry::merge`].
+    pub telemetry: ew_sim::Registry,
+}
+
+/// The canonical cell list: for each seed, the two no-fault references,
+/// then every plan × {adaptive, static}. Report assembly indexes into
+/// farm results by this layout.
+fn cell_keys(cfg: &CampaignConfig) -> Vec<CellKey> {
+    let mut cells = Vec::with_capacity(cfg.seeds.len() * (2 + 2 * cfg.plans.len()));
+    for &seed in &cfg.seeds {
+        for static_arm in [false, true] {
+            cells.push(CellKey {
+                plan: None,
+                seed,
+                static_arm,
+            });
+        }
+        for plan in 0..cfg.plans.len() {
+            for static_arm in [false, true] {
+                cells.push(CellKey {
+                    plan: Some(plan),
+                    seed,
+                    static_arm,
+                });
+            }
+        }
+    }
+    cells
+}
+
+/// Run the whole campaign on `threads` workers. Every cell is an isolated
+/// deterministic simulation, results are merged in canonical input order,
+/// and the reports (and any JSON rendered from them) are byte-identical
+/// for every thread count; `threads == 1` reproduces the historical
+/// sequential sweep exactly.
+pub fn run_campaign_threads(cfg: &CampaignConfig, threads: usize) -> CampaignRun {
+    let cells = cell_keys(cfg);
+    let horizon = cfg.horizon;
+    let plans = &cfg.plans;
+    let (outs, stats) = ew_sim::run_farm(threads, &cells, |_, cell| {
+        let compiled = cell
+            .plan
+            .map(|p| plans[p].compile(cell.seed, horizon, N_COMPUTE));
+        let (outcome, registry) = run_world(compiled.as_ref(), cell.seed, horizon, cell.static_arm);
+        CellOut {
+            outcome,
+            fault_end: compiled.map_or(SimTime::ZERO, |c| c.last_fault_end),
+            registry,
+        }
+    });
+
+    let mut telemetry = ew_sim::Registry::new();
+    for out in &outs {
+        telemetry.merge(&out.registry);
+    }
+    stats.record(&mut telemetry);
+
+    // Reassemble reports in the historical seeds × plans order from the
+    // canonical cell layout (see `cell_keys`).
+    let stride = 2 + 2 * cfg.plans.len();
+    let mut slots: Vec<Option<CellOut>> = outs.into_iter().map(Some).collect();
+    let mut take = |i: usize| slots[i].take().expect("cell index used once");
+    let mut reports = Vec::with_capacity(cfg.seeds.len() * cfg.plans.len());
+    for (si, &seed) in cfg.seeds.iter().enumerate() {
+        let base = si * stride;
+        let nofault_adaptive = take(base).outcome;
+        let nofault_static = take(base + 1).outcome;
+        for (pi, plan) in cfg.plans.iter().enumerate() {
+            let fa = take(base + 2 + 2 * pi);
+            let fs = take(base + 3 + 2 * pi);
+            let fault_end = fa.fault_end;
+            reports.push(PlanReport {
+                plan: plan.name.clone(),
+                seed,
+                faults_injected: fa.outcome.faults_injected,
+                fault_end_secs: fault_end.as_secs_f64(),
+                baseline_adaptive_units: nofault_adaptive.units,
+                baseline_static_units: nofault_static.units,
+                adaptive: arm_report(fa.outcome, &nofault_adaptive, fault_end),
+                static_baseline: arm_report(fs.outcome, &nofault_static, fault_end),
+            });
+        }
+    }
+    CampaignRun {
+        reports,
+        stats,
+        telemetry,
     }
 }
 
 /// Run the whole campaign: for each seed, two no-fault reference runs,
-/// then every plan × {adaptive, static}. Deterministic in `cfg`.
+/// then every plan × {adaptive, static}. Deterministic in `cfg`; the
+/// worker count comes from [`ew_sim::resolve_threads`] (the `EW_THREADS`
+/// environment variable, else available parallelism) and cannot change
+/// the result bytes.
 pub fn run_campaign(cfg: &CampaignConfig) -> Vec<PlanReport> {
-    let mut reports = Vec::new();
-    for &seed in &cfg.seeds {
-        let nofault_adaptive = run_world(None, seed, cfg.horizon, false);
-        let nofault_static = run_world(None, seed, cfg.horizon, true);
-        for plan in &cfg.plans {
-            reports.push(run_cell(
-                plan,
-                seed,
-                cfg.horizon,
-                &nofault_adaptive,
-                &nofault_static,
-            ));
-        }
-    }
-    reports
+    run_campaign_threads(cfg, ew_sim::resolve_threads(None)).reports
 }
 
 fn arm_json(a: &ArmReport) -> serde_json::Value {

@@ -1,12 +1,127 @@
-//! Offline stand-in for `rayon`: slice `par_iter().map().reduce()` over
-//! `std::thread::scope`. Work is split into one contiguous chunk per
-//! available core; each thread folds its chunk, then the per-chunk results
-//! are combined in deterministic chunk order, so any associative reduction
-//! gives the same answer as rayon's.
+//! Offline stand-in for `rayon`: slice `par_iter().map()` pipelines over
+//! `std::thread::scope`, plus the `ThreadPool`/`ThreadPoolBuilder` subset
+//! the workspace's sim farm uses.
+//!
+//! Two scheduling strategies, matching what each rayon API promises:
+//!
+//! * [`ParMap::reduce`] splits the input into one contiguous chunk per
+//!   worker; each thread folds its chunk, then the per-chunk results are
+//!   combined in deterministic chunk order, so any associative reduction
+//!   gives the same answer as rayon's.
+//! * [`ParMap::collect_into_vec`] uses a shared atomic cursor (a
+//!   bag-of-tasks: an idle worker claims — "steals" — the next unclaimed
+//!   index), so heterogeneous per-item cost balances across workers, and
+//!   every result lands in its input slot: output order is the input
+//!   order regardless of worker count or interleaving.
+//!
+//! [`ThreadPool::install`] scopes a worker-count override onto the calling
+//! thread (a thread-local, mirroring rayon's "current pool" semantics for
+//! the non-nested case); parallel operations inside the closure use the
+//! pool's thread count instead of `available_parallelism`.
+
+use std::cell::Cell;
 
 /// The parallel-iterator entry points, mirroring `rayon::prelude`.
 pub mod prelude {
     pub use crate::IntoParallelRefIterator;
+}
+
+thread_local! {
+    /// Worker count installed by the innermost [`ThreadPool::install`]
+    /// on this thread (0 = none; fall back to `available_parallelism`).
+    static INSTALLED_THREADS: Cell<usize> = const { Cell::new(0) };
+}
+
+fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1)
+}
+
+/// Worker count parallel operations on this thread currently use: the
+/// installed pool's, or `available_parallelism` outside any pool.
+pub fn current_num_threads() -> usize {
+    let installed = INSTALLED_THREADS.with(Cell::get);
+    if installed == 0 {
+        default_threads()
+    } else {
+        installed
+    }
+}
+
+/// Error building a [`ThreadPool`] (never produced by this stand-in; the
+/// type exists so caller code matches rayon's fallible signature).
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "thread pool build error")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// Builder for a [`ThreadPool`], mirroring `rayon::ThreadPoolBuilder`.
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    /// A builder with the default worker count (`available_parallelism`).
+    pub fn new() -> Self {
+        ThreadPoolBuilder::default()
+    }
+
+    /// Set the worker count (0 = default).
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = n;
+        self
+    }
+
+    /// Build the pool.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        let threads = if self.num_threads == 0 {
+            default_threads()
+        } else {
+            self.num_threads
+        };
+        Ok(ThreadPool { threads })
+    }
+}
+
+/// A scoped worker-count handle. This stand-in spawns OS threads per
+/// operation rather than keeping a resident pool; `install` only pins the
+/// worker count parallel operations inside the closure will use.
+#[derive(Debug)]
+pub struct ThreadPool {
+    threads: usize,
+}
+
+impl ThreadPool {
+    /// Worker count of this pool.
+    pub fn current_num_threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Run `op` with this pool's worker count governing any parallel
+    /// operations it performs on the calling thread.
+    pub fn install<R, F>(&self, op: F) -> R
+    where
+        F: FnOnce() -> R + Send,
+        R: Send,
+    {
+        let prev = INSTALLED_THREADS.with(|c| c.replace(self.threads));
+        struct Restore(usize);
+        impl Drop for Restore {
+            fn drop(&mut self) {
+                INSTALLED_THREADS.with(|c| c.set(self.0));
+            }
+        }
+        let _restore = Restore(prev);
+        op()
+    }
 }
 
 /// `.par_iter()` on slices and `Vec`s.
@@ -71,10 +186,10 @@ impl<'a, T: Sync, F> ParMap<'a, T, F> {
         if n == 0 {
             return identity();
         }
-        let threads = std::thread::available_parallelism()
-            .map(|p| p.get())
-            .unwrap_or(1)
-            .min(n);
+        let threads = current_num_threads().min(n);
+        if threads <= 1 {
+            return self.items.iter().map(self.f).fold(identity(), op);
+        }
         let chunk = n.div_ceil(threads);
         let f = &self.f;
         let op = &op;
@@ -89,11 +204,64 @@ impl<'a, T: Sync, F> ParMap<'a, T, F> {
         });
         partials.into_iter().fold(identity(), |a, x| op(a, x))
     }
+
+    /// Map every element and write the results into `target`, in input
+    /// order (`target` is cleared first). Scheduling is dynamic — workers
+    /// claim the next unprocessed index from a shared atomic cursor — so
+    /// uneven per-item cost load-balances, while output order stays the
+    /// input order for any worker count.
+    pub fn collect_into_vec<R>(self, target: &mut Vec<R>)
+    where
+        F: Fn(&'a T) -> R + Sync,
+        R: Send,
+    {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+
+        target.clear();
+        let n = self.items.len();
+        let threads = current_num_threads().min(n);
+        if threads <= 1 {
+            target.extend(self.items.iter().map(self.f));
+            return;
+        }
+        let cursor = AtomicUsize::new(0);
+        let f = &self.f;
+        let items = self.items;
+        let mut slots: Vec<Option<R>> = std::iter::repeat_with(|| None).take(n).collect();
+        let done: Vec<Vec<(usize, R)>> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..threads)
+                .map(|_| {
+                    let cursor = &cursor;
+                    s.spawn(move || {
+                        let mut out = Vec::new();
+                        loop {
+                            let i = cursor.fetch_add(1, Ordering::Relaxed);
+                            if i >= n {
+                                break;
+                            }
+                            out.push((i, f(&items[i])));
+                        }
+                        out
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        for (i, r) in done.into_iter().flatten() {
+            slots[i] = Some(r);
+        }
+        target.extend(
+            slots
+                .into_iter()
+                .map(|s| s.expect("every index claimed once")),
+        );
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::prelude::*;
+    use super::*;
 
     #[test]
     fn map_reduce_matches_sequential() {
@@ -107,5 +275,40 @@ mod tests {
         let xs: Vec<u64> = vec![];
         let sum = xs.par_iter().map(|&x| x).reduce(|| 42u64, |a, b| a + b);
         assert_eq!(sum, 42);
+    }
+
+    #[test]
+    fn collect_preserves_input_order_for_any_worker_count() {
+        let xs: Vec<u64> = (0..1_000).collect();
+        for threads in [1, 2, 3, 8, 32] {
+            let pool = ThreadPoolBuilder::new()
+                .num_threads(threads)
+                .build()
+                .unwrap();
+            let mut out = Vec::new();
+            pool.install(|| xs.par_iter().map(|&x| x * 3).collect_into_vec(&mut out));
+            assert_eq!(out, xs.iter().map(|&x| x * 3).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn install_scopes_the_worker_count() {
+        assert_eq!(current_num_threads(), default_threads());
+        let pool = ThreadPoolBuilder::new().num_threads(7).build().unwrap();
+        pool.install(|| {
+            assert_eq!(current_num_threads(), 7);
+            let inner = ThreadPoolBuilder::new().num_threads(2).build().unwrap();
+            inner.install(|| assert_eq!(current_num_threads(), 2));
+            assert_eq!(current_num_threads(), 7);
+        });
+        assert_eq!(current_num_threads(), default_threads());
+    }
+
+    #[test]
+    fn collect_into_vec_clears_target() {
+        let xs: Vec<u64> = (0..10).collect();
+        let mut out = vec![99u64; 5];
+        xs.par_iter().map(|&x| x).collect_into_vec(&mut out);
+        assert_eq!(out, xs);
     }
 }

@@ -158,6 +158,12 @@ impl Metrics {
     pub fn registry_mut(&mut self) -> &mut Registry {
         &mut self.reg
     }
+
+    /// Consume the metrics, yielding the backing registry — how a sim-farm
+    /// cell hands its telemetry to the canonical [`Registry::merge`] fold.
+    pub fn into_registry(self) -> Registry {
+        self.reg
+    }
 }
 
 /// Kernel-owned metric handles, interned once at [`Sim::new`] so the
@@ -585,27 +591,6 @@ impl<'a> Ctx<'a> {
         let actor = self.me.0 as u64;
         self.shared.metrics.reg.span_exit(t_us, span, actor, tag);
     }
-
-    // ---- telemetry: deprecated string-keyed shims ----
-
-    /// Add to a named metric counter.
-    #[deprecated(
-        since = "0.2.0",
-        note = "intern a CounterId with Ctx::counter at Started and use Ctx::add"
-    )]
-    pub fn metric_add(&mut self, name: &str, v: f64) {
-        self.shared.metrics.add(name, v);
-    }
-
-    /// Record a point on a named metric series.
-    #[deprecated(
-        since = "0.2.0",
-        note = "intern a SeriesId with Ctx::series at Started and use Ctx::record"
-    )]
-    pub fn metric_record(&mut self, name: &str, v: f64) {
-        let now = self.shared.now;
-        self.shared.metrics.record(name, now, v);
-    }
 }
 
 /// Outcome of a [`Sim::run_until`] call.
@@ -685,6 +670,13 @@ impl Sim {
     /// Collected metrics.
     pub fn metrics(&self) -> &Metrics {
         &self.shared.metrics
+    }
+
+    /// Consume the simulator, yielding its metrics. Sim-farm cells use
+    /// this after the run: outcome numbers are extracted first, then the
+    /// whole registry travels back to the caller for the ordered merge.
+    pub fn into_metrics(self) -> Metrics {
+        self.shared.metrics
     }
 
     /// The telemetry registry behind [`Sim::metrics`] (histograms, gauges,

@@ -25,6 +25,7 @@
 
 #![warn(missing_docs)]
 
+pub mod farm;
 pub mod host;
 pub mod kernel;
 pub mod net;
@@ -38,6 +39,7 @@ pub use ew_telemetry::{
     CounterId, GaugeId, Histogram, HistogramId, HistogramSummary, Registry, SeriesId, Snapshot,
     SpanId, SubsystemHealth,
 };
+pub use farm::{available_threads, merge_cell_registries, resolve_threads, run_farm, FarmStats};
 pub use host::{HostId, HostSpec, HostTable};
 pub use kernel::{Ctx, Event, Metrics, Process, ProcessId, RunStats, Sim};
 pub use net::{Impairment, NetModel, Partition, SiteId, SiteSpec};

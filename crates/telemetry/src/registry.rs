@@ -327,6 +327,42 @@ impl Registry {
         }
     }
 
+    // ---- merging ----
+
+    /// Fold another registry's metrics into this one: counters add,
+    /// gauges take `other`'s value, series points append, histograms
+    /// merge bucket-wise. `other`'s metrics are visited in ascending name
+    /// order, so merging the same set of registries in the same sequence
+    /// always produces an identical registry — the deterministic
+    /// ordered-collect path the sim farm uses to fold per-cell registries
+    /// back together in canonical (input-index) order, independent of
+    /// which worker thread ran which cell.
+    ///
+    /// Span interning and trace buffers are deliberately not merged:
+    /// trace records carry per-cell actor ids that are only meaningful
+    /// against their own cell's process table.
+    pub fn merge(&mut self, other: &Registry) {
+        for (name, v) in other.counters() {
+            let id = self.counter(name);
+            self.add(id, v);
+        }
+        for (name, v) in other.gauges() {
+            let id = self.gauge(name);
+            self.set_gauge(id, v);
+        }
+        for name in other.series_names() {
+            let theirs = other.series_lookup(name).expect("name from other");
+            let id = self.series(name);
+            for &(t_us, v) in other.series_points(theirs) {
+                self.record(id, t_us, v);
+            }
+        }
+        for (name, h) in other.histograms() {
+            let id = self.histogram(name);
+            self.histograms[id.index()].merge(h);
+        }
+    }
+
     // ---- reports ----
 
     /// A deterministic point-in-time copy of every metric.
@@ -470,6 +506,49 @@ mod tests {
         assert_eq!(jsonl.lines().count(), 2);
         assert!(jsonl.contains("\"span\":\"kernel.dispatch\""));
         assert!(jsonl.contains("\"tag\":9"));
+    }
+
+    #[test]
+    fn merge_folds_cells_deterministically() {
+        let cell = |salt: f64| {
+            let mut r = Registry::new();
+            let c = r.counter("client.units");
+            r.add(c, 10.0 + salt);
+            let g = r.gauge("kernel.queue_depth");
+            r.set_gauge(g, salt);
+            let s = r.series("ops_series.pool");
+            r.record(s, salt as u64, salt);
+            let h = r.histogram("net.latency_us");
+            r.observe(h, 100.0 * (salt + 1.0));
+            r
+        };
+
+        let fold = |cells: &[Registry]| {
+            let mut merged = Registry::new();
+            for c in cells {
+                merged.merge(c);
+            }
+            merged.snapshot()
+        };
+
+        let cells = vec![cell(0.0), cell(1.0), cell(2.0)];
+        let a = fold(&cells);
+        let b = fold(&cells);
+        assert_eq!(a, b, "same cells in the same order must merge identically");
+
+        assert_eq!(a.counters, vec![("client.units".to_string(), 33.0)]);
+        // Gauges are last-writer-wins in merge order.
+        assert_eq!(a.gauges, vec![("kernel.queue_depth".to_string(), 2.0)]);
+        assert_eq!(a.histograms.len(), 1);
+        assert_eq!(a.histograms[0].1.count, 3);
+
+        // Series points append in merge order.
+        let mut merged = Registry::new();
+        for c in &cells {
+            merged.merge(c);
+        }
+        let sid = merged.series_lookup("ops_series.pool").unwrap();
+        assert_eq!(merged.series_points(sid), &[(0, 0.0), (1, 1.0), (2, 2.0)]);
     }
 
     #[test]

@@ -6,8 +6,8 @@ use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughpu
 use std::hint::black_box;
 
 use ew_ramsey::{
-    best_flip_parallel, count_total, flip_delta, heuristic_by_kind, ColoredGraph, Heuristic,
-    OpsCounter, ParallelSteepest, SearchState,
+    best_flip_parallel, count_total, flip_delta, flip_delta_ws, heuristic_by_kind, ColoredGraph,
+    DeltaTable, Heuristic, OpsCounter, ParallelSteepest, SearchState, Workspace,
 };
 use ew_sim::Xoshiro256;
 
@@ -34,10 +34,41 @@ fn bench_counting(c: &mut Criterion) {
 fn bench_flip_delta(c: &mut Criterion) {
     let mut rng = Xoshiro256::seed_from_u64(6);
     let g43 = ColoredGraph::random(43, &mut rng);
-    c.bench_function("flip_delta_k5_random43", |b| {
+    let mut group = c.benchmark_group("flip_delta_k5_random43");
+    // Allocating wrapper vs reused workspace arena vs table lookup: the
+    // three tiers of the PR 5 kernel work.
+    group.bench_function("alloc_per_call", |b| {
         b.iter(|| {
             let mut ops = OpsCounter::new();
             flip_delta(black_box(&g43), 5, 7, 31, &mut ops)
+        })
+    });
+    group.bench_function("workspace_reuse", |b| {
+        let mut ws = Workspace::new();
+        b.iter(|| {
+            let mut ops = OpsCounter::new();
+            flip_delta_ws(black_box(&g43), 5, 7, 31, &mut ops, &mut ws)
+        })
+    });
+    group.bench_function("table_lookup", |b| {
+        let mut ops = OpsCounter::new();
+        let mut ws = Workspace::new();
+        let table = DeltaTable::new(&g43, 5, &mut ops, &mut ws);
+        b.iter(|| table.delta(black_box(&g43), 7, 31))
+    });
+    group.finish();
+
+    // What a lookup amortizes: the maintenance cost of one applied flip.
+    c.bench_function("table_apply_flip_k5_random43", |b| {
+        let mut ops = OpsCounter::new();
+        let mut ws = Workspace::new();
+        let mut g = g43.clone();
+        let mut table = DeltaTable::new(&g, 5, &mut ops, &mut ws);
+        b.iter(|| {
+            // Flip the same edge back and forth: steady-state maintenance
+            // with no drift in the underlying coloring.
+            g.flip(7, 31);
+            table.apply_flip(&g, 7, 31, &mut ops, &mut ws);
         })
     });
 }
@@ -46,11 +77,32 @@ fn bench_heuristic_steps(c: &mut Criterion) {
     let mut group = c.benchmark_group("heuristic_steps");
     group.throughput(Throughput::Elements(10));
     for (kind, name) in [(0u8, "greedy"), (1, "tabu"), (2, "anneal")] {
-        group.bench_function(format!("{name}_10_steps_r5_n43"), |b| {
+        // Naive arm: every delta evaluated by the two-pass kernel.
+        group.bench_function(format!("{name}_10_steps_r5_n43_naive"), |b| {
             b.iter_batched(
                 || {
                     let mut rng = Xoshiro256::seed_from_u64(9);
                     let st = SearchState::random(43, 5, &mut rng);
+                    (st, heuristic_by_kind(kind), rng)
+                },
+                |(mut st, mut h, mut rng)| {
+                    for _ in 0..10 {
+                        h.step(&mut st, &mut rng);
+                    }
+                    st.count()
+                },
+                BatchSize::SmallInput,
+            )
+        });
+        // Table arm: deltas served by the incremental table (same move
+        // sequence, proptested bit-identical). Table built in setup — the
+        // measurement covers steady-state stepping, as in a long run.
+        group.bench_function(format!("{name}_10_steps_r5_n43_table"), |b| {
+            b.iter_batched(
+                || {
+                    let mut rng = Xoshiro256::seed_from_u64(9);
+                    let g = ColoredGraph::random(43, &mut rng);
+                    let st = SearchState::new_incremental(g, 5);
                     (st, heuristic_by_kind(kind), rng)
                 },
                 |(mut st, mut h, mut rng)| {

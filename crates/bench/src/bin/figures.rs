@@ -8,12 +8,17 @@
 //!
 //! Subcommands: `fig2`, `fig3a`, `fig3b`, `fig3c`, `java`, `timeout`,
 //! `condor`, `scaling`, `criteria`, `health`, `chaos`, `bench-farm`,
-//! `all`. `--short` runs a 2-hour window instead of the full 12 hours
+//! `bench-kernel`, `all`. `--short` runs a 2-hour window instead of the full 12 hours
 //! (for smoke tests); for `chaos` it cuts the campaign to one seed over
 //! 15 minutes. `chaos` sweeps the named fault plans of `ew-chaos` (see
 //! `results/chaos_*.json` and `results/BENCH_PR3.json`) and is not part
 //! of `all`. `bench-farm` measures the sim farm's sequential-vs-parallel
-//! wall-clock and writes `results/BENCH_PR4.json`.
+//! wall-clock and writes `results/BENCH_PR4.json`. `bench-kernel` A/Bs
+//! the naive flip-delta kernel against the incremental delta table and
+//! allocation-free workspace kernels, writing honest wall-clock numbers
+//! to `results/BENCH_PR5.json` and thread-invariant trajectory
+//! fingerprints to `results/kernel_trajectories.json` (both arms must
+//! retrace the same moves, enforced with a nonzero exit).
 //! `--seed N` reseeds. `--threads N` sets the sim-farm worker count
 //! (default: the `EW_THREADS` environment variable, else available
 //! parallelism; `--threads 1` reproduces the sequential behavior
@@ -23,7 +28,9 @@
 //! tracing on or off). Markdown goes to stdout; JSON artifacts go to
 //! `results/`.
 
+use std::alloc::{GlobalAlloc, Layout, System};
 use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 use everyware::{mean, run_sc98, Sc98Config, Sc98Report, JUDGING_END_S, JUDGING_START_S};
 use ew_bench::experiments::{
@@ -603,6 +610,278 @@ fn bench_farm(opts: &Options) {
     }
 }
 
+/// Counting allocator so `bench-kernel` can report *measured* steady-state
+/// allocation counts rather than asserting them by construction. The
+/// count is global to the process; each probe reads it before and after a
+/// timed loop on this thread with no other work running.
+struct CountingAlloc;
+
+static ALLOC_CALLS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static GLOBAL_ALLOC: CountingAlloc = CountingAlloc;
+
+/// FNV-1a over a byte stream — the trajectory fingerprint primitive.
+fn fnv64(h: u64, bytes: &[u8]) -> u64 {
+    let mut h = if h == 0 { 0xcbf2_9ce4_8422_2325 } else { h };
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Run `steps` heuristic steps and fold every step outcome and objective
+/// value into an FNV fingerprint. Returns (move-sequence fingerprint,
+/// final-graph fingerprint, final objective, wall seconds).
+fn kernel_trajectory(
+    incremental: bool,
+    kind: u8,
+    seed: u64,
+    n: usize,
+    k: usize,
+    steps: u64,
+) -> (u64, u64, u64, f64) {
+    use ew_ramsey::{heuristic_by_kind, ColoredGraph, SearchState};
+    let mut rng = ew_sim::Xoshiro256::seed_from_u64(seed);
+    let g = ColoredGraph::random(n, &mut rng);
+    let mut st = if incremental {
+        SearchState::new_incremental(g, k)
+    } else {
+        SearchState::new(g, k)
+    };
+    let mut h = heuristic_by_kind(kind);
+    let mut moves_fp = 0u64;
+    let t = std::time::Instant::now();
+    for _ in 0..steps {
+        let outcome = h.step(&mut st, &mut rng);
+        moves_fp = fnv64(moves_fp, format!("{outcome:?}:{}", st.count()).as_bytes());
+    }
+    let secs = t.elapsed().as_secs_f64();
+    let graph_fp = fnv64(0, &st.graph().to_bytes());
+    (moves_fp, graph_fp, st.count(), secs)
+}
+
+/// Allocations observed across `f` on this thread (process-global counter,
+/// so the probe is only meaningful while nothing else runs).
+fn count_allocs<R>(f: impl FnOnce() -> R) -> (R, u64) {
+    let before = ALLOC_CALLS.load(Ordering::Relaxed);
+    let r = f();
+    (r, ALLOC_CALLS.load(Ordering::Relaxed) - before)
+}
+
+fn bench_kernel(opts: &Options) {
+    use ew_ramsey::{flip_delta, flip_delta_ws, ColoredGraph, DeltaTable, OpsCounter, Workspace};
+
+    // --- Deterministic half: trajectory fingerprints over the sim farm.
+    // Every cell runs both kernel arms and both must retrace the same
+    // moves; the JSON is byte-identical for any --threads value.
+    let seeds: &[u64] = if opts.short {
+        &[101, 202]
+    } else {
+        &[101, 202, 303, 404]
+    };
+    let steps: u64 = if opts.short { 150 } else { 400 };
+    let (tn, tk) = (21usize, 4usize);
+    let mut cells: Vec<(u8, &str, u64)> = Vec::new();
+    for &(kind, name) in &[(0u8, "greedy"), (1, "tabu"), (2, "anneal")] {
+        for &seed in seeds {
+            cells.push((kind, name, seed.wrapping_add(opts.seed)));
+        }
+    }
+    eprintln!(
+        "bench-kernel: {} trajectory cells on {} thread(s)...",
+        cells.len(),
+        opts.threads
+    );
+    let (rows, farm_stats) = ew_sim::run_farm(opts.threads, &cells, |_, &(kind, name, seed)| {
+        let (naive_fp, naive_g, naive_c, _) = kernel_trajectory(false, kind, seed, tn, tk, steps);
+        let (tab_fp, tab_g, tab_c, _) = kernel_trajectory(true, kind, seed, tn, tk, steps);
+        let equal = naive_fp == tab_fp && naive_g == tab_g && naive_c == tab_c;
+        let row = serde_json::json!({
+            "heuristic": name,
+            "seed": seed,
+            "n": tn,
+            "k": tk,
+            "steps": steps,
+            "moves_fnv": format!("{naive_fp:016x}"),
+            "final_graph_fnv": format!("{naive_g:016x}"),
+            "final_count": naive_c,
+            "arms_identical": equal,
+        });
+        (row, equal)
+    });
+    let all_equal = rows.iter().all(|&(_, eq)| eq);
+    let rows: Vec<serde_json::Value> = rows.into_iter().map(|(row, _)| row).collect();
+    write_json(
+        "kernel_trajectories",
+        &serde_json::json!({
+            "bench": "naive vs incremental-table trajectory equivalence (PR 5)",
+            "short": opts.short,
+            "seed": opts.seed,
+            "cells": farm_stats.cells,
+            "trajectories": rows,
+        }),
+    );
+
+    // --- Wall-clock half: the honest A/B on the R(5)-class workload.
+    let n = 43usize;
+    let k = 5usize;
+    let ab_steps: u64 = if opts.short { 300 } else { 1500 };
+    let mut rng = ew_sim::Xoshiro256::seed_from_u64(opts.seed);
+    let g43 = ColoredGraph::random(n, &mut rng);
+
+    // Table construction cost (amortized over a whole unit's steps).
+    let t = std::time::Instant::now();
+    let mut ops = OpsCounter::new();
+    let mut ws = Workspace::new();
+    let table = DeltaTable::new(&g43, k, &mut ops, &mut ws);
+    let build_ms = t.elapsed().as_secs_f64() * 1e3;
+    drop(table);
+
+    // Single flip-delta evaluation: allocating wrapper vs reused arena.
+    let probe_calls = 20_000u64;
+    let t = std::time::Instant::now();
+    let mut acc = 0i64;
+    let (_, allocs_alloc) = count_allocs(|| {
+        for i in 0..probe_calls {
+            let (u, v) = ((i as usize * 7) % n, (i as usize * 13 + 1) % n);
+            if u != v {
+                acc += flip_delta(&g43, k, u.min(v), u.max(v), &mut ops);
+            }
+        }
+    });
+    let alloc_arm_s = t.elapsed().as_secs_f64();
+    flip_delta_ws(&g43, k, 0, 1, &mut ops, &mut ws); // warm the arena
+    let t = std::time::Instant::now();
+    let (_, allocs_ws) = count_allocs(|| {
+        for i in 0..probe_calls {
+            let (u, v) = ((i as usize * 7) % n, (i as usize * 13 + 1) % n);
+            if u != v {
+                acc += flip_delta_ws(&g43, k, u.min(v), u.max(v), &mut ops, &mut ws);
+            }
+        }
+    });
+    let ws_arm_s = t.elapsed().as_secs_f64();
+    std::hint::black_box(acc);
+
+    // Heuristic throughput, naive vs incremental, identical trajectories.
+    let mut heur: BTreeMap<String, serde_json::Value> = BTreeMap::new();
+    let mut tabu_speedup = 0.0;
+    for &(kind, name) in &[(0u8, "greedy"), (1, "tabu")] {
+        let (fp_n, g_n, _, naive_s) = kernel_trajectory(false, kind, opts.seed, n, k, ab_steps);
+        let (fp_t, g_t, _, table_s) = kernel_trajectory(true, kind, opts.seed, n, k, ab_steps);
+        assert_eq!(
+            (fp_n, g_n),
+            (fp_t, g_t),
+            "{name} arms must retrace the same moves"
+        );
+        let speedup = if table_s > 0.0 {
+            naive_s / table_s
+        } else {
+            0.0
+        };
+        if kind == 1 {
+            tabu_speedup = speedup;
+        }
+        heur.insert(
+            name.to_string(),
+            serde_json::json!({
+                "steps": ab_steps,
+                "naive_steps_per_sec": ab_steps as f64 / naive_s,
+                "table_steps_per_sec": ab_steps as f64 / table_s,
+                "speedup": speedup,
+                "trajectories_identical": true,
+            }),
+        );
+    }
+
+    // Steady-state allocation audit of the incremental arm (greedy: its
+    // step loop owns no growing side structures, so any allocation would
+    // be the kernel's).
+    let mut rng = ew_sim::Xoshiro256::seed_from_u64(opts.seed ^ 0xA11C);
+    let mut st = ew_ramsey::SearchState::new_incremental(ColoredGraph::random(n, &mut rng), k);
+    let mut greedy = ew_ramsey::heuristic_by_kind(0);
+    for _ in 0..10 {
+        greedy.step(&mut st, &mut rng); // warm
+    }
+    let (_, allocs_steady) = count_allocs(|| {
+        for _ in 0..200 {
+            greedy.step(&mut st, &mut rng);
+        }
+    });
+
+    write_json(
+        "BENCH_PR5",
+        &serde_json::json!({
+            "bench": "incremental delta table + allocation-free kernels (PR 5)",
+            "short": opts.short,
+            "seed": opts.seed,
+            "workload": {"n": n, "k": k},
+            "table_build_ms": build_ms,
+            "flip_delta": {
+                "calls": probe_calls,
+                "alloc_per_call_per_sec": probe_calls as f64 / alloc_arm_s,
+                "workspace_per_sec": probe_calls as f64 / ws_arm_s,
+                "allocations_alloc_arm": allocs_alloc,
+                "allocations_workspace_arm": allocs_ws,
+            },
+            "heuristic_steps": heur,
+            "steady_state_allocations_greedy_200_steps": allocs_steady,
+            "note": "wall-clock is host time and varies run to run; trajectory \
+                     equivalence (results/kernel_trajectories.json) is the \
+                     deterministic, thread-invariant artifact. The table arm \
+                     replays the exact naive move sequence, so speedup is \
+                     like-for-like.",
+        }),
+    );
+    println!("## bench-kernel (PR 5)\n");
+    println!("| probe | naive | incremental | speedup |");
+    println!("|---|---|---|---|");
+    println!(
+        "| flip_delta calls/s | {:.0} | {:.0} (workspace) | {:.2}x |",
+        probe_calls as f64 / alloc_arm_s,
+        probe_calls as f64 / ws_arm_s,
+        alloc_arm_s / ws_arm_s
+    );
+    for (name, v) in &heur {
+        println!(
+            "| {name} steps/s | {:.1} | {:.1} | {:.2}x |",
+            v["naive_steps_per_sec"].as_f64().unwrap_or(0.0),
+            v["table_steps_per_sec"].as_f64().unwrap_or(0.0),
+            v["speedup"].as_f64().unwrap_or(0.0)
+        );
+    }
+    println!(
+        "\ntable build: {build_ms:.2} ms; steady-state allocations over 200 \
+         greedy steps: {allocs_steady}; trajectory cells identical: {all_equal}"
+    );
+    if !all_equal {
+        eprintln!("bench-kernel: ERROR — table arm diverged from the naive kernel!");
+        std::process::exit(1);
+    }
+    if tabu_speedup < 3.0 {
+        eprintln!(
+            "bench-kernel: ERROR — tabu speedup {tabu_speedup:.2}x below the 3x acceptance bar"
+        );
+        std::process::exit(1);
+    }
+}
+
 fn write_trace(opts: &Options, rep: &Sc98Report) {
     if let Some(path) = &opts.trace {
         match rep.trace_jsonl.as_ref() {
@@ -615,7 +894,7 @@ fn write_trace(opts: &Options, rep: &Sc98Report) {
     }
 }
 
-const COMMANDS: [&str; 16] = [
+const COMMANDS: [&str; 17] = [
     "fig2",
     "fig3a",
     "fig3b",
@@ -631,6 +910,7 @@ const COMMANDS: [&str; 16] = [
     "health",
     "chaos",
     "bench-farm",
+    "bench-kernel",
     "all",
 ];
 
@@ -744,6 +1024,7 @@ fn main() {
         "health" => health(rep.as_ref().unwrap()),
         "chaos" => chaos(&opts),
         "bench-farm" => bench_farm(&opts),
+        "bench-kernel" => bench_kernel(&opts),
         "all" => {
             eprintln!(
                 "running the SC98 experiment and the ablation batteries \

@@ -31,10 +31,95 @@ impl OpsCounter {
     }
 }
 
+/// Reusable scratch arena for the clique kernels. Holding one of these
+/// per search thread makes every hot-path kernel
+/// ([`count_mono_ws`]/[`count_through_edge_ws`]/[`flip_delta_ws`] and the
+/// [`crate::delta::DeltaTable`] maintenance) allocation-free in steady
+/// state: the buffers grow monotonically to the largest `(words, k)` seen
+/// and are reused verbatim afterwards.
+#[derive(Clone, Debug, Default)]
+pub struct Workspace {
+    /// Full-candidate buffer for whole-graph counts.
+    pub(crate) cand: Vec<u64>,
+    /// Shared-neighborhood buffer (`row(u) & row(v)`).
+    pub(crate) common: Vec<u64>,
+    /// Second shared-neighborhood buffer (the second color of a flip
+    /// delta; 3/4-way intersections during delta-table maintenance).
+    pub(crate) inter: Vec<u64>,
+    /// Recursion scratch: up to `k` levels of `w` words.
+    pub(crate) scratch: Vec<u64>,
+    /// Vertex-index buffer (set-bit positions of a neighborhood row).
+    pub(crate) verts: Vec<usize>,
+}
+
+impl Workspace {
+    /// An empty workspace; buffers grow on first use.
+    pub fn new() -> Self {
+        Workspace::default()
+    }
+
+    /// Grow every buffer to fit graphs of `w` words and cliques of size
+    /// `k`. No-op once sized — steady-state search never reallocates.
+    pub(crate) fn ensure(&mut self, w: usize, k: usize) {
+        let need = w * k.max(1);
+        if self.scratch.len() < need {
+            self.scratch.resize(need, 0);
+        }
+        for buf in [&mut self.cand, &mut self.common, &mut self.inter] {
+            if buf.len() < w {
+                buf.resize(w, 0);
+            }
+        }
+        if self.verts.capacity() < w * 64 {
+            self.verts.reserve(w * 64 - self.verts.capacity());
+        }
+    }
+
+    /// Total bytes currently held by the arena (the `ramsey.workspace_bytes`
+    /// telemetry gauge).
+    pub fn bytes(&self) -> usize {
+        (self.cand.capacity() + self.common.capacity() + self.inter.capacity())
+            .saturating_add(self.scratch.capacity())
+            * 8
+            + self.verts.capacity() * std::mem::size_of::<usize>()
+    }
+}
+
+/// Word-wide `k == 2` base case: the number of unordered pairs within
+/// `cand` that are `color`-adjacent. For each set vertex `v` this ANDs
+/// `v`'s row against the candidates above `v` and popcounts — no `next`
+/// buffer is materialized and no `k == 1` frames are entered, which
+/// shortens the dominant `R(4)`/`R(5)` recursions by two levels.
+fn count_pairs(g: &ColoredGraph, color: Color, cand: &[u64], ops: &mut OpsCounter) -> u64 {
+    let w = cand.len();
+    let mut total = 0u64;
+    for wi in 0..w {
+        let mut word = cand[wi];
+        while word != 0 {
+            let b = word.trailing_zeros() as usize;
+            word &= word - 1;
+            let v = wi * 64 + b;
+            let row = g.row(color, v);
+            // v's own word, masked to indices strictly greater than v.
+            let m = cand[wi] & row[wi] & !((1u64 << b) | ((1u64 << b) - 1));
+            let mut pairs = m.count_ones() as u64;
+            ops.add(2);
+            for j in (wi + 1)..w {
+                pairs += (cand[j] & row[j]).count_ones() as u64;
+                ops.add(2);
+            }
+            total += pairs;
+            ops.add(1);
+        }
+    }
+    total
+}
+
 /// Count `k`-cliques within the subgraph induced by `cand`, where every
 /// vertex considered must be greater than the implicit current clique's
 /// top vertex (encoded by `cand` already being masked). `scratch` supplies
-/// `(k-1) * w` words of workspace so the recursion allocates nothing.
+/// `(k-2) * w` words of workspace so the recursion allocates nothing
+/// (`k <= 2` needs none: those sizes run word-wide base cases).
 fn count_rec(
     g: &ColoredGraph,
     color: Color,
@@ -47,6 +132,9 @@ fn count_rec(
     if k == 1 {
         ops.add(w as u64);
         return cand.iter().map(|x| x.count_ones() as u64).sum();
+    }
+    if k == 2 {
+        return count_pairs(g, color, cand, ops);
     }
     let (next, rest) = scratch.split_at_mut(w);
     let mut total = 0u64;
@@ -79,40 +167,105 @@ fn count_rec(
     total
 }
 
-fn scratch_for(w: usize, k: usize) -> Vec<u64> {
-    vec![0u64; w * k.max(1)]
-}
-
-fn full_candidates(g: &ColoredGraph) -> Vec<u64> {
+fn fill_full_candidates(g: &ColoredGraph, cand: &mut [u64]) {
     let n = g.n();
     let w = g.words();
-    let mut cand = vec![u64::MAX; w];
+    cand[..w].fill(u64::MAX);
     let tail = n % 64;
     if tail != 0 {
         cand[w - 1] = (1u64 << tail) - 1;
     }
-    cand
 }
 
-/// Count the monochromatic `k`-cliques of one color.
-pub fn count_mono(g: &ColoredGraph, color: Color, k: usize, ops: &mut OpsCounter) -> u64 {
+/// Count `j`-cliques of `color` within the vertex set `cand`. `j == 0` is
+/// the empty clique (always exactly one); `j == 1` is a popcount. Used by
+/// the whole-graph counters and the delta-table maintenance.
+pub(crate) fn count_in_set(
+    g: &ColoredGraph,
+    color: Color,
+    cand: &[u64],
+    j: usize,
+    ops: &mut OpsCounter,
+    scratch: &mut [u64],
+) -> u64 {
+    match j {
+        0 => 1,
+        1 => {
+            ops.add(cand.len() as u64);
+            cand.iter().map(|x| x.count_ones() as u64).sum()
+        }
+        2 => count_pairs(g, color, cand, ops),
+        _ => count_rec(g, color, cand, j, ops, scratch),
+    }
+}
+
+/// Count the monochromatic `k`-cliques of one color, reusing `ws`.
+pub fn count_mono_ws(
+    g: &ColoredGraph,
+    color: Color,
+    k: usize,
+    ops: &mut OpsCounter,
+    ws: &mut Workspace,
+) -> u64 {
     assert!(k >= 2, "cliques of size < 2 are not meaningful here");
     if g.n() < k {
         return 0;
     }
-    let mut scratch = scratch_for(g.words(), k);
-    count_rec(g, color, &full_candidates(g), k, ops, &mut scratch)
+    let w = g.words();
+    ws.ensure(w, k);
+    let Workspace { cand, scratch, .. } = ws;
+    fill_full_candidates(g, cand);
+    count_rec(g, color, &cand[..w], k, ops, scratch)
 }
 
-/// Count monochromatic `k`-cliques of both colors.
+/// Count monochromatic `k`-cliques of both colors, reusing `ws`.
+pub fn count_total_ws(g: &ColoredGraph, k: usize, ops: &mut OpsCounter, ws: &mut Workspace) -> u64 {
+    count_mono_ws(g, Color::Red, k, ops, ws) + count_mono_ws(g, Color::Blue, k, ops, ws)
+}
+
+/// Count the monochromatic `k`-cliques of one color (allocating
+/// convenience wrapper over [`count_mono_ws`]).
+pub fn count_mono(g: &ColoredGraph, color: Color, k: usize, ops: &mut OpsCounter) -> u64 {
+    count_mono_ws(g, color, k, ops, &mut Workspace::new())
+}
+
+/// Count monochromatic `k`-cliques of both colors (allocating wrapper).
 pub fn count_total(g: &ColoredGraph, k: usize, ops: &mut OpsCounter) -> u64 {
-    count_mono(g, Color::Red, k, ops) + count_mono(g, Color::Blue, k, ops)
+    count_total_ws(g, k, ops, &mut Workspace::new())
 }
 
-/// Count the `k`-cliques *of the given color* that contain edge `(u, v)`.
-/// Only meaningful when `(u, v)` currently has that color (the count after
-/// recoloring is the same number, since the shared-neighborhood rows do not
-/// involve the edge itself).
+/// Count the `k`-cliques *of the given color* that contain edge `(u, v)`,
+/// reusing `ws`. Only meaningful when `(u, v)` currently has that color
+/// (the count after recoloring is the same number, since the
+/// shared-neighborhood rows do not involve the edge itself).
+pub fn count_through_edge_ws(
+    g: &ColoredGraph,
+    color: Color,
+    k: usize,
+    u: usize,
+    v: usize,
+    ops: &mut OpsCounter,
+    ws: &mut Workspace,
+) -> u64 {
+    assert!(k >= 2);
+    let w = g.words();
+    ws.ensure(w, k);
+    let Workspace {
+        common, scratch, ..
+    } = ws;
+    let (ru, rv) = (g.row(color, u), g.row(color, v));
+    for j in 0..w {
+        common[j] = ru[j] & rv[j];
+        ops.add(1);
+    }
+    if k == 2 {
+        return 1;
+    }
+    count_rec(g, color, &common[..w], k - 2, ops, scratch)
+}
+
+/// Count the `k`-cliques of one color through edge `(u, v)` (allocating
+/// wrapper over [`count_through_edge_ws`]).
 pub fn count_through_edge(
     g: &ColoredGraph,
     color: Color,
@@ -121,28 +274,30 @@ pub fn count_through_edge(
     v: usize,
     ops: &mut OpsCounter,
 ) -> u64 {
-    assert!(k >= 2);
-    let w = g.words();
-    let (ru, rv) = (g.row(color, u), g.row(color, v));
-    let mut common = vec![0u64; w];
-    for j in 0..w {
-        common[j] = ru[j] & rv[j];
-        ops.add(1);
-    }
-    if k == 2 {
-        return 1;
-    }
-    let mut scratch = scratch_for(w, k - 2);
-    count_rec(g, color, &common, k - 2, ops, &mut scratch)
+    count_through_edge_ws(g, color, k, u, v, ops, &mut Workspace::new())
 }
 
 /// The change in total monochromatic `k`-clique count if edge `(u, v)`
-/// were flipped, without mutating the graph.
-pub fn flip_delta(g: &ColoredGraph, k: usize, u: usize, v: usize, ops: &mut OpsCounter) -> i64 {
+/// were flipped, without mutating the graph; reuses `ws` so steady-state
+/// evaluation performs zero heap allocation.
+pub fn flip_delta_ws(
+    g: &ColoredGraph,
+    k: usize,
+    u: usize,
+    v: usize,
+    ops: &mut OpsCounter,
+    ws: &mut Workspace,
+) -> i64 {
     let cur = g.edge(u, v);
-    let removed = count_through_edge(g, cur, k, u, v, ops);
-    let added = count_through_edge(g, cur.other(), k, u, v, ops);
+    let removed = count_through_edge_ws(g, cur, k, u, v, ops, ws);
+    let added = count_through_edge_ws(g, cur.other(), k, u, v, ops, ws);
     added as i64 - removed as i64
+}
+
+/// The change in total monochromatic `k`-clique count if edge `(u, v)`
+/// were flipped (allocating wrapper over [`flip_delta_ws`]).
+pub fn flip_delta(g: &ColoredGraph, k: usize, u: usize, v: usize, ops: &mut OpsCounter) -> i64 {
+    flip_delta_ws(g, k, u, v, ops, &mut Workspace::new())
 }
 
 #[cfg(test)]

@@ -89,6 +89,10 @@ impl ColoredGraph {
     /// the pentagon proving `R(3) > 5`, Paley(17) proves `R(4) > 17`.
     pub fn paley(q: usize) -> Self {
         assert!(q % 4 == 1, "Paley graphs need q ≡ 1 (mod 4)");
+        // The quadratic-residue table below is only meaningful over the
+        // field Z/q — for composite q this would silently build a graph
+        // that is neither self-complementary nor a Ramsey witness.
+        assert!(is_prime(q), "Paley graphs need prime q, got {q}");
         let mut is_qr = vec![false; q];
         for x in 1..q {
             is_qr[(x * x) % q] = true;
@@ -245,6 +249,21 @@ impl ColoredGraph {
     }
 }
 
+/// Trial-division primality — `paley` sizes are tiny, so this is plenty.
+fn is_prime(q: usize) -> bool {
+    if q < 2 {
+        return false;
+    }
+    let mut d = 2;
+    while d * d <= q {
+        if q.is_multiple_of(d) {
+            return false;
+        }
+        d += 1;
+    }
+    true
+}
+
 /// Iterate the set bits (vertex indices) of a bitset row.
 pub fn iter_bits(row: &[u64]) -> impl Iterator<Item = usize> + '_ {
     row.iter().enumerate().flat_map(|(wi, &word)| {
@@ -312,6 +331,20 @@ mod tests {
             assert_eq!(g.degree(Color::Red, v), 2);
             assert_eq!(g.degree(Color::Blue, v), 2);
         }
+    }
+
+    #[test]
+    #[should_panic(expected = "prime")]
+    fn paley_rejects_composite_q() {
+        // 9 ≡ 1 (mod 4) but is composite: the residue table would be
+        // garbage, so construction must refuse.
+        let _ = ColoredGraph::paley(9);
+    }
+
+    #[test]
+    #[should_panic(expected = "prime")]
+    fn paley_rejects_composite_q_33() {
+        let _ = ColoredGraph::paley(33); // 33 = 3 · 11, 33 ≡ 1 (mod 4)
     }
 
     #[test]

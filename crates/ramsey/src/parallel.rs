@@ -54,6 +54,11 @@ impl Default for ParallelSteepest {
 /// non-excluded `(u, v, delta)` (ties toward the smallest edge) and the
 /// total operations spent.
 ///
+/// When the state's incremental [`DeltaTable`](crate::DeltaTable) is
+/// enabled, each evaluation is a pure table read (the workers share the
+/// table immutably); otherwise each worker runs the naive two-pass
+/// kernel. Either way the selected move is identical.
+///
 /// `excluded` decides which edges are skipped (tabu); edges that would
 /// reach a new global best are exempted by the caller via `aspiration`.
 pub fn best_flip_parallel(
@@ -64,6 +69,7 @@ pub fn best_flip_parallel(
     let g = state.graph();
     let n = g.n();
     let k = state.k();
+    let table = state.table();
     let edges: Vec<(usize, usize)> = (0..n)
         .flat_map(|u| ((u + 1)..n).map(move |v| (u, v)))
         .collect();
@@ -71,7 +77,14 @@ pub fn best_flip_parallel(
         .par_iter()
         .map(|&(u, v)| {
             let mut ops = OpsCounter::new();
-            let d = flip_delta(g, k, u, v, &mut ops);
+            let d = match table {
+                Some(t) => {
+                    // One charged op: the lookup's subtraction.
+                    ops.add(1);
+                    t.delta(g, u, v)
+                }
+                None => flip_delta(g, k, u, v, &mut ops),
+            };
             let candidate = if !excluded(u, v) || aspiration(d) {
                 Some((u, v, d))
             } else {
@@ -120,6 +133,8 @@ impl Heuristic for ParallelSteepest {
             |d| count + d < best_seen,
         );
         state.add_external_ops(ops);
+        let n = state.graph().n();
+        state.note_table_lookups((n * (n - 1) / 2) as u64);
         let Some((u, v, d)) = best else {
             return StepOutcome::Stuck;
         };

@@ -13,8 +13,42 @@ use std::collections::HashMap;
 
 use ew_sim::Xoshiro256;
 
-use crate::cliques::{count_total, flip_delta, OpsCounter};
+#[cfg(test)]
+use crate::cliques::count_total;
+use crate::cliques::{count_total_ws, flip_delta_ws, OpsCounter, Workspace};
+use crate::delta::DeltaTable;
 use crate::graph::ColoredGraph;
+
+/// Kernel-level counters a search run accumulates — the source of the
+/// `ramsey.*` telemetry published by the computational clients.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct KernelStats {
+    /// Flip deltas served by the incremental table.
+    pub table_lookups: u64,
+    /// Flip deltas evaluated by the naive two-pass kernel.
+    pub naive_evals: u64,
+    /// Applied flips maintained through the table.
+    pub table_flips: u64,
+    /// Table entries incrementally adjusted across all flips.
+    pub entries_refreshed: u64,
+    /// Bytes held by the reusable kernel workspace.
+    pub workspace_bytes: u64,
+    /// Bytes held by the delta table (0 when running naive).
+    pub table_bytes: u64,
+}
+
+impl KernelStats {
+    /// Fraction of delta queries served by the table (1.0 for a pure
+    /// incremental run, 0.0 for a pure naive run).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.table_lookups + self.naive_evals;
+        if total == 0 {
+            0.0
+        } else {
+            self.table_lookups as f64 / total as f64
+        }
+    }
+}
 
 /// A coloring under optimization, with its cached objective value and the
 /// operation count spent on it.
@@ -24,22 +58,54 @@ pub struct SearchState {
     k: usize,
     mono_count: u64,
     ops: OpsCounter,
+    ws: Workspace,
+    table: Option<DeltaTable>,
+    naive_evals: u64,
 }
 
 impl SearchState {
-    /// Wrap a starting coloring for the `R(k, k)` problem.
+    /// Wrap a starting coloring for the `R(k, k)` problem, evaluating
+    /// candidate flips with the naive two-pass kernel.
     pub fn new(graph: ColoredGraph, k: usize) -> Self {
         let mut ops = OpsCounter::new();
-        let mono_count = count_total(&graph, k, &mut ops);
+        let mut ws = Workspace::new();
+        let mono_count = count_total_ws(&graph, k, &mut ops, &mut ws);
         SearchState {
             graph,
             k,
             mono_count,
             ops,
+            ws,
+            table: None,
+            naive_evals: 0,
         }
     }
 
-    /// A random starting state.
+    /// Wrap a starting coloring with the incremental [`DeltaTable`]
+    /// enabled: every `delta` is an O(1) lookup, maintained exactly
+    /// across flips. Construction pays one full per-edge counting pass.
+    pub fn new_incremental(graph: ColoredGraph, k: usize) -> Self {
+        let mut state = Self::new(graph, k);
+        state.enable_table();
+        state
+    }
+
+    /// Build (or rebuild) the incremental delta table for this coloring.
+    pub fn enable_table(&mut self) {
+        self.table = Some(DeltaTable::new(
+            &self.graph,
+            self.k,
+            &mut self.ops,
+            &mut self.ws,
+        ));
+    }
+
+    /// The incremental table, when enabled.
+    pub fn table(&self) -> Option<&DeltaTable> {
+        self.table.as_ref()
+    }
+
+    /// A random starting state (naive evaluation).
     pub fn random(n: usize, k: usize, rng: &mut Xoshiro256) -> Self {
         Self::new(ColoredGraph::random(n, rng), k)
     }
@@ -69,29 +135,59 @@ impl SearchState {
         self.ops.total()
     }
 
-    /// Objective change if `(u, v)` were flipped.
+    /// Objective change if `(u, v)` were flipped: an O(1) table lookup
+    /// when the incremental table is enabled, a naive (allocation-free)
+    /// two-pass evaluation otherwise.
     pub fn delta(&mut self, u: usize, v: usize) -> i64 {
-        flip_delta(&self.graph, self.k, u, v, &mut self.ops)
+        match &mut self.table {
+            Some(t) => {
+                t.note_lookups(1);
+                // The lookup's subtraction is the one integer op charged.
+                self.ops.add(1);
+                t.delta(&self.graph, u, v)
+            }
+            None => {
+                self.naive_evals += 1;
+                flip_delta_ws(&self.graph, self.k, u, v, &mut self.ops, &mut self.ws)
+            }
+        }
     }
 
     /// Flip `(u, v)`, updating the cached objective incrementally.
     pub fn apply_flip(&mut self, u: usize, v: usize) {
         let d = self.delta(u, v);
-        self.graph.flip(u, v);
-        self.mono_count = (self.mono_count as i64 + d) as u64;
+        self.commit_flip(u, v, d);
     }
 
     /// Flip `(u, v)` whose objective change `delta` was already computed
     /// (e.g. by a parallel candidate evaluation). The caller is trusted;
     /// debug builds verify.
     pub fn apply_flip_with_delta(&mut self, u: usize, v: usize, delta: i64) {
+        self.commit_flip(u, v, delta);
+    }
+
+    /// Apply a flip whose delta is `d`: mutate the graph, maintain the
+    /// table, update the cached objective. Debug builds verify `d`
+    /// against a fresh naive evaluation — the table must be bit-identical
+    /// to the naive path at every step.
+    fn commit_flip(&mut self, u: usize, v: usize, d: i64) {
         debug_assert_eq!(
-            delta,
-            flip_delta(&self.graph, self.k, u, v, &mut OpsCounter::new()),
-            "precomputed delta must match"
+            d,
+            flip_delta_ws(
+                &self.graph,
+                self.k,
+                u,
+                v,
+                &mut OpsCounter::new(),
+                &mut self.ws
+            ),
+            "delta for ({u},{v}) must match the naive kernel"
         );
         self.graph.flip(u, v);
-        self.mono_count = (self.mono_count as i64 + delta) as u64;
+        if let Some(t) = &mut self.table {
+            t.apply_flip(&self.graph, u, v, &mut self.ops, &mut self.ws);
+        }
+        self.mono_count = (self.mono_count as i64 + d) as u64;
     }
 
     /// Credit operations performed outside this state's own counter
@@ -100,9 +196,38 @@ impl SearchState {
         self.ops.add(ops);
     }
 
+    /// Note `count` delta queries served from the table by an external
+    /// scan (the parallel evaluator reads the table directly).
+    pub(crate) fn note_table_lookups(&mut self, count: u64) {
+        if let Some(t) = &mut self.table {
+            t.note_lookups(count);
+        } else {
+            self.naive_evals += count;
+        }
+    }
+
+    /// Kernel counters for telemetry.
+    pub fn kernel_stats(&self) -> KernelStats {
+        let (table_lookups, table_flips, entries_refreshed, table_bytes) = match &self.table {
+            Some(t) => {
+                let s = t.stats();
+                (s.lookups, s.flips, s.entries_refreshed, t.bytes() as u64)
+            }
+            None => (0, 0, 0, 0),
+        };
+        KernelStats {
+            table_lookups,
+            naive_evals: self.naive_evals,
+            table_flips,
+            entries_refreshed,
+            workspace_bytes: self.ws.bytes() as u64,
+            table_bytes,
+        }
+    }
+
     /// Recompute the objective from scratch (test aid; `O(n^k)`).
     pub fn recount(&mut self) -> u64 {
-        count_total(&self.graph, self.k, &mut self.ops)
+        count_total_ws(&self.graph, self.k, &mut self.ops, &mut self.ws)
     }
 }
 
@@ -175,7 +300,13 @@ impl Heuristic for GreedyLocal {
             let (u, v) = random_edge(n, rng);
             let d = state.delta(u, v);
             match &mut best {
-                None => best = Some(((u, v), d)),
+                None => {
+                    best = Some(((u, v), d));
+                    // The incumbent counts as the first tied candidate, so
+                    // a second equal-scoring draw replaces it with
+                    // probability 1/2, not 1.
+                    ties = 1;
+                }
                 Some((edge, bd)) => {
                     if d < *bd {
                         *edge = (u, v);

@@ -80,8 +80,12 @@ wire_struct!(WorkResult {
 });
 
 /// Execute a work unit to completion on the calling thread. This is the
-/// real computation the simulated clients model and the live examples run.
-pub fn execute_work_unit(unit: &WorkUnit) -> WorkResult {
+/// real computation the simulated clients model and the live examples
+/// run. Runs with the incremental delta table — which produces the exact
+/// move sequence and results of the naive kernel (proptested), only
+/// faster — and also reports the kernel counters for `ramsey.*`
+/// telemetry.
+pub fn execute_work_unit_traced(unit: &WorkUnit) -> (WorkResult, crate::search::KernelStats) {
     let mut rng = Xoshiro256::seed_from_u64(unit.seed);
     let start = if unit.start_graph.is_empty() {
         ColoredGraph::random(unit.problem.n as usize, &mut rng)
@@ -89,10 +93,10 @@ pub fn execute_work_unit(unit: &WorkUnit) -> WorkResult {
         ColoredGraph::from_bytes(&unit.start_graph)
             .unwrap_or_else(|| ColoredGraph::random(unit.problem.n as usize, &mut rng))
     };
-    let mut state = SearchState::new(start, unit.problem.k as usize);
+    let mut state = SearchState::new_incremental(start, unit.problem.k as usize);
     let mut heuristic = heuristic_by_kind(unit.heuristic);
     let report = run_search(&mut state, heuristic.as_mut(), &mut rng, unit.step_budget);
-    WorkResult {
+    let result = WorkResult {
         unit_id: unit.id,
         steps: report.steps,
         ops: report.ops,
@@ -102,7 +106,13 @@ pub fn execute_work_unit(unit: &WorkUnit) -> WorkResult {
             .map(|g| g.to_bytes())
             .unwrap_or_default(),
         final_graph: state.graph().to_bytes(),
-    }
+    };
+    (result, state.kernel_stats())
+}
+
+/// Execute a work unit, discarding the kernel counters.
+pub fn execute_work_unit(unit: &WorkUnit) -> WorkResult {
+    execute_work_unit_traced(unit).0
 }
 
 #[cfg(test)]

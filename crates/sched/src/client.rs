@@ -16,8 +16,10 @@ use ew_proto::{
     AdaptiveRetry, EventTag, Packet, Pending, RetryDecision, RetryTele, RpcTracker, StaticTimeout,
     TimeoutPolicy, WireDecode, WireEncode,
 };
-use ew_ramsey::{execute_work_unit, WorkResult, WorkUnit};
-use ew_sim::{CounterId, Ctx, Event, Process, ProcessId, SeriesId, SimDuration, SimTime, SpanId};
+use ew_ramsey::{execute_work_unit_traced, WorkResult, WorkUnit};
+use ew_sim::{
+    CounterId, Ctx, Event, GaugeId, Process, ProcessId, SeriesId, SimDuration, SimTime, SpanId,
+};
 use ew_state::messages::{sm, FetchReply, FetchRequest, StoreRequest};
 
 use crate::messages::{scm, Directive, DirectiveKind, ProgressReport, WorkGrant};
@@ -137,6 +139,18 @@ struct ClientTele {
     retry: RetryTele,
     migrate_span: SpanId,
     timeout_span: SpanId,
+    /// Delta queries served by the incremental table (real execution only).
+    ramsey_lookups: CounterId,
+    /// Table entries recomputed by flip maintenance (real execution only).
+    ramsey_refreshed: CounterId,
+    /// Flips pushed through table maintenance (real execution only).
+    ramsey_flips: CounterId,
+    /// Fraction of deltas served from the table on the last unit.
+    ramsey_hit_rate: GaugeId,
+    /// Kernel scratch-arena footprint after the last unit, in bytes.
+    ramsey_ws_bytes: GaugeId,
+    /// Delta-table footprint after the last unit, in bytes.
+    ramsey_table_bytes: GaugeId,
 }
 
 impl ClientTele {
@@ -157,6 +171,12 @@ impl ClientTele {
             retry: RetryTele::intern(ctx),
             migrate_span: ctx.span("sched.migrate"),
             timeout_span: ctx.span("proto.timeout"),
+            ramsey_lookups: ctx.counter("ramsey.table_lookups"),
+            ramsey_refreshed: ctx.counter("ramsey.table_entries_refreshed"),
+            ramsey_flips: ctx.counter("ramsey.table_flips"),
+            ramsey_hit_rate: ctx.gauge("ramsey.table_hit_rate"),
+            ramsey_ws_bytes: ctx.gauge("ramsey.workspace_bytes"),
+            ramsey_table_bytes: ctx.gauge("ramsey.table_bytes"),
         }
     }
 }
@@ -382,8 +402,16 @@ impl ComputeClient {
         self.compute_gen += 1;
         self.chunks_since_checkpoint = 0;
         self.clear_checkpoint(ctx);
+        let tele = self.tele.expect("started");
         let result = if self.cfg.execute_real {
-            execute_work_unit(&up.unit)
+            let (result, kernel) = execute_work_unit_traced(&up.unit);
+            ctx.add(tele.ramsey_lookups, kernel.table_lookups as f64);
+            ctx.add(tele.ramsey_refreshed, kernel.entries_refreshed as f64);
+            ctx.add(tele.ramsey_flips, kernel.table_flips as f64);
+            ctx.set_gauge(tele.ramsey_hit_rate, kernel.hit_rate());
+            ctx.set_gauge(tele.ramsey_ws_bytes, kernel.workspace_bytes as f64);
+            ctx.set_gauge(tele.ramsey_table_bytes, kernel.table_bytes as f64);
+            result
         } else {
             WorkResult {
                 unit_id: up.unit.id,
@@ -395,7 +423,6 @@ impl ComputeClient {
             }
         };
         self.units_completed += 1;
-        let tele = self.tele.expect("started");
         ctx.inc(tele.units);
         if !result.counter_example.is_empty() {
             if let Some(state) = self.cfg.state_server {
@@ -950,6 +977,21 @@ mod tests {
             ew_ramsey::verify_counter_example(&g, 3, &mut ops),
             ew_ramsey::Verification::Valid { n: 5, .. }
         ));
+        // Real execution runs the incremental kernel and reports it.
+        assert!(sim.metrics().counter("ramsey.table_lookups") > 0.0);
+        assert!(sim.metrics().counter("ramsey.table_flips") > 0.0);
+        let gauge = |name: &str| {
+            sim.metrics()
+                .registry()
+                .gauges()
+                .iter()
+                .find(|(n, _)| *n == name)
+                .map(|&(_, v)| v)
+                .unwrap_or(0.0)
+        };
+        assert_eq!(gauge("ramsey.table_hit_rate"), 1.0);
+        assert!(gauge("ramsey.workspace_bytes") > 0.0);
+        assert!(gauge("ramsey.table_bytes") > 0.0);
     }
 
     #[test]

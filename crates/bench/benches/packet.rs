@@ -6,16 +6,17 @@ use std::hint::black_box;
 
 use ew_proto::packet::{crc32, FrameReader, Packet};
 use ew_proto::{mtype, WireDecode, WireEncode};
-use ew_ramsey::{RamseyProblem, WorkUnit};
+use ew_workload::WorkUnit;
 
 fn bench_wire_codec(c: &mut Criterion) {
     let unit = WorkUnit {
         id: 42,
-        problem: RamseyProblem { k: 5, n: 43 },
-        heuristic: 1,
+        arg0: 5,
+        arg1: 43,
+        variant: 1,
         seed: 0xDEAD_BEEF,
         step_budget: 6000,
-        start_graph: vec![0xA5; 115], // a 43-vertex coloring (903 bits)
+        payload: vec![0xA5; 115], // a 43-vertex coloring (903 bits)
     };
     let bytes = unit.to_wire();
     let mut g = c.benchmark_group("wire_codec");

@@ -7,12 +7,17 @@
 //! ```
 //!
 //! Subcommands: `fig2`, `fig3a`, `fig3b`, `fig3c`, `java`, `timeout`,
-//! `condor`, `scaling`, `criteria`, `health`, `chaos`, `bench-farm`,
-//! `bench-kernel`, `all`. `--short` runs a 2-hour window instead of the full 12 hours
+//! `condor`, `scaling`, `criteria`, `health`, `chaos`, `workload-scaling`,
+//! `bench-farm`, `bench-kernel`, `all`. `--short` runs a 2-hour window instead of the full 12 hours
 //! (for smoke tests); for `chaos` it cuts the campaign to one seed over
 //! 15 minutes. `chaos` sweeps the named fault plans of `ew-chaos` (see
 //! `results/chaos_*.json` and `results/BENCH_PR3.json`) and is not part
-//! of `all`. `bench-farm` measures the sim farm's sequential-vs-parallel
+//! of `all`. `--workload {ramsey,dag,faas}` selects the application the
+//! chaos campaign runs (default: ramsey, the byte-identical historical
+//! artifacts; other workloads write `chaos_<name>_*.json` and
+//! `BENCH_PR6_<name>.json`). `workload-scaling` sweeps the campaign world
+//! over pool sizes for the DAG and faas applications (or just the one
+//! named with `--workload`), writing `results/fig_<name>_scaling.json`. `bench-farm` measures the sim farm's sequential-vs-parallel
 //! wall-clock and writes `results/BENCH_PR4.json`. `bench-kernel` A/Bs
 //! the naive flip-delta kernel against the incremental delta table and
 //! allocation-free workspace kernels, writing honest wall-clock numbers
@@ -39,12 +44,16 @@ use ew_bench::experiments::{
 };
 use ew_bench::{multi_series_table, series_json, series_table};
 use ew_sim::SimDuration;
+use ew_workload::WorkloadSpec;
 
+#[derive(Debug)]
 struct Options {
     seed: u64,
     short: bool,
     trace: Option<String>,
     threads: usize,
+    /// Validated `--workload` name (`WorkloadSpec::by_name` accepted it).
+    workload: Option<String>,
 }
 
 /// Span-trace ring size for `--trace`: large enough to hold every record
@@ -398,9 +407,13 @@ fn health(rep: &Sc98Report) {
 }
 
 fn chaos(opts: &Options) {
-    let cfg = ew_chaos::CampaignConfig::standard(opts.seed, opts.short);
+    let mut cfg = ew_chaos::CampaignConfig::standard(opts.seed, opts.short);
+    if let Some(name) = &opts.workload {
+        cfg = cfg.with_workload(WorkloadSpec::by_name(name).expect("parse_args validated it"));
+    }
     eprintln!(
-        "running the chaos campaign ({} plans × {} seed(s), {:.0} s horizon, {} thread(s))...",
+        "running the {} chaos campaign ({} plans × {} seed(s), {:.0} s horizon, {} thread(s))...",
+        cfg.workload.name(),
         cfg.plans.len(),
         cfg.seeds.len(),
         cfg.horizon.as_secs_f64(),
@@ -439,7 +452,51 @@ fn chaos(opts: &Options) {
     for (name, value) in ew_chaos::campaign_json(&cfg, reports) {
         write_json(&name, &value);
     }
-    write_json("BENCH_PR3", &ew_chaos::bench_summary_json(&cfg, reports));
+    write_json(
+        &ew_chaos::bench_summary_stem(&cfg),
+        &ew_chaos::bench_summary_json(&cfg, reports),
+    );
+}
+
+/// The scaling figure for the non-Ramsey applications: the campaign world
+/// with no faults at each pool size in [`ew_chaos::SCALING_POOLS`],
+/// adaptive and static arms side by side. With `--workload` only that
+/// application is swept; otherwise both new applications are.
+fn workload_scaling(opts: &Options) {
+    let names: Vec<&str> = match opts.workload.as_deref() {
+        Some(name) => vec![name],
+        None => vec!["dag", "faas"],
+    };
+    let horizon = SimDuration::from_secs(if opts.short { 900 } else { 1800 });
+    for name in names {
+        let spec = WorkloadSpec::by_name(name).expect("parse_args validated it");
+        eprintln!(
+            "workload-scaling: {name} over pools {:?} ({:.0} s horizon, {} thread(s))...",
+            ew_chaos::SCALING_POOLS,
+            horizon.as_secs_f64(),
+            opts.threads,
+        );
+        let j = ew_chaos::scaling_json(&spec, opts.seed, horizon, opts.threads);
+        println!("### {name} — throughput scaling with pool size, adaptive vs static\n");
+        println!("| hosts | adaptive units | adaptive ops/s | static units | static ops/s |");
+        println!("|---|---|---|---|---|");
+        if let Some(pools) = j["pools"].as_array() {
+            for p in pools {
+                println!(
+                    "| {:.0} | {:.0} | {:.4e} | {:.0} | {:.4e} |",
+                    p["hosts"].as_f64().unwrap_or(0.0),
+                    p["adaptive"]["units"].as_f64().unwrap_or(0.0),
+                    p["adaptive"]["mean_rate_ops_per_sec"]
+                        .as_f64()
+                        .unwrap_or(0.0),
+                    p["static"]["units"].as_f64().unwrap_or(0.0),
+                    p["static"]["mean_rate_ops_per_sec"].as_f64().unwrap_or(0.0),
+                );
+            }
+        }
+        println!();
+        write_json(&format!("fig_{name}_scaling"), &j);
+    }
 }
 
 /// One cell of the parallel `all` sweep: the single SC98 run every figure
@@ -551,6 +608,7 @@ fn bench_farm(opts: &Options) {
             short: opts.short,
             trace: None,
             threads: 1,
+            workload: None,
         };
         run_all_batteries(&seq_opts)
     };
@@ -563,6 +621,7 @@ fn bench_farm(opts: &Options) {
             short: opts.short,
             trace: None,
             threads: par,
+            workload: None,
         };
         run_all_batteries(&par_opts)
     };
@@ -894,7 +953,7 @@ fn write_trace(opts: &Options, rep: &Sc98Report) {
     }
 }
 
-const COMMANDS: [&str; 17] = [
+const COMMANDS: [&str; 18] = [
     "fig2",
     "fig3a",
     "fig3b",
@@ -909,22 +968,30 @@ const COMMANDS: [&str; 17] = [
     "criteria",
     "health",
     "chaos",
+    "workload-scaling",
     "bench-farm",
     "bench-kernel",
     "all",
 ];
 
+/// Valid `--workload` values (everything `WorkloadSpec::by_name` accepts).
+const WORKLOADS: [&str; 3] = ["ramsey", "dag", "faas"];
+
 fn usage() -> String {
     format!(
-        "usage: figures -- <command> [--short] [--seed N] [--threads N] [--trace PATH]\n\
+        "usage: figures -- <command> [--short] [--seed N] [--threads N] [--workload W] [--trace PATH]\n\
          commands: {}\n\
          \x20 --short       smoke-test sizes (2 h SC98 window; 1-seed 15-min chaos campaign)\n\
          \x20 --seed N      master seed (default 1998)\n\
          \x20 --threads N   sim-farm workers (default: EW_THREADS env, else available\n\
          \x20               parallelism; 1 = sequential; artifacts are byte-identical\n\
          \x20               for any value)\n\
+         \x20 --workload W  application for chaos / workload-scaling: one of\n\
+         \x20               {} (default: ramsey for chaos; dag and faas\n\
+         \x20               for workload-scaling)\n\
          \x20 --trace PATH  write SC98 span-trace JSONL to PATH",
-        COMMANDS.join(" ")
+        COMMANDS.join(" "),
+        WORKLOADS.join(", ")
     )
 }
 
@@ -935,6 +1002,7 @@ fn parse_args(args: &[String]) -> Result<(String, Options), String> {
         short: false,
         trace: None,
         threads: 0,
+        workload: None,
     };
     let mut threads_flag: Option<usize> = None;
     let mut it = args.iter();
@@ -952,6 +1020,16 @@ fn parse_args(args: &[String]) -> Result<(String, Options), String> {
             "--trace" => match it.next() {
                 Some(path) => opts.trace = Some(path.clone()),
                 None => return Err("--trace needs a path".into()),
+            },
+            "--workload" => match it.next() {
+                Some(w) if WorkloadSpec::by_name(w).is_some() => opts.workload = Some(w.clone()),
+                Some(w) => {
+                    return Err(format!(
+                        "unknown workload {w:?} (expected one of: {})",
+                        WORKLOADS.join(", ")
+                    ));
+                }
+                None => return Err("--workload needs a name".into()),
             },
             "--help" | "-h" => return Err(String::new()),
             flag if flag.starts_with('-') => {
@@ -1023,6 +1101,7 @@ fn main() {
         "criteria" => criteria(rep.as_ref().unwrap()),
         "health" => health(rep.as_ref().unwrap()),
         "chaos" => chaos(&opts),
+        "workload-scaling" => workload_scaling(&opts),
         "bench-farm" => bench_farm(&opts),
         "bench-kernel" => bench_kernel(&opts),
         "all" => {
@@ -1037,5 +1116,105 @@ fn main() {
             render_all(&opts, outs);
         }
         _ => unreachable!("parse_args validated the command"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Result<(String, Options), String> {
+        let owned: Vec<String> = args.iter().map(|s| s.to_string()).collect();
+        parse_args(&owned)
+    }
+
+    #[test]
+    fn no_args_defaults_to_all() {
+        let (cmd, opts) = parse(&[]).unwrap();
+        assert_eq!(cmd, "all");
+        assert_eq!(opts.seed, 1998);
+        assert!(!opts.short);
+        assert!(opts.workload.is_none());
+        assert!(opts.threads >= 1, "resolve_threads picked a worker count");
+    }
+
+    #[test]
+    fn every_listed_command_parses() {
+        for cmd in COMMANDS {
+            let (parsed, _) = parse(&[cmd]).unwrap();
+            assert_eq!(parsed, cmd);
+        }
+    }
+
+    #[test]
+    fn flags_combine_with_a_command() {
+        let (cmd, opts) = parse(&[
+            "chaos",
+            "--short",
+            "--seed",
+            "7",
+            "--threads",
+            "3",
+            "--workload",
+            "dag",
+        ])
+        .unwrap();
+        assert_eq!(cmd, "chaos");
+        assert!(opts.short);
+        assert_eq!(opts.seed, 7);
+        assert_eq!(opts.threads, 3);
+        assert_eq!(opts.workload.as_deref(), Some("dag"));
+    }
+
+    #[test]
+    fn every_valid_workload_is_accepted() {
+        for w in WORKLOADS {
+            let (_, opts) = parse(&["chaos", "--workload", w]).unwrap();
+            assert_eq!(opts.workload.as_deref(), Some(w));
+        }
+    }
+
+    #[test]
+    fn unknown_workload_is_rejected_with_the_valid_set() {
+        let err = parse(&["chaos", "--workload", "tsp"]).unwrap_err();
+        assert!(err.contains("unknown workload"), "{err}");
+        assert!(err.contains("ramsey, dag, faas"), "{err}");
+    }
+
+    #[test]
+    fn workload_flag_without_a_value_is_rejected() {
+        let err = parse(&["chaos", "--workload"]).unwrap_err();
+        assert!(err.contains("--workload needs a name"), "{err}");
+    }
+
+    #[test]
+    fn unknown_flag_is_rejected() {
+        let err = parse(&["chaos", "--bogus"]).unwrap_err();
+        assert!(err.contains("unknown flag"), "{err}");
+    }
+
+    #[test]
+    fn unknown_command_is_rejected() {
+        let err = parse(&["frobnicate"]).unwrap_err();
+        assert!(err.contains("unknown command"), "{err}");
+    }
+
+    #[test]
+    fn two_commands_are_rejected() {
+        let err = parse(&["chaos", "all"]).unwrap_err();
+        assert!(err.contains("more than one command"), "{err}");
+    }
+
+    #[test]
+    fn help_yields_the_silent_usage_error() {
+        assert_eq!(parse(&["--help"]).unwrap_err(), "");
+        assert_eq!(parse(&["-h"]).unwrap_err(), "");
+    }
+
+    #[test]
+    fn usage_names_the_workloads_and_commands() {
+        let u = usage();
+        assert!(u.contains("workload-scaling"));
+        assert!(u.contains("ramsey, dag, faas"));
     }
 }

@@ -198,6 +198,7 @@ pub fn java_table(seed: u64, threads: usize) -> JavaTable {
     let hour = |speed: f64| -> f64 {
         use ew_ramsey::RamseyProblem;
         use ew_sched::{ClientConfig, ComputeClient, SchedulerConfig, SchedulerServer};
+        use ew_workload::WorkloadSpec;
         let mut net = NetModel::new(0.05);
         let site = net.add_site(SiteSpec::simple(
             "net",
@@ -213,7 +214,7 @@ pub fn java_table(seed: u64, threads: usize) -> JavaTable {
             "sched",
             hs,
             Box::new(SchedulerServer::new(SchedulerConfig {
-                problem: RamseyProblem { k: 5, n: 43 },
+                workload: WorkloadSpec::ramsey(RamseyProblem { k: 5, n: 43 }),
                 step_budget: 6_000,
                 ..SchedulerConfig::default()
             })),

@@ -26,6 +26,7 @@ use ew_sim::{
     CompositeLoad, ConstantLoad, Ctx, Event, HostId, HostSpec, HostTable, Impairment, LoadTrace,
     NetModel, Partition, Process, Sim, SimDuration, SimTime, SiteId, SiteSpec, SpikeLoad,
 };
+use ew_workload::WorkloadSpec;
 
 use crate::plan::{CompiledFaults, FaultPlan, HostRole, SiteRole};
 
@@ -53,6 +54,8 @@ pub struct CampaignConfig {
     pub horizon: SimDuration,
     /// Fault plans swept.
     pub plans: Vec<FaultPlan>,
+    /// The application the campaign world runs (`--workload` on the CLI).
+    pub workload: WorkloadSpec,
 }
 
 impl CampaignConfig {
@@ -72,7 +75,14 @@ impl CampaignConfig {
                 SimDuration::from_secs(1800)
             },
             plans: crate::plan::standard_plans(),
+            workload: WorkloadSpec::ramsey(RamseyProblem { k: 4, n: 17 }),
         }
+    }
+
+    /// Same sweep, different application.
+    pub fn with_workload(mut self, workload: WorkloadSpec) -> Self {
+        self.workload = workload;
+        self
     }
 }
 
@@ -190,6 +200,8 @@ fn run_world(
     seed: u64,
     horizon: SimDuration,
     static_arm: bool,
+    workload: &WorkloadSpec,
+    n_compute: usize,
 ) -> (RunOutcome, ew_sim::Registry) {
     let mut net = NetModel::new(0.05);
     let service = net.add_site(site_spec(
@@ -251,7 +263,7 @@ fn run_world(
     let h_state = add_host(&mut hosts, "state", service, 5e7, HostRole::StateServer);
     let h_log = hosts.add(HostSpec::dedicated("log", service, 5e7));
     let h_s1 = add_host(&mut hosts, "sched1", backup, 8e7, HostRole::BackupScheduler);
-    let pool: Vec<HostId> = (0..N_COMPUTE)
+    let pool: Vec<HostId> = (0..n_compute)
         .map(|i| {
             add_host(
                 &mut hosts,
@@ -266,7 +278,7 @@ fn run_world(
     let mut sim = Sim::new(net, hosts, seed);
     let dep = Deployment::builder(DeployConfig {
         sched: SchedulerConfig {
-            problem: RamseyProblem { k: 4, n: 17 },
+            workload: workload.clone(),
             // 6000 steps × 1e6 ops/step = 6e9 ops ≈ 60 s per unit at
             // 100 Mop/s: several grant boundaries fall inside every fault
             // window, so stalls show up in the unit count.
@@ -297,6 +309,7 @@ fn run_world(
             invocation_delay: SimDuration::from_secs(5),
             stagger: SimDuration::from_secs(2),
             client_template: ClientConfig {
+                workload: workload.clone(),
                 schedulers: dep.scheduler_addrs(),
                 state_server: Some(dep.state_addr()),
                 chunk_ops: 100_000_000,
@@ -450,11 +463,19 @@ pub fn run_campaign_threads(cfg: &CampaignConfig, threads: usize) -> CampaignRun
     let cells = cell_keys(cfg);
     let horizon = cfg.horizon;
     let plans = &cfg.plans;
+    let workload = &cfg.workload;
     let (outs, stats) = ew_sim::run_farm(threads, &cells, |_, cell| {
         let compiled = cell
             .plan
             .map(|p| plans[p].compile(cell.seed, horizon, N_COMPUTE));
-        let (outcome, registry) = run_world(compiled.as_ref(), cell.seed, horizon, cell.static_arm);
+        let (outcome, registry) = run_world(
+            compiled.as_ref(),
+            cell.seed,
+            horizon,
+            cell.static_arm,
+            workload,
+            N_COMPUTE,
+        );
         CellOut {
             outcome,
             fault_end: compiled.map_or(SimTime::ZERO, |c| c.last_fault_end),
@@ -522,14 +543,18 @@ fn arm_json(a: &ArmReport) -> serde_json::Value {
     })
 }
 
-/// The `results/chaos_<plan>.json` artifacts: one `(file stem, value)`
-/// pair per plan, aggregating that plan's cells across all seeds. The
-/// compat `serde_json` serializes with sorted keys, so equal campaigns
-/// produce byte-identical files.
+/// The `results/chaos_<plan>.json` artifacts (Ramsey) or
+/// `results/chaos_<workload>_<plan>.json` (other workloads): one
+/// `(file stem, value)` pair per plan, aggregating that plan's cells
+/// across all seeds. The compat `serde_json` serializes with sorted
+/// keys, so equal campaigns produce byte-identical files. The historical
+/// Ramsey stems and bodies are preserved exactly; non-Ramsey artifacts
+/// additionally record the workload name.
 pub fn campaign_json(
     cfg: &CampaignConfig,
     reports: &[PlanReport],
 ) -> Vec<(String, serde_json::Value)> {
+    let wname = cfg.workload.name();
     cfg.plans
         .iter()
         .map(|plan| {
@@ -548,7 +573,7 @@ pub fn campaign_json(
                     })
                 })
                 .collect();
-            let value = serde_json::json!({
+            let mut value = serde_json::json!({
                 "plan": plan.name.clone(),
                 "horizon_secs": cfg.horizon.as_secs_f64(),
                 "bin_secs": BIN_SECS,
@@ -556,13 +581,23 @@ pub fn campaign_json(
                 "recovery_fraction": RECOVERY_FRACTION,
                 "runs": serde_json::Value::Array(runs),
             });
-            (format!("chaos_{}", plan.name), value)
+            let stem = if wname == "ramsey" {
+                format!("chaos_{}", plan.name)
+            } else {
+                if let serde_json::Value::Object(map) = &mut value {
+                    map.insert("workload".into(), serde_json::json!(wname));
+                }
+                format!("chaos_{}_{}", wname, plan.name)
+            };
+            (stem, value)
         })
         .collect()
 }
 
-/// The `results/BENCH_PR3.json` summary: per-plan mean work-loss for both
-/// arms plus median adaptive recovery, averaged over seeds.
+/// The campaign summary artifact (`results/BENCH_PR3.json` for the
+/// historical Ramsey campaign, `results/BENCH_PR6_<workload>.json`
+/// otherwise — see [`bench_summary_stem`]): per-plan mean work-loss for
+/// both arms plus median adaptive recovery, averaged over seeds.
 pub fn bench_summary_json(cfg: &CampaignConfig, reports: &[PlanReport]) -> serde_json::Value {
     let mut plans = std::collections::BTreeMap::new();
     for plan in &cfg.plans {
@@ -595,10 +630,83 @@ pub fn bench_summary_json(cfg: &CampaignConfig, reports: &[PlanReport]) -> serde
             }),
         );
     }
-    serde_json::json!({
+    let wname = cfg.workload.name();
+    let mut value = serde_json::json!({
         "bench": "chaos-campaign baselines (PR 3)",
         "horizon_secs": cfg.horizon.as_secs_f64(),
         "seeds": cfg.seeds.clone(),
         "plans": plans,
+    });
+    if wname != "ramsey" {
+        if let serde_json::Value::Object(map) = &mut value {
+            map.insert(
+                "bench".into(),
+                serde_json::json!(format!("chaos-campaign {wname} baselines (PR 6)")),
+            );
+            map.insert("workload".into(), serde_json::json!(wname));
+        }
+    }
+    value
+}
+
+/// File stem of the campaign summary: the historical `BENCH_PR3` for the
+/// Ramsey campaign, `BENCH_PR6_<workload>` for the new applications.
+pub fn bench_summary_stem(cfg: &CampaignConfig) -> String {
+    let wname = cfg.workload.name();
+    if wname == "ramsey" {
+        "BENCH_PR3".into()
+    } else {
+        format!("BENCH_PR6_{wname}")
+    }
+}
+
+/// Pool sizes swept by the workload scaling figure.
+pub const SCALING_POOLS: [usize; 4] = [2, 4, 8, 16];
+
+/// The `results/fig_<workload>_scaling.json` artifact behind
+/// `figures workload-scaling`: no-fault runs of the workload's campaign
+/// world at each pool size in [`SCALING_POOLS`], adaptive and static
+/// arms side by side. Deterministic in `(workload, seed, horizon)` and
+/// byte-identical at any thread count (each cell is an isolated
+/// simulation; results assemble in input order).
+pub fn scaling_json(
+    workload: &WorkloadSpec,
+    seed: u64,
+    horizon: SimDuration,
+    threads: usize,
+) -> serde_json::Value {
+    let cells: Vec<(usize, bool)> = SCALING_POOLS
+        .iter()
+        .flat_map(|&n| [(n, false), (n, true)])
+        .collect();
+    let (outs, _stats) = ew_sim::run_farm(threads, &cells, |_, &(n_compute, static_arm)| {
+        let (outcome, _registry) = run_world(None, seed, horizon, static_arm, workload, n_compute);
+        outcome
+    });
+    let pools: Vec<serde_json::Value> = outs
+        .chunks(2)
+        .zip(SCALING_POOLS.iter())
+        .map(|(pair, &n)| {
+            let arm = |o: &RunOutcome| {
+                serde_json::json!({
+                    "units": o.units,
+                    "total_ops": o.bins.iter().sum::<f64>(),
+                    "mean_rate_ops_per_sec": post_warmup_mean(&o.bins) / BIN_SECS as f64,
+                })
+            };
+            serde_json::json!({
+                "hosts": n,
+                "adaptive": arm(&pair[0]),
+                "static": arm(&pair[1]),
+            })
+        })
+        .collect();
+    serde_json::json!({
+        "bench": format!("{} scaling (PR 6)", workload.name()),
+        "workload": workload.name(),
+        "seed": seed,
+        "horizon_secs": horizon.as_secs_f64(),
+        "bin_secs": BIN_SECS,
+        "pools": serde_json::Value::Array(pools),
     })
 }

@@ -12,11 +12,9 @@ use std::time::{Duration, Instant};
 
 use ew_proto::tcp::TcpNode;
 use ew_proto::{Packet, WireEncode};
-use ew_ramsey::{
-    execute_work_unit, verify_counter_example, ColoredGraph, OpsCounter, RamseyProblem,
-    Verification, WorkResult, WorkUnit,
-};
+use ew_ramsey::{verify_counter_example, ColoredGraph, OpsCounter, RamseyProblem, Verification};
 use ew_sched::{scm, WorkGrant};
+use ew_workload::{execute_unit, WorkResult, WorkUnit};
 
 /// Live-run configuration.
 #[derive(Clone, Debug)]
@@ -96,7 +94,7 @@ pub fn run_live(cfg: &LiveConfig) -> std::io::Result<LiveOutcome> {
                     if !grant.granted {
                         return; // no more work
                     }
-                    let result = execute_work_unit(&grant.unit);
+                    let (result, _stats) = execute_unit(&grant.unit);
                     corr += 1;
                     if node
                         .send(
@@ -135,12 +133,13 @@ pub fn run_live(cfg: &LiveConfig) -> std::io::Result<LiveOutcome> {
                     next_unit < cfg.units && (!cfg.stop_on_witness || witnesses.is_empty());
                 let unit = WorkUnit {
                     id: next_unit,
-                    problem: cfg.problem,
-                    heuristic: cfg.heuristic_mix
+                    arg0: cfg.problem.k,
+                    arg1: cfg.problem.n,
+                    variant: cfg.heuristic_mix
                         [(next_unit as usize) % cfg.heuristic_mix.len().max(1)],
                     seed: 0xEF_00 + next_unit,
                     step_budget: cfg.step_budget,
-                    start_graph: vec![],
+                    payload: vec![],
                 };
                 if granted {
                     next_unit += 1;
@@ -151,8 +150,8 @@ pub fn run_live(cfg: &LiveConfig) -> std::io::Result<LiveOutcome> {
             scm::RESULT => {
                 if let Ok(result) = inc.packet.body::<WorkResult>() {
                     workers_heard.insert(inc.peer);
-                    if !result.counter_example.is_empty() {
-                        if let Some(g) = ColoredGraph::from_bytes(&result.counter_example) {
+                    if !result.artifact.is_empty() {
+                        if let Some(g) = ColoredGraph::from_bytes(&result.artifact) {
                             let mut ops = OpsCounter::new();
                             if matches!(
                                 verify_counter_example(&g, cfg.problem.k as usize, &mut ops),

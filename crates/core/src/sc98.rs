@@ -16,6 +16,7 @@ use ew_infra::{build_sc98, InfraSpec, InfraSupervisor, JudgingSpike, Relay};
 use ew_ramsey::RamseyProblem;
 use ew_sched::{ClientConfig, SchedulerConfig, SchedulerServer};
 use ew_sim::{Sim, SimDuration, SimTime, SubsystemHealth};
+use ew_workload::WorkloadSpec;
 
 use crate::series::{bin_mean, bin_rate, coefficient_of_variation, BinnedPoint};
 use crate::toolkit::{DeployConfig, Deployment};
@@ -126,7 +127,7 @@ pub fn run_sc98(cfg: &Sc98Config) -> Sc98Report {
             ..GossipConfig::default()
         },
         sched: SchedulerConfig {
-            problem: RamseyProblem { k: 5, n: 43 },
+            workload: WorkloadSpec::ramsey(RamseyProblem { k: 5, n: 43 }),
             step_budget: cfg.step_budget,
             use_forecasts: cfg.use_forecast_migration,
             ..SchedulerConfig::default()
@@ -185,7 +186,7 @@ pub fn run_sc98(cfg: &Sc98Config) -> Sc98Report {
             "sched-inside-condor",
             condor_host,
             Box::new(SchedulerServer::new(SchedulerConfig {
-                problem: RamseyProblem { k: 5, n: 43 },
+                workload: WorkloadSpec::ramsey(RamseyProblem { k: 5, n: 43 }),
                 step_budget: cfg.step_budget,
                 use_forecasts: cfg.use_forecast_migration,
                 seed_salt: 99,
@@ -221,6 +222,7 @@ pub fn run_sc98(cfg: &Sc98Config) -> Sc98Report {
             }
         };
         let template = ClientConfig {
+            workload: WorkloadSpec::ramsey(RamseyProblem { k: 5, n: 43 }),
             schedulers: client_scheds,
             state_server: Some(dep.state_addr()),
             report_interval: SimDuration::from_secs(60),

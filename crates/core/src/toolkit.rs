@@ -8,10 +8,10 @@
 
 use ew_gossip::{GossipConfig, GossipServer};
 use ew_infra::ServiceHosts;
-use ew_ramsey::{verify_counter_example, ColoredGraph, OpsCounter, Verification};
 use ew_sched::{SchedulerConfig, SchedulerServer};
 use ew_sim::{HostId, ProcessId, Sim};
-use ew_state::{LogServer, PersistentStateServer, Validator};
+use ew_state::{LogServer, PersistentStateServer};
+pub use ew_workload::ramsey_validator;
 
 /// Handles to a deployed service stack.
 pub struct Deployment {
@@ -80,26 +80,6 @@ impl Default for DeployConfig {
             log_capacity: 100_000,
         }
     }
-}
-
-/// The Ramsey counter-example sanity check of §3.1.2, as a persistent-state
-/// validator for keys of the form `ramsey/best/<k>`.
-pub fn ramsey_validator() -> Validator {
-    Box::new(|key: &str, bytes: &[u8]| {
-        let k: usize = key
-            .rsplit('/')
-            .next()
-            .and_then(|s| s.parse().ok())
-            .ok_or_else(|| format!("key {key:?} does not end in a clique size"))?;
-        let g = ColoredGraph::from_bytes(bytes).ok_or("value is not a colored graph")?;
-        let mut ops = OpsCounter::new();
-        match verify_counter_example(&g, k, &mut ops) {
-            Verification::Valid { .. } => Ok(()),
-            Verification::Invalid { violations } => Err(format!(
-                "graph contains {violations} monochromatic {k}-cliques"
-            )),
-        }
-    })
 }
 
 /// Fluent description of a service stack, built by [`Deployment::builder`].
@@ -182,7 +162,9 @@ impl DeploymentBuilder {
         }
 
         let mut pss = PersistentStateServer::new("sdsc-trusted", cfg.state_capacity);
-        pss.register_validator(1, ramsey_validator());
+        if let Some((class, validator)) = cfg.sched.workload.validator() {
+            pss.register_validator(class, validator);
+        }
         let state = sim.spawn("state", state_host, Box::new(pss));
         let log = sim.spawn("log", log_host, Box::new(LogServer::new(cfg.log_capacity)));
 
@@ -218,7 +200,7 @@ impl DeploymentBuilder {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ew_ramsey::Color;
+    use ew_ramsey::{Color, ColoredGraph};
 
     #[test]
     fn ramsey_validator_accepts_real_witness() {

@@ -563,6 +563,7 @@ mod tests {
     use ew_ramsey::RamseyProblem;
     use ew_sched::{SchedulerConfig, SchedulerServer};
     use ew_sim::{HostSpec, HostTable, NetModel, Sim, SimTime, SiteSpec};
+    use ew_workload::WorkloadSpec;
 
     fn world() -> (Sim, Vec<HostId>, HostId) {
         let mut net = NetModel::new(0.05);
@@ -602,7 +603,7 @@ mod tests {
             "sched",
             svc_host,
             Box::new(SchedulerServer::new(SchedulerConfig {
-                problem: RamseyProblem { k: 5, n: 43 },
+                workload: WorkloadSpec::ramsey(RamseyProblem { k: 5, n: 43 }),
                 step_budget: 2_000,
                 ..SchedulerConfig::default()
             })),

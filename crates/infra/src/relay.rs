@@ -94,6 +94,7 @@ mod tests {
     use ew_ramsey::RamseyProblem;
     use ew_sched::{ClientConfig, ComputeClient, SchedulerConfig, SchedulerServer};
     use ew_sim::{HostSpec, HostTable, NetModel, Sim, SimDuration, SimTime, SiteSpec};
+    use ew_workload::WorkloadSpec;
 
     #[test]
     fn clients_work_through_a_relay() {
@@ -113,7 +114,7 @@ mod tests {
             "sched",
             h0,
             Box::new(SchedulerServer::new(SchedulerConfig {
-                problem: RamseyProblem { k: 4, n: 17 },
+                workload: WorkloadSpec::ramsey(RamseyProblem { k: 4, n: 17 }),
                 step_budget: 1_000,
                 ..SchedulerConfig::default()
             })),

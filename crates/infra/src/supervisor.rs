@@ -165,6 +165,7 @@ mod tests {
     use ew_sim::{
         AvailabilitySchedule, HostSpec, HostTable, NetModel, Sim, SimTime, SiteSpec, Xoshiro256,
     };
+    use ew_workload::WorkloadSpec;
 
     fn base_world() -> (NetModel, HostTable, ew_sim::SiteId) {
         let mut net = NetModel::new(0.05);
@@ -179,7 +180,7 @@ mod tests {
 
     fn sched_cfg() -> SchedulerConfig {
         SchedulerConfig {
-            problem: RamseyProblem { k: 4, n: 17 },
+            workload: WorkloadSpec::ramsey(RamseyProblem { k: 4, n: 17 }),
             step_budget: 1_000,
             ..SchedulerConfig::default()
         }

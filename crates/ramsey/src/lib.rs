@@ -4,10 +4,10 @@
 //! counter-examples that improve the known lower bounds of classical
 //! Ramsey numbers. This crate is the *computational* half — colored
 //! graphs, monochromatic-clique counting, flip-delta evaluation, the
-//! search heuristics, counter-example verification, and the work-unit
-//! descriptors that schedulers hand to clients. The *distributed* half
-//! (clients, schedulers, persistent state, gossip) lives in `ew-sched`,
-//! `ew-state`, and `everyware`.
+//! search heuristics, counter-example verification, and the problem
+//! descriptor. The *distributed* half (clients, schedulers, persistent
+//! state, gossip) lives in `ew-sched`, `ew-state`, and `everyware`; the
+//! scheduling-plane plugin wrapping this kernel lives in `ew-workload`.
 
 #![warn(missing_docs)]
 
@@ -31,4 +31,4 @@ pub use search::{
     heuristic_by_kind, run_search, Annealing, GreedyLocal, Heuristic, KernelStats, RunReport,
     SearchState, StepOutcome, TabuSearch,
 };
-pub use work::{execute_work_unit, execute_work_unit_traced, RamseyProblem, WorkResult, WorkUnit};
+pub use work::RamseyProblem;

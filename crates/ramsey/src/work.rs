@@ -1,18 +1,13 @@
-//! Work descriptors — the units the schedulers hand to clients.
+//! The Ramsey problem descriptor.
 //!
-//! A [`WorkUnit`] tells a computational client which problem to attack,
-//! with which heuristic, from which seed, for how many steps; a
-//! [`WorkResult`] reports back progress, operation counts, and any
-//! counter-example found. Both travel over the lingua franca, so both are
-//! wire-encoded structs.
+//! The work-unit envelope, execution entry point, and result types moved
+//! to `ew-workload` when the scheduling plane went workload-agnostic;
+//! what remains here is the problem instance itself, which still travels
+//! over the lingua franca inside workload configuration.
 
 #[cfg(test)]
 use ew_proto::wire::{WireDecode, WireEncode};
 use ew_proto::wire_struct;
-use ew_sim::Xoshiro256;
-
-use crate::graph::ColoredGraph;
-use crate::search::{heuristic_by_kind, run_search, SearchState};
 
 /// The problem instance: find a counter-example for `R(k, k) > n`.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -25,206 +20,13 @@ pub struct RamseyProblem {
 
 wire_struct!(RamseyProblem { k, n });
 
-/// One schedulable unit of search.
-#[derive(Clone, Debug, PartialEq, Eq)]
-pub struct WorkUnit {
-    /// Unique id (issued by a scheduler).
-    pub id: u64,
-    /// Problem instance.
-    pub problem: RamseyProblem,
-    /// Heuristic kind (see [`heuristic_by_kind`]): 0 greedy, 1 tabu,
-    /// 2 annealing.
-    pub heuristic: u8,
-    /// RNG seed for the starting coloring and the heuristic's draws.
-    pub seed: u64,
-    /// Heuristic steps to run before reporting back.
-    pub step_budget: u64,
-    /// Optional starting coloring (work migrated from another client);
-    /// empty means start from a seeded random coloring.
-    pub start_graph: Vec<u8>,
-}
-
-wire_struct!(WorkUnit {
-    id,
-    problem,
-    heuristic,
-    seed,
-    step_budget,
-    start_graph
-});
-
-/// A client's report after exhausting a unit's budget (or solving it).
-#[derive(Clone, Debug, PartialEq, Eq)]
-pub struct WorkResult {
-    /// The unit this answers.
-    pub unit_id: u64,
-    /// Steps actually executed.
-    pub steps: u64,
-    /// Useful integer operations expended (the paper's conservative count).
-    pub ops: u64,
-    /// Best objective value reached.
-    pub best_count: u64,
-    /// Serialized counter-example, if found ([`ColoredGraph::to_bytes`]).
-    pub counter_example: Vec<u8>,
-    /// Final coloring, for migration to another client.
-    pub final_graph: Vec<u8>,
-}
-
-wire_struct!(WorkResult {
-    unit_id,
-    steps,
-    ops,
-    best_count,
-    counter_example,
-    final_graph
-});
-
-/// Execute a work unit to completion on the calling thread. This is the
-/// real computation the simulated clients model and the live examples
-/// run. Runs with the incremental delta table — which produces the exact
-/// move sequence and results of the naive kernel (proptested), only
-/// faster — and also reports the kernel counters for `ramsey.*`
-/// telemetry.
-pub fn execute_work_unit_traced(unit: &WorkUnit) -> (WorkResult, crate::search::KernelStats) {
-    let mut rng = Xoshiro256::seed_from_u64(unit.seed);
-    let start = if unit.start_graph.is_empty() {
-        ColoredGraph::random(unit.problem.n as usize, &mut rng)
-    } else {
-        ColoredGraph::from_bytes(&unit.start_graph)
-            .unwrap_or_else(|| ColoredGraph::random(unit.problem.n as usize, &mut rng))
-    };
-    let mut state = SearchState::new_incremental(start, unit.problem.k as usize);
-    let mut heuristic = heuristic_by_kind(unit.heuristic);
-    let report = run_search(&mut state, heuristic.as_mut(), &mut rng, unit.step_budget);
-    let result = WorkResult {
-        unit_id: unit.id,
-        steps: report.steps,
-        ops: report.ops,
-        best_count: report.best_count,
-        counter_example: report
-            .counter_example
-            .map(|g| g.to_bytes())
-            .unwrap_or_default(),
-        final_graph: state.graph().to_bytes(),
-    };
-    (result, state.kernel_stats())
-}
-
-/// Execute a work unit, discarding the kernel counters.
-pub fn execute_work_unit(unit: &WorkUnit) -> WorkResult {
-    execute_work_unit_traced(unit).0
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::bounds::{verify_counter_example, Verification};
-    use crate::cliques::OpsCounter;
-
-    fn unit(k: u32, n: u32, heuristic: u8, steps: u64) -> WorkUnit {
-        WorkUnit {
-            id: 1,
-            problem: RamseyProblem { k, n },
-            heuristic,
-            seed: 99,
-            step_budget: steps,
-            start_graph: Vec::new(),
-        }
-    }
 
     #[test]
-    fn work_unit_wire_round_trip() {
-        let u = WorkUnit {
-            id: 77,
-            problem: RamseyProblem { k: 5, n: 43 },
-            heuristic: 1,
-            seed: 0xDEAD,
-            step_budget: 1000,
-            start_graph: vec![1, 2, 3],
-        };
-        let bytes = u.to_wire();
-        assert_eq!(WorkUnit::from_wire(&bytes).unwrap(), u);
-    }
-
-    #[test]
-    fn work_result_wire_round_trip() {
-        let r = WorkResult {
-            unit_id: 77,
-            steps: 500,
-            ops: 123456,
-            best_count: 3,
-            counter_example: vec![],
-            final_graph: vec![9, 9],
-        };
-        assert_eq!(WorkResult::from_wire(&r.to_wire()).unwrap(), r);
-    }
-
-    #[test]
-    fn executing_easy_unit_finds_verified_counter_example() {
-        let r = execute_work_unit(&unit(3, 5, 1, 1000));
-        assert!(
-            !r.counter_example.is_empty(),
-            "R(3)>5 witness should be found"
-        );
-        let g = ColoredGraph::from_bytes(&r.counter_example).unwrap();
-        let mut ops = OpsCounter::new();
-        assert!(matches!(
-            verify_counter_example(&g, 3, &mut ops),
-            Verification::Valid { n: 5, .. }
-        ));
-        assert!(r.ops > 0);
-        assert!(r.steps <= 1000);
-    }
-
-    #[test]
-    fn budget_exhaustion_reports_partial_progress() {
-        // 2 steps on a hard instance: no solution, but progress fields set.
-        let r = execute_work_unit(&unit(5, 43, 0, 2));
-        assert!(r.counter_example.is_empty());
-        assert_eq!(r.steps, 2);
-        assert!(r.best_count > 0);
-        assert!(!r.final_graph.is_empty());
-        // The final graph is resumable.
-        assert!(ColoredGraph::from_bytes(&r.final_graph).is_some());
-    }
-
-    #[test]
-    fn migrated_work_resumes_from_shipped_graph() {
-        let first = execute_work_unit(&unit(4, 17, 1, 50));
-        let resumed = WorkUnit {
-            id: 2,
-            problem: RamseyProblem { k: 4, n: 17 },
-            heuristic: 1,
-            seed: 123,
-            step_budget: 1,
-            start_graph: first.final_graph.clone(),
-        };
-        let r = execute_work_unit(&resumed);
-        // One step from the shipped graph: the state was honoured (the
-        // final graph differs from a fresh random start with seed 123).
-        let fresh = execute_work_unit(&WorkUnit {
-            start_graph: Vec::new(),
-            ..resumed.clone()
-        });
-        assert_ne!(r.final_graph, fresh.final_graph);
-    }
-
-    #[test]
-    fn corrupt_start_graph_falls_back_to_seeded_random() {
-        let bad = WorkUnit {
-            start_graph: vec![0xFF; 3],
-            ..unit(3, 5, 0, 10)
-        };
-        // Must not panic; falls back to random start.
-        let r = execute_work_unit(&bad);
-        assert_eq!(r.steps.max(1), r.steps.max(1));
-        assert!(!r.final_graph.is_empty());
-    }
-
-    #[test]
-    fn deterministic_execution() {
-        let a = execute_work_unit(&unit(4, 17, 2, 200));
-        let b = execute_work_unit(&unit(4, 17, 2, 200));
-        assert_eq!(a, b);
+    fn problem_wire_round_trip() {
+        let p = RamseyProblem { k: 5, n: 43 };
+        assert_eq!(RamseyProblem::from_wire(&p.to_wire()).unwrap(), p);
     }
 }

@@ -140,32 +140,30 @@ fn parallel_steepest_trajectory_is_identical_with_and_without_table() {
 }
 
 #[test]
-fn work_unit_results_match_naive_reference() {
-    // `execute_work_unit` runs the table path; a hand-rolled naive run of
-    // the same unit must land on the same steps / best / graphs (only the
-    // ops accounting differs between the two kernels).
-    use ew_ramsey::{execute_work_unit, run_search, RamseyProblem, WorkUnit};
-    let unit = WorkUnit {
-        id: 9,
-        problem: RamseyProblem { k: 4, n: 17 },
-        heuristic: 1,
-        seed: 4242,
-        step_budget: 400,
-        start_graph: Vec::new(),
-    };
-    let traced = execute_work_unit(&unit);
-    let mut rng = Xoshiro256::seed_from_u64(unit.seed);
-    let start = ColoredGraph::random(17, &mut rng);
-    let mut naive = SearchState::new(start, 4);
-    let mut h = heuristic_by_kind(1);
-    let rep = run_search(&mut naive, h.as_mut(), &mut rng, unit.step_budget);
-    assert_eq!(traced.steps, rep.steps);
-    assert_eq!(traced.best_count, rep.best_count);
-    assert_eq!(traced.final_graph, naive.graph().to_bytes());
+fn full_run_results_match_naive_reference() {
+    // A full table-path run (the shape `ew-workload` executes for a work
+    // unit) against a hand-rolled naive run of the same parameters: same
+    // steps / best / graphs (only the ops accounting differs between the
+    // two kernels).
+    use ew_ramsey::run_search;
+    let (seed, n, k, budget) = (4242u64, 17, 4, 400);
+    let mut rng_a = Xoshiro256::seed_from_u64(seed);
+    let start_a = ColoredGraph::random(n, &mut rng_a);
+    let mut incr = SearchState::new_incremental(start_a, k);
+    let mut h_a = heuristic_by_kind(1);
+    let rep_a = run_search(&mut incr, h_a.as_mut(), &mut rng_a, budget);
+
+    let mut rng_b = Xoshiro256::seed_from_u64(seed);
+    let start_b = ColoredGraph::random(n, &mut rng_b);
+    let mut naive = SearchState::new(start_b, k);
+    let mut h_b = heuristic_by_kind(1);
+    let rep_b = run_search(&mut naive, h_b.as_mut(), &mut rng_b, budget);
+
+    assert_eq!(rep_a.steps, rep_b.steps);
+    assert_eq!(rep_a.best_count, rep_b.best_count);
+    assert_eq!(incr.graph(), naive.graph());
     assert_eq!(
-        traced.counter_example,
-        rep.counter_example
-            .map(|g| g.to_bytes())
-            .unwrap_or_default()
+        rep_a.counter_example.map(|g| g.to_bytes()),
+        rep_b.counter_example.map(|g| g.to_bytes())
     );
 }

@@ -16,17 +16,19 @@ use ew_proto::{
     AdaptiveRetry, EventTag, Packet, Pending, RetryDecision, RetryTele, RpcTracker, StaticTimeout,
     TimeoutPolicy, WireDecode, WireEncode,
 };
-use ew_ramsey::{execute_work_unit_traced, WorkResult, WorkUnit};
 use ew_sim::{
     CounterId, Ctx, Event, GaugeId, Process, ProcessId, SeriesId, SimDuration, SimTime, SpanId,
 };
 use ew_state::messages::{sm, FetchReply, FetchRequest, StoreRequest};
+use ew_workload::{WorkResult, WorkUnit, Workload, WorkloadSpec};
 
 use crate::messages::{scm, Directive, DirectiveKind, ProgressReport, WorkGrant};
 
 /// Client tunables.
 #[derive(Clone, Debug)]
 pub struct ClientConfig {
+    /// The application this client executes (must match the schedulers').
+    pub workload: WorkloadSpec,
     /// Scheduler addresses, in failover order.
     pub schedulers: Vec<u64>,
     /// Persistent-state server for counter-examples (validator class 1).
@@ -58,6 +60,7 @@ pub struct ClientConfig {
 impl Default for ClientConfig {
     fn default() -> Self {
         ClientConfig {
+            workload: WorkloadSpec::default(),
             schedulers: Vec::new(),
             state_server: None,
             report_interval: SimDuration::from_secs(30),
@@ -192,6 +195,7 @@ struct UnitProgress {
 /// The client process.
 pub struct ComputeClient {
     cfg: ClientConfig,
+    workload: Box<dyn Workload>,
     sched_idx: usize,
     unit: Option<UnitProgress>,
     rpc: RpcTracker<ReqCtx>,
@@ -223,8 +227,10 @@ impl ComputeClient {
             Some(d) => Box::new(StaticTimeout(d)),
             None => Box::new(ForecastTimeout::wan_default()),
         };
+        let workload = cfg.workload.build(0);
         ComputeClient {
             cfg,
+            workload,
             sched_idx: 0,
             unit: None,
             rpc: RpcTracker::new(),
@@ -391,12 +397,6 @@ impl ComputeClient {
         ctx.compute(self.cfg.chunk_ops, self.compute_gen);
     }
 
-    fn synth_best(&self, steps: u64) -> u64 {
-        // Synthetic objective trajectory: rapid early improvement that
-        // plateaus, so stall-driven heuristic switches get exercised.
-        1 + 1000 / (1 + steps / 200)
-    }
-
     fn finish_unit(&mut self, ctx: &mut Ctx<'_>) {
         let Some(up) = self.unit.take() else { return };
         self.compute_gen += 1;
@@ -404,32 +404,26 @@ impl ComputeClient {
         self.clear_checkpoint(ctx);
         let tele = self.tele.expect("started");
         let result = if self.cfg.execute_real {
-            let (result, kernel) = execute_work_unit_traced(&up.unit);
-            ctx.add(tele.ramsey_lookups, kernel.table_lookups as f64);
-            ctx.add(tele.ramsey_refreshed, kernel.entries_refreshed as f64);
-            ctx.add(tele.ramsey_flips, kernel.table_flips as f64);
-            ctx.set_gauge(tele.ramsey_hit_rate, kernel.hit_rate());
-            ctx.set_gauge(tele.ramsey_ws_bytes, kernel.workspace_bytes as f64);
-            ctx.set_gauge(tele.ramsey_table_bytes, kernel.table_bytes as f64);
+            let (result, stats) = self.workload.execute(&up.unit);
+            ctx.add(tele.ramsey_lookups, stats.cache_lookups as f64);
+            ctx.add(tele.ramsey_refreshed, stats.cache_refreshed as f64);
+            ctx.add(tele.ramsey_flips, stats.cache_mutations as f64);
+            ctx.set_gauge(tele.ramsey_hit_rate, stats.hit_rate());
+            ctx.set_gauge(tele.ramsey_ws_bytes, stats.workspace_bytes as f64);
+            ctx.set_gauge(tele.ramsey_table_bytes, stats.cache_bytes as f64);
             result
         } else {
-            WorkResult {
-                unit_id: up.unit.id,
-                steps: up.steps_done,
-                ops: up.ops_done,
-                best_count: self.synth_best(up.steps_done),
-                counter_example: Vec::new(),
-                final_graph: up.unit.start_graph.clone(),
-            }
+            self.workload
+                .synth_result(&up.unit, up.steps_done, up.ops_done)
         };
         self.units_completed += 1;
         ctx.inc(tele.units);
-        if !result.counter_example.is_empty() {
+        if !result.artifact.is_empty() {
             if let Some(state) = self.cfg.state_server {
                 let store = StoreRequest {
-                    key: format!("ramsey/best/{}", up.unit.problem.k),
+                    key: self.workload.artifact_key(&up.unit),
                     class: 1,
-                    value: result.counter_example.clone(),
+                    value: result.artifact.clone(),
                 };
                 let body = store.to_wire();
                 self.send_request(ctx, state, sm::STORE, body.clone(), Req::Store(body), 1);
@@ -465,9 +459,9 @@ impl ComputeClient {
                 unit_id: up.unit.id,
                 steps_done,
                 ops_done: up.ops_done,
-                best_count: 1 + 1000 / (1 + steps_done / 200),
+                progress: self.workload.synth_progress(steps_done),
                 rate,
-                graph: up.unit.start_graph.clone(),
+                carry: up.unit.payload.clone(),
                 infra: self.cfg.infra.clone(),
             }
         };
@@ -497,7 +491,7 @@ impl ComputeClient {
             DirectiveKind::Continue => {}
             DirectiveKind::SwitchHeuristic => {
                 if let Some(up) = self.unit.as_mut() {
-                    up.unit.heuristic = d.heuristic;
+                    up.unit.variant = d.variant;
                     ctx.inc(tele.switches);
                 }
             }
@@ -827,7 +821,7 @@ mod tests {
 
     fn sched_cfg() -> SchedulerConfig {
         SchedulerConfig {
-            problem: RamseyProblem { k: 4, n: 17 },
+            workload: WorkloadSpec::ramsey(RamseyProblem { k: 4, n: 17 }),
             step_budget: 1_000,
             ..SchedulerConfig::default()
         }
@@ -925,7 +919,7 @@ mod tests {
             "sched",
             hids[0],
             Box::new(SchedulerServer::new(SchedulerConfig {
-                problem: RamseyProblem { k: 3, n: 5 },
+                workload: WorkloadSpec::ramsey(RamseyProblem { k: 3, n: 5 }),
                 step_budget: 500,
                 ..SchedulerConfig::default()
             })),

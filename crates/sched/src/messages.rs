@@ -1,10 +1,15 @@
 //! Scheduler wire messages.
+//!
+//! All bodies are workload-agnostic: units and results are the opaque
+//! envelopes from `ew-workload`, and the progress report carries a generic
+//! objective value plus a resume-state blob. The byte layout is identical
+//! to the pre-trait Ramsey-shaped messages.
 
 use ew_proto::mtype;
 use ew_proto::wire_struct;
 #[cfg(test)]
 use ew_proto::{WireDecode, WireEncode};
-use ew_ramsey::WorkUnit;
+use ew_workload::WorkUnit;
 
 /// Message types for the scheduling service.
 pub mod scm {
@@ -36,16 +41,16 @@ pub struct ProgressReport {
     pub client: u64,
     /// Unit being worked.
     pub unit_id: u64,
-    /// Heuristic steps done so far on this unit.
+    /// Steps done so far on this unit.
     pub steps_done: u64,
     /// Useful integer ops done so far on this unit.
     pub ops_done: u64,
     /// Best (lowest) objective reached on this unit.
-    pub best_count: u64,
+    pub progress: u64,
     /// Most recent computational rate in ops/second.
     pub rate: f64,
-    /// Current coloring (so the scheduler can migrate the work).
-    pub graph: Vec<u8>,
+    /// Resume state (so the scheduler can migrate the work).
+    pub carry: Vec<u8>,
     /// Infrastructure label ("unix", "condor", …) for the logging service.
     pub infra: String,
 }
@@ -55,9 +60,9 @@ wire_struct!(ProgressReport {
     unit_id,
     steps_done,
     ops_done,
-    best_count,
+    progress,
     rate,
-    graph,
+    carry,
     infra
 });
 
@@ -69,7 +74,7 @@ wire_struct!(ProgressReport {
 pub enum DirectiveKind {
     /// Keep going.
     Continue,
-    /// Switch to the named heuristic (progress has stalled).
+    /// Switch to the named workload variant (progress has stalled).
     SwitchHeuristic,
     /// Abandon the unit; its workload is being migrated to a faster host.
     Abandon,
@@ -99,16 +104,16 @@ impl DirectiveKind {
 pub struct Directive {
     /// What to do ([`DirectiveKind`] wire id).
     pub kind: u8,
-    /// Heuristic to switch to (meaningful for `SwitchHeuristic`).
-    pub heuristic: u8,
+    /// Variant to switch to (meaningful for `SwitchHeuristic`; Ramsey:
+    /// the heuristic kind).
+    pub variant: u8,
 }
 
-wire_struct!(Directive { kind, heuristic });
+wire_struct!(Directive { kind, variant });
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ew_ramsey::RamseyProblem;
 
     #[test]
     fn bodies_round_trip() {
@@ -116,11 +121,12 @@ mod tests {
             granted: true,
             unit: WorkUnit {
                 id: 3,
-                problem: RamseyProblem { k: 5, n: 43 },
-                heuristic: 1,
+                arg0: 5,
+                arg1: 43,
+                variant: 1,
                 seed: 7,
                 step_budget: 100,
-                start_graph: vec![],
+                payload: vec![],
             },
         };
         assert_eq!(WorkGrant::from_wire(&g.to_wire()).unwrap(), g);
@@ -130,16 +136,16 @@ mod tests {
             unit_id: 3,
             steps_done: 50,
             ops_done: 1_000_000,
-            best_count: 12,
+            progress: 12,
             rate: 1.5e6,
-            graph: vec![1],
+            carry: vec![1],
             infra: "condor".into(),
         };
         assert_eq!(ProgressReport::from_wire(&r.to_wire()).unwrap(), r);
 
         let d = Directive {
             kind: DirectiveKind::SwitchHeuristic.wire_id(),
-            heuristic: 2,
+            variant: 2,
         };
         assert_eq!(Directive::from_wire(&d.to_wire()).unwrap(), d);
     }

@@ -9,6 +9,11 @@
 //! lightweight forecasting facilities" — set
 //! [`SchedulerConfig::use_forecasts`] to `false` for the last-measurement
 //! baseline (ablation).
+//!
+//! The server is application-agnostic: everything it knows about the work
+//! it hands out comes through the [`Workload`] trait — unit generation,
+//! variant rotation for stalled clients, migration remakes, and result
+//! bookkeeping. The Ramsey search is just the default plugin.
 
 use std::collections::HashMap;
 
@@ -16,13 +21,13 @@ use ew_forecast::DynamicBenchmark;
 use ew_gossip::{Comparator, GossipClient, VersionedBlob};
 use ew_proto::sim_net::{packet_from_event, send_packet};
 use ew_proto::{Packet, WireEncode};
-use ew_ramsey::{RamseyProblem, WorkResult, WorkUnit};
 use ew_sim::{CounterId, Ctx, Event, Process, ProcessId, SimDuration, SimTime, SpanId};
 use ew_state::{sm, LogRecord};
+use ew_workload::{WorkResult, WorkUnit, Workload, WorkloadSpec};
 
 /// State type the schedulers synchronize through the Gossip pool: the best
-/// (lowest-objective) coloring seen anywhere. Version is
-/// `u64::MAX - best_count` so the `BestValue` comparator prefers lower
+/// (lowest-objective) state seen anywhere. Version is
+/// `u64::MAX - progress` so the `BestValue` comparator prefers lower
 /// objectives ("volatile-but-replicated state", §3.1.2).
 pub const STYPE_BEST_FOUND: u16 = 0x1100;
 
@@ -31,12 +36,11 @@ use crate::messages::{scm, Directive, DirectiveKind, ProgressReport, WorkGrant};
 /// Scheduler tunables.
 #[derive(Clone, Debug)]
 pub struct SchedulerConfig {
-    /// The problem instance being searched.
-    pub problem: RamseyProblem,
-    /// Steps per issued work unit.
+    /// The application being scheduled.
+    pub workload: WorkloadSpec,
+    /// Default steps per issued work unit (rate-scaled for workloads that
+    /// opt in; cost-model workloads size their own units).
     pub step_budget: u64,
-    /// Heuristic kinds to rotate across fresh units.
-    pub heuristic_mix: Vec<u8>,
     /// Reports with no objective improvement before a switch directive.
     pub stall_reports: u32,
     /// A client whose (forecast) rate falls below `migration_factor` ×
@@ -55,9 +59,8 @@ pub struct SchedulerConfig {
 impl Default for SchedulerConfig {
     fn default() -> Self {
         SchedulerConfig {
-            problem: RamseyProblem { k: 5, n: 43 },
+            workload: WorkloadSpec::default(),
             step_budget: 2_000,
-            heuristic_mix: vec![0, 1, 2],
             stall_reports: 3,
             migration_factor: 0.45,
             use_forecasts: true,
@@ -90,16 +93,19 @@ impl SchedTele {
 
 struct Outstanding {
     client: u64,
-    heuristic: u8,
+    variant: u8,
     last_best: u64,
     stall_count: u32,
-    last_graph: Vec<u8>,
+    last_carry: Vec<u8>,
     assigned_at: SimTime,
+    /// The issued unit, kept so migration can remake it faithfully.
+    unit: WorkUnit,
 }
 
 /// The scheduling server process.
 pub struct SchedulerServer {
     cfg: SchedulerConfig,
+    workload: Box<dyn Workload>,
     next_unit: u64,
     outstanding: HashMap<u64, Outstanding>,
     /// Units abandoned by slow clients, awaiting reassignment.
@@ -117,8 +123,8 @@ pub struct SchedulerServer {
     reports_since_purge: u32,
     /// Completed results received.
     pub results: Vec<WorkResult>,
-    /// Serialized counter-examples received.
-    pub counter_examples: Vec<Vec<u8>>,
+    /// Serialized artifacts received (Ramsey: counter-examples).
+    pub artifacts: Vec<Vec<u8>>,
     /// Directives issued, by kind, for inspection.
     pub issued_continue: u64,
     /// Switch directives issued.
@@ -141,8 +147,10 @@ pub struct SchedulerServer {
 impl SchedulerServer {
     /// A scheduler with the given configuration.
     pub fn new(cfg: SchedulerConfig) -> Self {
+        let workload = cfg.workload.build(cfg.seed_salt);
         SchedulerServer {
             cfg,
+            workload,
             next_unit: 1,
             outstanding: HashMap::new(),
             migration_queue: Vec::new(),
@@ -153,7 +161,7 @@ impl SchedulerServer {
             last_seen: HashMap::new(),
             reports_since_purge: 0,
             results: Vec::new(),
-            counter_examples: Vec::new(),
+            artifacts: Vec::new(),
             issued_continue: 0,
             issued_switch: 0,
             issued_abandon: 0,
@@ -184,17 +192,17 @@ impl SchedulerServer {
         self
     }
 
-    fn note_best(&mut self, best_count: u64, graph: Vec<u8>) {
+    fn note_best(&mut self, progress: u64, carry: Vec<u8>) {
         let better = match &self.best_known {
             None => true,
-            Some((cur, _)) => best_count < *cur,
+            Some((cur, _)) => progress < *cur,
         };
         if better {
-            self.best_known = Some((best_count, graph.clone()));
+            self.best_known = Some((progress, carry.clone()));
             if let Some((_, client)) = self.gossip.as_mut() {
                 client.set_local(
                     STYPE_BEST_FOUND,
-                    VersionedBlob::new(u64::MAX - best_count, graph),
+                    VersionedBlob::new(u64::MAX - progress, carry),
                 );
             }
         }
@@ -215,25 +223,13 @@ impl SchedulerServer {
         self.outstanding.get(&unit_id).map(|o| o.client)
     }
 
-    fn fresh_unit(&mut self) -> WorkUnit {
-        let id = self.next_unit;
-        self.next_unit += 1;
-        let heuristic = self.cfg.heuristic_mix[(id as usize) % self.cfg.heuristic_mix.len().max(1)];
-        WorkUnit {
-            id,
-            problem: self.cfg.problem,
-            heuristic,
-            seed: self
-                .cfg
-                .seed_salt
-                .wrapping_mul(0x9E37_79B9_7F4A_7C15)
-                .wrapping_add(id),
-            step_budget: self.cfg.step_budget,
-            start_graph: Vec::new(),
-        }
+    /// Fraction of a finite workload completed, if the application
+    /// defines one (DAG tasks done, faas invocations served).
+    pub fn workload_progress(&self) -> Option<f64> {
+        self.workload.progress()
     }
 
-    fn grant_work(&mut self, now: SimTime, client: u64) -> WorkUnit {
+    fn grant_work(&mut self, now: SimTime, client: u64) -> Option<WorkUnit> {
         // Size the unit to the client's forecast rate ("servers are
         // programmed to issue different control directives based on ...
         // the most recent computational rate of the client", §3.1.1): a
@@ -246,27 +242,32 @@ impl SchedulerServer {
             _ => 1.0,
         };
         let budget = ((self.cfg.step_budget as f64 * scale) as u64).max(100);
-        let unit = if let Some(mut u) = self.migration_queue.pop() {
-            // Migrated unit keeps its id and graph, gets a fresh budget.
-            u.step_budget = budget;
+        let mut unit = if let Some(u) = self.migration_queue.pop() {
+            // Migrated unit keeps its id and resume state.
             u
         } else {
-            let mut u = self.fresh_unit();
-            u.step_budget = budget;
+            let u = self
+                .workload
+                .generate(self.next_unit, now, client, self.cfg.step_budget)?;
+            self.next_unit += 1;
             u
         };
+        if self.workload.rate_scaled_budgets() {
+            unit.step_budget = budget;
+        }
         self.outstanding.insert(
             unit.id,
             Outstanding {
                 client,
-                heuristic: unit.heuristic,
+                variant: unit.variant,
                 last_best: u64::MAX,
                 stall_count: 0,
-                last_graph: unit.start_graph.clone(),
+                last_carry: unit.payload.clone(),
                 assigned_at: now,
+                unit: unit.clone(),
             },
         );
-        unit
+        Some(unit)
     }
 
     /// The rate estimate used for migration decisions (reads the cache).
@@ -339,7 +340,7 @@ impl SchedulerServer {
             self.issued_unknown += 1;
             return Directive {
                 kind: DirectiveKind::Abandon.wire_id(),
-                heuristic: 0,
+                variant: 0,
             };
         }
 
@@ -358,57 +359,53 @@ impl SchedulerServer {
         };
         if migrate {
             let out = self.outstanding.remove(&report.unit_id).expect("present");
-            self.migration_queue.push(WorkUnit {
-                id: report.unit_id,
-                problem: self.cfg.problem,
-                heuristic: out.heuristic,
-                seed: report.unit_id ^ 0xABCD,
-                step_budget: self.cfg.step_budget,
-                start_graph: report.graph,
-            });
+            let remade =
+                self.workload
+                    .remake(&out.unit, out.variant, report.carry, self.cfg.step_budget);
+            self.migration_queue.push(remade);
             self.issued_abandon += 1;
             return Directive {
                 kind: DirectiveKind::Abandon.wire_id(),
-                heuristic: 0,
+                variant: 0,
             };
         }
 
         let out = self.outstanding.get_mut(&report.unit_id).expect("present");
-        out.last_graph = report.graph.clone();
+        out.last_carry = report.carry.clone();
         out.assigned_at = now;
 
         // Stall detection: no objective improvement across reports.
-        if report.best_count < out.last_best {
-            out.last_best = report.best_count;
+        if report.progress < out.last_best {
+            out.last_best = report.progress;
             out.stall_count = 0;
         } else {
             out.stall_count += 1;
             if out.stall_count >= self.cfg.stall_reports {
                 out.stall_count = 0;
-                let mix = &self.cfg.heuristic_mix;
-                let cur_pos = mix.iter().position(|&h| h == out.heuristic).unwrap_or(0);
-                let next = mix[(cur_pos + 1) % mix.len().max(1)];
-                out.heuristic = next;
-                self.issued_switch += 1;
-                return Directive {
-                    kind: DirectiveKind::SwitchHeuristic.wire_id(),
-                    heuristic: next,
-                };
+                if let Some(next) = self.workload.next_variant(out.variant) {
+                    out.variant = next;
+                    self.issued_switch += 1;
+                    return Directive {
+                        kind: DirectiveKind::SwitchHeuristic.wire_id(),
+                        variant: next,
+                    };
+                }
             }
         }
         self.issued_continue += 1;
         Directive {
             kind: DirectiveKind::Continue.wire_id(),
-            heuristic: out.heuristic,
+            variant: out.variant,
         }
     }
 
     fn handle_result(&mut self, result: WorkResult) {
         self.outstanding.remove(&result.unit_id);
-        if !result.counter_example.is_empty() {
-            self.counter_examples.push(result.counter_example.clone());
+        if !result.artifact.is_empty() {
+            self.artifacts.push(result.artifact.clone());
         }
-        self.note_best(result.best_count, result.final_graph.clone());
+        self.note_best(result.progress, result.carry.clone());
+        self.workload.on_result(&result);
         self.results.push(result);
     }
 }
@@ -452,11 +449,18 @@ impl Process for SchedulerServer {
         let tele = self.tele.expect("started");
         match pkt.mtype {
             scm::GET_WORK => {
-                let unit = self.grant_work(ctx.now(), from.0 as u64);
-                ctx.inc(tele.grants);
-                let grant = WorkGrant {
-                    granted: true,
-                    unit,
+                let grant = match self.grant_work(ctx.now(), from.0 as u64) {
+                    Some(unit) => {
+                        ctx.inc(tele.grants);
+                        WorkGrant {
+                            granted: true,
+                            unit,
+                        }
+                    }
+                    None => WorkGrant {
+                        granted: false,
+                        unit: WorkUnit::default(),
+                    },
                 };
                 send_packet(ctx, from, &Packet::response_to(&pkt, grant.to_wire()));
             }
@@ -467,7 +471,7 @@ impl Process for SchedulerServer {
                         let rec = LogRecord {
                             source: report.client,
                             category: format!("rate.{}", report.infra),
-                            text: format!("unit {} best {}", report.unit_id, report.best_count),
+                            text: format!("unit {} best {}", report.unit_id, report.progress),
                             value: report.rate,
                         };
                         send_packet(
@@ -498,6 +502,7 @@ impl Process for SchedulerServer {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use ew_workload::{DagConfig, FaasConfig};
 
     fn report(client: u64, unit_id: u64, best: u64, rate: f64) -> ProgressReport {
         ProgressReport {
@@ -505,9 +510,9 @@ mod tests {
             unit_id,
             steps_done: 10,
             ops_done: 1000,
-            best_count: best,
+            progress: best,
             rate,
-            graph: vec![9],
+            carry: vec![9],
             infra: "unix".into(),
         }
     }
@@ -519,13 +524,13 @@ mod tests {
     #[test]
     fn fresh_units_rotate_heuristics_and_ids() {
         let mut s = SchedulerServer::new(SchedulerConfig::default());
-        let a = s.grant_work(t(0), 1);
-        let b = s.grant_work(t(0), 2);
-        let c = s.grant_work(t(0), 3);
+        let a = s.grant_work(t(0), 1).unwrap();
+        let b = s.grant_work(t(0), 2).unwrap();
+        let c = s.grant_work(t(0), 3).unwrap();
         assert_eq!((a.id, b.id, c.id), (1, 2, 3));
-        assert_eq!(a.heuristic, 1); // mix[1 % 3]
-        assert_eq!(b.heuristic, 2);
-        assert_eq!(c.heuristic, 0);
+        assert_eq!(a.variant, 1); // mix[1 % 3]
+        assert_eq!(b.variant, 2);
+        assert_eq!(c.variant, 0);
         assert_eq!(s.outstanding_count(), 3);
         assert_ne!(a.seed, b.seed);
     }
@@ -533,7 +538,7 @@ mod tests {
     #[test]
     fn improving_clients_told_to_continue() {
         let mut s = SchedulerServer::new(SchedulerConfig::default());
-        let u = s.grant_work(t(0), 1);
+        let u = s.grant_work(t(0), 1).unwrap();
         for best in [100, 90, 80, 70] {
             let d = s.handle_report(t(1), report(1, u.id, best, 1e6));
             assert_eq!(DirectiveKind::from_wire_id(d.kind), DirectiveKind::Continue);
@@ -544,8 +549,8 @@ mod tests {
     #[test]
     fn stalled_clients_told_to_switch_heuristic() {
         let mut s = SchedulerServer::new(SchedulerConfig::default());
-        let u = s.grant_work(t(0), 1);
-        let start_h = u.heuristic;
+        let u = s.grant_work(t(0), 1).unwrap();
+        let start_v = u.variant;
         s.handle_report(t(1), report(1, u.id, 50, 1e6));
         // Three reports with no improvement → switch.
         let mut kinds = Vec::new();
@@ -562,18 +567,18 @@ mod tests {
             ]
         );
         assert_eq!(s.issued_switch, 1);
-        // The switched heuristic differs from the original.
+        // The switched variant differs from the original.
         let d = s.handle_report(t(3), report(1, u.id, 50, 1e6));
         let _ = d;
-        assert_ne!(s.outstanding.get(&u.id).map(|o| o.heuristic), Some(start_h));
+        assert_ne!(s.outstanding.get(&u.id).map(|o| o.variant), Some(start_v));
     }
 
     #[test]
     fn anomalously_slow_client_is_migrated_and_unit_reassigned_with_graph() {
         let mut s = SchedulerServer::new(SchedulerConfig::default());
-        let u1 = s.grant_work(t(0), 1);
-        let u2 = s.grant_work(t(0), 2);
-        let u3 = s.grant_work(t(0), 3);
+        let u1 = s.grant_work(t(0), 1).unwrap();
+        let u2 = s.grant_work(t(0), 2).unwrap();
+        let u3 = s.grant_work(t(0), 3).unwrap();
         // All three clients demonstrate ~1e7 ops/s, so each one's baseline
         // is established high.
         for _ in 0..10 {
@@ -584,10 +589,10 @@ mod tests {
         // Client 3 collapses to 1e3 (its host got reclaimed-by-load): a
         // clear anomaly against its own baseline. A couple of reports let
         // the forecast track the collapse.
-        let slow_graph = report(3, u3.id, 100, 1e3).graph;
+        let slow_carry = report(3, u3.id, 100, 1e3).carry;
         let mut last = Directive {
             kind: 0,
-            heuristic: 0,
+            variant: 0,
         };
         for _ in 0..12 {
             last = s.handle_report(t(2), report(3, u3.id, 100, 1e3));
@@ -600,10 +605,10 @@ mod tests {
             DirectiveKind::Abandon
         );
         assert_eq!(s.migration_queue_len(), 1);
-        // Next requester inherits the unit, graph and all.
-        let migrated = s.grant_work(t(3), 4);
+        // Next requester inherits the unit, resume state and all.
+        let migrated = s.grant_work(t(3), 4).unwrap();
         assert_eq!(migrated.id, u3.id);
-        assert_eq!(migrated.start_graph, slow_graph);
+        assert_eq!(migrated.payload, slow_carry);
         assert_eq!(s.migration_queue_len(), 0);
     }
 
@@ -612,9 +617,9 @@ mod tests {
         // A browser applet is slow by nature, not anomalously: it keeps
         // its work (the Grid uses *everything*, §2).
         let mut s = SchedulerServer::new(SchedulerConfig::default());
-        let u1 = s.grant_work(t(0), 1);
-        let u2 = s.grant_work(t(0), 2);
-        let u3 = s.grant_work(t(0), 3);
+        let u1 = s.grant_work(t(0), 1).unwrap();
+        let u2 = s.grant_work(t(0), 2).unwrap();
+        let u3 = s.grant_work(t(0), 3).unwrap();
         for _ in 0..10 {
             s.handle_report(t(1), report(1, u1.id, 100, 1e8));
             s.handle_report(t(1), report(2, u2.id, 100, 1e8));
@@ -633,14 +638,14 @@ mod tests {
     #[test]
     fn unit_budgets_scale_with_client_rate() {
         let mut s = SchedulerServer::new(SchedulerConfig::default());
-        let u1 = s.grant_work(t(0), 1);
-        let u2 = s.grant_work(t(0), 2);
+        let u1 = s.grant_work(t(0), 1).unwrap();
+        let u2 = s.grant_work(t(0), 2).unwrap();
         for _ in 0..5 {
             s.handle_report(t(1), report(1, u1.id, 100, 1e8));
             s.handle_report(t(1), report(2, u2.id, 100, 1e5));
         }
-        let fast_unit = s.grant_work(t(2), 1);
-        let slow_unit = s.grant_work(t(2), 2);
+        let fast_unit = s.grant_work(t(2), 1).unwrap();
+        let slow_unit = s.grant_work(t(2), 2).unwrap();
         assert!(
             fast_unit.step_budget >= 15 * slow_unit.step_budget,
             "budgets track the 1000x rate spread (clamped at 0.02 and the \
@@ -657,7 +662,7 @@ mod tests {
             ..SchedulerConfig::default()
         };
         let mut s = SchedulerServer::new(cfg);
-        let u = s.grant_work(t(0), 1);
+        let u = s.grant_work(t(0), 1).unwrap();
         s.handle_report(t(1), report(1, u.id, 100, 5e6));
         assert_eq!(s.rate_estimate(1), Some(5e6), "exactly the last report");
         // One wild sample fully determines the estimate (the weakness the
@@ -669,7 +674,7 @@ mod tests {
     #[test]
     fn forecast_estimate_resists_one_wild_sample() {
         let mut s = SchedulerServer::new(SchedulerConfig::default());
-        let u = s.grant_work(t(0), 1);
+        let u = s.grant_work(t(0), 1).unwrap();
         // A realistically noisy rate stream: median-family forecasters win
         // the battery here, which is what buys glitch robustness.
         for i in 0..30 {
@@ -685,19 +690,19 @@ mod tests {
     }
 
     #[test]
-    fn results_and_counter_examples_collected() {
+    fn results_and_artifacts_collected() {
         let mut s = SchedulerServer::new(SchedulerConfig::default());
-        let u = s.grant_work(t(0), 1);
+        let u = s.grant_work(t(0), 1).unwrap();
         s.handle_result(WorkResult {
             unit_id: u.id,
             steps: 100,
             ops: 1_000,
-            best_count: 0,
-            counter_example: vec![1, 2],
-            final_graph: vec![1, 2],
+            progress: 0,
+            artifact: vec![1, 2],
+            carry: vec![1, 2],
         });
         assert_eq!(s.results.len(), 1);
-        assert_eq!(s.counter_examples, vec![vec![1, 2]]);
+        assert_eq!(s.artifacts, vec![vec![1, 2]]);
         assert_eq!(s.outstanding_count(), 0);
     }
 
@@ -706,5 +711,61 @@ mod tests {
         let mut s = SchedulerServer::new(SchedulerConfig::default());
         let d = s.handle_report(t(0), report(1, 999, 5, 1e6));
         assert_eq!(DirectiveKind::from_wire_id(d.kind), DirectiveKind::Abandon);
+    }
+
+    #[test]
+    fn dag_workload_gates_grants_on_dependencies() {
+        let mut s = SchedulerServer::new(SchedulerConfig {
+            workload: WorkloadSpec::Dag(DagConfig {
+                tasks: 6,
+                layers: 2,
+                fan_in: 2,
+                min_steps: 100,
+                max_steps: 100,
+                seed: 1,
+                reissue_after: SimDuration::from_secs(600),
+            }),
+            ..SchedulerConfig::default()
+        });
+        // Layer 0 has three tasks; once they are outstanding the server
+        // answers "no work" instead of inventing units.
+        let mut granted = Vec::new();
+        while let Some(u) = s.grant_work(t(0), 1) {
+            granted.push(u);
+        }
+        assert_eq!(granted.len(), 3, "only the root layer is ready");
+        // Budgets come from the task cost model, not rate scaling.
+        assert!(granted.iter().all(|u| u.step_budget == 100));
+        // Completing a root task unlocks nothing until all preds done;
+        // completing all three unlocks layer 1.
+        for u in &granted {
+            s.handle_result(WorkResult {
+                unit_id: u.id,
+                steps: 100,
+                ops: 1000,
+                progress: 1,
+                artifact: vec![],
+                carry: vec![],
+            });
+        }
+        assert_eq!(s.workload_progress(), Some(0.5));
+        assert!(s.grant_work(t(1), 2).is_some(), "layer 1 unlocked");
+    }
+
+    #[test]
+    fn faas_workload_answers_idle_until_arrivals() {
+        let mut s = SchedulerServer::new(SchedulerConfig {
+            workload: WorkloadSpec::Faas(FaasConfig::default()),
+            ..SchedulerConfig::default()
+        });
+        assert!(
+            s.grant_work(t(0), 1).is_none(),
+            "no invocations have arrived at t=0"
+        );
+        let u = s.grant_work(t(1800), 1).unwrap();
+        assert_eq!(u.arg1, 1, "first grant to a client is cold");
+        let v = s.grant_work(t(1800), 1).unwrap();
+        assert_eq!(v.arg1, 0, "second grant is warm");
+        assert!(v.step_budget < u.step_budget);
     }
 }

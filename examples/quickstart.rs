@@ -14,6 +14,7 @@ use ew_infra::{InfraSpec, InfraSupervisor};
 use ew_ramsey::RamseyProblem;
 use ew_sched::{ClientConfig, SchedulerConfig, SchedulerServer};
 use ew_sim::{HostSpec, HostTable, NetModel, Sim, SimDuration, SimTime, SiteSpec};
+use ew_workload::WorkloadSpec;
 
 fn main() {
     // 1. A world: three sites, one of them noticeably loaded.
@@ -63,7 +64,7 @@ fn main() {
     let mut sim = Sim::new(net, hosts, 7);
     let dep = Deployment::builder(DeployConfig {
         sched: SchedulerConfig {
-            problem: RamseyProblem { k: 5, n: 43 },
+            workload: WorkloadSpec::ramsey(RamseyProblem { k: 5, n: 43 }),
             step_budget: 2_000,
             ..SchedulerConfig::default()
         },

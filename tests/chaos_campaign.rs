@@ -11,7 +11,9 @@
 //!   determinism gate for `figures -- chaos`).
 
 use ew_chaos::{campaign_json, run_campaign, standard_plans, CampaignConfig, FaultPlan, SiteRole};
+use ew_ramsey::RamseyProblem;
 use ew_sim::{AvailabilitySchedule, Partition, SimDuration, SimTime, SiteId, Xoshiro256};
+use ew_workload::WorkloadSpec;
 
 fn secs(s: u64) -> SimTime {
     SimTime::from_secs(s)
@@ -88,6 +90,7 @@ fn churn_plus_partition_world_keeps_finishing_work() {
         seeds: vec![7],
         horizon: dur(900),
         plans: vec![plan],
+        workload: WorkloadSpec::ramsey(RamseyProblem { k: 4, n: 17 }),
     };
     let reports = run_campaign(&cfg);
     assert_eq!(reports.len(), 1);
@@ -114,6 +117,7 @@ fn mass_reclamation_ab_meets_the_acceptance_bound() {
         seeds: vec![1998],
         horizon: dur(1800),
         plans: vec![plan],
+        workload: WorkloadSpec::ramsey(RamseyProblem { k: 4, n: 17 }),
     };
     let r = &run_campaign(&cfg)[0];
     assert!(
@@ -147,6 +151,7 @@ fn campaign_json_is_byte_identical_run_to_run() {
             .into_iter()
             .filter(|p| p.name == "mass-reclamation" || p.name == "flaky-network")
             .collect(),
+        workload: WorkloadSpec::ramsey(RamseyProblem { k: 4, n: 17 }),
     };
     let render = || -> Vec<(String, String)> {
         let reports = run_campaign(&cfg);

@@ -12,6 +12,7 @@ use ew_sim::{
     AvailabilitySchedule, HostId, HostSpec, HostTable, NetModel, Partition, Sim, SimDuration,
     SimTime, SiteId, SiteSpec,
 };
+use ew_workload::WorkloadSpec;
 
 struct World {
     net: NetModel,
@@ -54,7 +55,7 @@ fn service_hosts(w: &mut World, site: SiteId) -> ServiceHosts {
 
 fn sched_cfg() -> SchedulerConfig {
     SchedulerConfig {
-        problem: RamseyProblem { k: 4, n: 17 },
+        workload: WorkloadSpec::ramsey(RamseyProblem { k: 4, n: 17 }),
         step_budget: 1_000,
         ..SchedulerConfig::default()
     }

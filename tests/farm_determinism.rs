@@ -5,12 +5,17 @@
 //! scheduling can never leak into the output.
 
 use ew_bench::experiments::timeout_ablation;
-use ew_chaos::{bench_summary_json, campaign_json, run_campaign_threads, CampaignConfig};
+use ew_chaos::{
+    bench_summary_json, bench_summary_stem, campaign_json, run_campaign_threads, scaling_json,
+    CampaignConfig,
+};
 use ew_sim::SimDuration;
+use ew_workload::WorkloadSpec;
 
 /// Render the full set of campaign artifacts exactly as `figures -- chaos`
-/// writes them: every `chaos_*.json` payload plus `BENCH_PR3.json`, as one
-/// pretty-printed string.
+/// writes them: every `chaos_*.json` payload plus the bench summary
+/// (`BENCH_PR3.json` for ramsey, `BENCH_PR6_<name>.json` otherwise), as
+/// one pretty-printed string.
 fn campaign_artifacts(cfg: &CampaignConfig, reports: &[ew_chaos::PlanReport]) -> String {
     let mut out = String::new();
     for (name, value) in campaign_json(cfg, reports) {
@@ -19,7 +24,8 @@ fn campaign_artifacts(cfg: &CampaignConfig, reports: &[ew_chaos::PlanReport]) ->
         out.push_str(&serde_json::to_string_pretty(&value).unwrap());
         out.push('\n');
     }
-    out.push_str("BENCH_PR3\n");
+    out.push_str(&bench_summary_stem(cfg));
+    out.push('\n');
     out.push_str(&serde_json::to_string_pretty(&bench_summary_json(cfg, reports)).unwrap());
     out
 }
@@ -49,6 +55,41 @@ fn chaos_campaign_is_byte_identical_across_thread_counts() {
         // when there is enough work.
         assert_eq!(run.stats.threads, threads.min(run.stats.cells));
         assert_eq!(run.stats.cells, base.stats.cells);
+    }
+}
+
+#[test]
+fn dag_campaign_is_byte_identical_across_thread_counts() {
+    // The exact configuration `figures -- chaos --short --workload dag`
+    // runs: every chaos_dag_*.json payload plus BENCH_PR6_dag.json must
+    // not depend on the worker count.
+    let cfg =
+        CampaignConfig::standard(1998, true).with_workload(WorkloadSpec::by_name("dag").unwrap());
+    let base = run_campaign_threads(&cfg, 1);
+    let reference = campaign_artifacts(&cfg, &base.reports);
+    assert!(!reference.is_empty());
+    assert!(
+        reference.contains("\"workload\": \"dag\""),
+        "dag artifacts are tagged with their workload"
+    );
+    assert!(reference.contains("BENCH_PR6_dag"));
+    let run = run_campaign_threads(&cfg, 4);
+    assert_eq!(
+        campaign_artifacts(&cfg, &run.reports),
+        reference,
+        "dag campaign artifacts diverged at 4 threads"
+    );
+}
+
+#[test]
+fn workload_scaling_figures_are_byte_identical_across_thread_counts() {
+    let horizon = SimDuration::from_secs(600);
+    for name in ["dag", "faas"] {
+        let spec = WorkloadSpec::by_name(name).unwrap();
+        let seq = serde_json::to_string_pretty(&scaling_json(&spec, 1998, horizon, 1)).unwrap();
+        let par = serde_json::to_string_pretty(&scaling_json(&spec, 1998, horizon, 4)).unwrap();
+        assert_eq!(seq, par, "{name} scaling figure diverged at 4 threads");
+        assert!(seq.contains(&format!("\"workload\": \"{name}\"")));
     }
 }
 

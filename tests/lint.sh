@@ -16,6 +16,11 @@ cargo fmt --all -- --check
 echo "== cargo clippy --workspace (warnings are errors)"
 cargo clippy --workspace --all-targets --offline -- -D warnings
 
+# The application contract is the API other crates build on; gate it
+# explicitly so a workspace-level exclusion can never silently drop it.
+echo "== cargo clippy -p ew-workload (warnings are errors)"
+cargo clippy -p ew-workload --all-targets --offline -- -D warnings
+
 echo "== cargo bench --no-run (benches must keep compiling)"
 cargo bench --workspace --no-run --offline
 

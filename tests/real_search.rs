@@ -8,6 +8,7 @@ use ew_ramsey::{verify_counter_example, ColoredGraph, OpsCounter, RamseyProblem,
 use ew_sched::{ClientConfig, ComputeClient, SchedulerConfig, SchedulerServer};
 use ew_sim::{HostSpec, HostTable, NetModel, Sim, SimDuration, SimTime, SiteSpec};
 use ew_state::PersistentStateServer;
+use ew_workload::WorkloadSpec;
 
 #[test]
 fn distributed_real_search_stores_verified_witness() {
@@ -43,7 +44,7 @@ fn distributed_real_search_stores_verified_witness() {
     let mut sim = Sim::new(net, hosts, 41);
     let dep = Deployment::builder(DeployConfig {
         sched: SchedulerConfig {
-            problem: RamseyProblem { k: 4, n: 17 },
+            workload: WorkloadSpec::ramsey(RamseyProblem { k: 4, n: 17 }),
             step_budget: 5_000,
             ..SchedulerConfig::default()
         },
@@ -108,7 +109,7 @@ fn distributed_real_search_stores_verified_witness() {
         .schedulers
         .iter()
         .map(|&s| {
-            sim.with_process::<SchedulerServer, _>(s, |s| s.counter_examples.len())
+            sim.with_process::<SchedulerServer, _>(s, |s| s.artifacts.len())
                 .unwrap()
         })
         .sum();

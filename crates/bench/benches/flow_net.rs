@@ -1,0 +1,235 @@
+//! Flow-level network model microbenchmarks (PR 7).
+//!
+//! Two questions bound the mode's usefulness: what does one flow
+//! start/finish cost when the table already holds 1k/10k concurrent
+//! flows (the fair-share recompute is O(flows · sharing-set), so churn
+//! cost scales with contention), and how does end-to-end kernel
+//! throughput compare between packet and flow mode on the *same*
+//! transfer trace.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+
+use ew_sim::{
+    Ctx, Event, FlowTable, HostSpec, HostTable, NetModel, NetworkModel, Process, ProcessId, Sim,
+    SimDuration, SimTime, SiteId, SiteSpec,
+};
+
+const SITES: usize = 8;
+
+fn mesh_net() -> NetModel {
+    let mut net = NetModel::new(0.0).with_model(NetworkModel::Flow);
+    for s in 0..SITES {
+        net.add_site(SiteSpec::simple(
+            &format!("s{s}"),
+            SimDuration::from_millis(15),
+            2.5e6,
+            0.05,
+        ));
+    }
+    net
+}
+
+/// A FlowTable pre-loaded with `n` inter-site flows spread round-robin
+/// over the site mesh, plus the current generation of every flow (fed
+/// from recompute output, the same way the kernel learns generations).
+struct Churn {
+    net: NetModel,
+    table: FlowTable,
+    gens: Vec<u32>,
+    scratch: Vec<(u32, u32, SimTime)>,
+    next: usize,
+}
+
+impl Churn {
+    fn new(n: usize) -> Self {
+        let net = mesh_net();
+        let mut c = Churn {
+            table: FlowTable::new(net.site_count()),
+            net,
+            gens: Vec::new(),
+            scratch: Vec::new(),
+            next: 0,
+        };
+        for i in 0..n {
+            c.start(i);
+        }
+        c
+    }
+
+    fn pair(i: usize) -> (SiteId, SiteId) {
+        (
+            SiteId((i % SITES) as u16),
+            SiteId(((i + 1 + i / SITES) % SITES) as u16),
+        )
+    }
+
+    fn start(&mut self, i: usize) -> u32 {
+        let (from, to) = Self::pair(i);
+        let id = self.table.start(
+            from,
+            to,
+            100_000,
+            SimDuration::from_millis(30),
+            SimTime::ZERO,
+            0,
+            1,
+            7,
+            vec![0u8; 8].into(),
+        );
+        let (links, nlinks) = self.table.links_of(id);
+        self.scratch.clear();
+        self.table.recompute(
+            &links[..nlinks],
+            SimTime::ZERO,
+            &self.net,
+            &mut self.scratch,
+        );
+        self.absorb();
+        id
+    }
+
+    fn absorb(&mut self) {
+        for &(id, gen, _) in &self.scratch {
+            if self.gens.len() <= id as usize {
+                self.gens.resize(id as usize + 1, 0);
+            }
+            self.gens[id as usize] = gen;
+        }
+    }
+
+    /// One churn cycle: complete the next flow (round-robin), recompute
+    /// the freed links, start a replacement, recompute again — the exact
+    /// work the kernel does per delivered message in flow mode.
+    fn cycle(&mut self) {
+        let id = (self.next % self.table.active()) as u32;
+        let done = self
+            .table
+            .complete(id, self.gens[id as usize])
+            .expect("generation tracked from recompute output");
+        self.scratch.clear();
+        self.table.recompute(
+            &done.links[..done.nlinks],
+            SimTime::ZERO,
+            &self.net,
+            &mut self.scratch,
+        );
+        self.absorb();
+        self.start(self.next);
+        self.next += 1;
+    }
+}
+
+fn bench_flow_churn(c: &mut Criterion) {
+    let mut g = c.benchmark_group("flow_net");
+    for n in [1_000usize, 10_000] {
+        // 64 complete+start cycles per iteration; throughput is cycles/s.
+        g.throughput(Throughput::Elements(64));
+        g.bench_function(format!("churn_{n}_concurrent_flows"), |b| {
+            b.iter_batched(
+                || Churn::new(n),
+                |mut churn| {
+                    for _ in 0..64 {
+                        churn.cycle();
+                    }
+                    churn
+                },
+                BatchSize::LargeInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+/// Replays a fixed transfer trace: every 250 ms each source pushes one
+/// 64 KiB message to its sink across the WAN until the trace runs out.
+struct TraceSender {
+    to: ProcessId,
+    remaining: u32,
+}
+
+impl Process for TraceSender {
+    fn on_event(&mut self, ctx: &mut Ctx<'_>, ev: Event) {
+        match ev {
+            Event::Started | Event::Timer { .. } => {
+                if self.remaining == 0 {
+                    return;
+                }
+                self.remaining -= 1;
+                ctx.send(self.to, 1, vec![0u8; 65_536]);
+                ctx.set_timer(SimDuration::from_millis(250), 0);
+            }
+            _ => {}
+        }
+    }
+}
+
+struct Devnull;
+impl Process for Devnull {
+    fn on_event(&mut self, _ctx: &mut Ctx<'_>, _ev: Event) {}
+}
+
+fn trace_world(model: NetworkModel) -> Sim {
+    let mut net = NetModel::new(0.0).with_model(model);
+    let sites: Vec<_> = (0..4)
+        .map(|s| {
+            net.add_site(SiteSpec::simple(
+                &format!("s{s}"),
+                SimDuration::from_millis(15),
+                2.5e6,
+                0.05,
+            ))
+        })
+        .collect();
+    let mut hosts = HostTable::new();
+    let mut sim_hosts = Vec::new();
+    for (si, &site) in sites.iter().enumerate() {
+        for w in 0..4 {
+            sim_hosts.push((
+                si,
+                hosts.add(HostSpec::dedicated(&format!("h{si}x{w}"), site, 1e8)),
+            ));
+        }
+    }
+    let mut sim = Sim::new(net, hosts, 11);
+    let sinks: Vec<_> = sim_hosts
+        .iter()
+        .map(|&(si, h)| sim.spawn(&format!("sink{si}"), h, Box::new(Devnull)))
+        .collect();
+    for (i, &(_, h)) in sim_hosts.iter().enumerate() {
+        // Each host sends to a sink two sites over: all traffic is WAN.
+        let to = sinks[(i + 8) % sinks.len()];
+        sim.spawn(
+            &format!("src{i}"),
+            h,
+            Box::new(TraceSender { to, remaining: 40 }),
+        );
+    }
+    sim
+}
+
+/// Same trace, both models: 16 senders × 40 transfers = 640 WAN messages
+/// over ~10 simulated seconds, concurrency high enough that flow-mode
+/// fair-share recomputes actually interleave.
+fn bench_packet_vs_flow(c: &mut Criterion) {
+    let mut g = c.benchmark_group("flow_net");
+    g.throughput(Throughput::Elements(640));
+    for (name, model) in [
+        ("trace_640_transfers_packet", NetworkModel::Packet),
+        ("trace_640_transfers_flow", NetworkModel::Flow),
+    ] {
+        g.bench_function(name, |b| {
+            b.iter_batched(
+                || trace_world(model),
+                |mut sim| {
+                    sim.run_until(SimTime::from_secs(20));
+                    sim
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_flow_churn, bench_packet_vs_flow);
+criterion_main!(benches);

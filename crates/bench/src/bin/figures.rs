@@ -23,7 +23,12 @@
 //! allocation-free workspace kernels, writing honest wall-clock numbers
 //! to `results/BENCH_PR5.json` and thread-invariant trajectory
 //! fingerprints to `results/kernel_trajectories.json` (both arms must
-//! retrace the same moves, enforced with a nonzero exit).
+//! retrace the same moves, enforced with a nonzero exit). `mega` runs
+//! the full stack on a generated 1k+ host fleet through 1M+ work units
+//! (flow-level network model by default; `--net packet` for the
+//! packet-faithful A/B; `--short` is the 64-host/50k-unit CI variant),
+//! writing `results/mega_campaign.json` (deterministic, CI-diffed) and
+//! `results/BENCH_PR7.json` (events/sec, wall-clock, peak RSS).
 //! `--seed N` reseeds. `--threads N` sets the sim-farm worker count
 //! (default: the `EW_THREADS` environment variable, else available
 //! parallelism; `--threads 1` reproduces the sequential behavior
@@ -54,6 +59,8 @@ struct Options {
     threads: usize,
     /// Validated `--workload` name (`WorkloadSpec::by_name` accepted it).
     workload: Option<String>,
+    /// Validated `--net` mode for `mega` (`packet` or `flow`; default flow).
+    net: Option<String>,
 }
 
 /// Span-trace ring size for `--trace`: large enough to hold every record
@@ -609,6 +616,7 @@ fn bench_farm(opts: &Options) {
             trace: None,
             threads: 1,
             workload: None,
+            net: None,
         };
         run_all_batteries(&seq_opts)
     };
@@ -622,6 +630,7 @@ fn bench_farm(opts: &Options) {
             trace: None,
             threads: par,
             workload: None,
+            net: None,
         };
         run_all_batteries(&par_opts)
     };
@@ -941,6 +950,177 @@ fn bench_kernel(opts: &Options) {
     }
 }
 
+/// The `mega` campaign (PR 7): the full stack at 1k+ hosts / 1M+ work
+/// units, farmed shard-per-cell, defaulting to the flow-level network
+/// model. Writes the deterministic per-shard table to
+/// `results/mega_campaign.json` (CI diffs it across thread counts) and
+/// the host-dependent throughput numbers to `results/BENCH_PR7.json`.
+/// `--net packet` runs the identical worlds on the packet-faithful mode
+/// and suffixes both artifact names with `_packet`.
+fn mega(opts: &Options) {
+    use ew_bench::mega::{peak_rss_bytes, run_mega, MegaConfig};
+    use ew_sim::NetworkModel;
+
+    let model = match opts.net.as_deref() {
+        Some("packet") => NetworkModel::Packet,
+        _ => NetworkModel::Flow,
+    };
+    let cfg = if opts.short {
+        MegaConfig::short(opts.seed, model)
+    } else {
+        MegaConfig::full(opts.seed, model)
+    };
+    eprintln!(
+        "mega: {} shards x {} hosts ({} total), {:.0} s horizon, {:?} mode, {} thread(s)...",
+        cfg.shards,
+        cfg.spec.hosts_per_shard(),
+        cfg.total_hosts(),
+        cfg.horizon.as_secs_f64(),
+        model,
+        opts.threads,
+    );
+    let out = run_mega(&cfg, opts.threads);
+
+    let units = out.total(|s| s.units);
+    let events = out.total(|s| s.events);
+    let messages = out.total(|s| s.messages);
+    let flows_started = out.total(|s| s.flows_started);
+    let flows_completed = out.total(|s| s.flows_completed);
+    let flows_stale = out.total(|s| s.flows_stale);
+    let flows_resched = out.total(|s| s.flows_reschedules);
+    let packets_avoided = out.total(|s| s.packets_avoided);
+    let hosts = out.total(|s| s.hosts as u64);
+    let wall_s = out.stats.wall_ms / 1e3;
+    let events_per_sec = if wall_s > 0.0 {
+        events as f64 / wall_s
+    } else {
+        0.0
+    };
+    // Flow-mode network events: one FlowComplete dispatch per scheduled
+    // deadline (completions + stale swallows). A per-MTU packet simulator
+    // would instead have scheduled `packets_avoided` events for the same
+    // traffic; our own Packet mode sits in between (one sampled-delay
+    // event per message — contention-blind, see DESIGN.md §12).
+    let flow_events = flows_completed + flows_stale;
+
+    let rows: Vec<serde_json::Value> = out
+        .shards
+        .iter()
+        .map(|s| {
+            serde_json::json!({
+                "shard": s.shard,
+                "seed": s.seed,
+                "hosts": s.hosts,
+                "units": s.units,
+                "events": s.events,
+                "order_hash": format!("{:#018x}", s.order_hash),
+                "messages": s.messages,
+                "bytes": s.bytes,
+                "flows_started": s.flows_started,
+                "flows_completed": s.flows_completed,
+                "flows_stale_deadlines": s.flows_stale,
+                "flows_reschedules": s.flows_reschedules,
+                "packets_avoided": s.packets_avoided,
+            })
+        })
+        .collect();
+    let suffix = if model == NetworkModel::Packet {
+        "_packet"
+    } else {
+        ""
+    };
+    write_json(
+        &format!("mega_campaign{suffix}"),
+        &serde_json::json!({
+            "campaign": "mega: full stack at generated scale (PR 7)",
+            "net_model": if model == NetworkModel::Packet { "packet" } else { "flow" },
+            "short": opts.short,
+            "seed": opts.seed,
+            "shards": cfg.shards,
+            "horizon_secs": cfg.horizon.as_secs_f64(),
+            "totals": {
+                "hosts": hosts,
+                "units": units,
+                "events": events,
+                "messages": messages,
+                "flows_started": flows_started,
+                "flows_completed": flows_completed,
+                "flows_stale_deadlines": flows_stale,
+                "flows_reschedules": flows_resched,
+                "packets_avoided": packets_avoided,
+            },
+            "per_shard": rows,
+        }),
+    );
+    write_json(
+        &format!("BENCH_PR7{suffix}"),
+        &serde_json::json!({
+            "bench": "mega campaign throughput (PR 7)",
+            "net_model": if model == NetworkModel::Packet { "packet" } else { "flow" },
+            "short": opts.short,
+            "seed": opts.seed,
+            "threads": opts.threads,
+            "hosts": hosts,
+            "units": units,
+            "events": events,
+            "wall_ms": out.stats.wall_ms,
+            "events_per_sec": events_per_sec,
+            "peak_rss_bytes": peak_rss_bytes(),
+            "network_event_comparison": {
+                "flow_deadline_events": flow_events,
+                "messages": messages,
+                "per_mtu_packet_events_hypothetical": packets_avoided,
+                "note": "flow mode dispatches one deadline event per scheduled \
+                         completion (plus stale swallows from fair-share \
+                         migrations); a per-MTU packet-level simulator would \
+                         schedule `per_mtu_packet_events_hypothetical` events for \
+                         the same bytes. This repo's own Packet mode is already \
+                         per-message (one sampled-delay event each), so the \
+                         honest contrast with it is contention fidelity — \
+                         bandwidth sharing between concurrent flows — at a \
+                         comparable event count, not a raw event saving.",
+            },
+            "note": "wall_ms, events_per_sec, and peak_rss_bytes are host time and \
+                     vary run to run; results/mega_campaign.json holds the \
+                     deterministic per-shard counters (byte-identical at any \
+                     --threads value).",
+        }),
+    );
+
+    println!("## mega campaign (PR 7)\n");
+    println!("| quantity | value |");
+    println!("|---|---|");
+    println!("| hosts | {hosts} |");
+    println!("| work units completed | {units} |");
+    println!("| events dispatched | {events} |");
+    println!("| events/sec (wall) | {events_per_sec:.3e} |");
+    println!("| wall clock | {:.1} s |", wall_s);
+    println!(
+        "| peak RSS | {} |",
+        peak_rss_bytes().map_or("n/a".into(), |b| format!(
+            "{:.1} MiB",
+            b as f64 / (1 << 20) as f64
+        ))
+    );
+    println!("| flows started / completed | {flows_started} / {flows_completed} |");
+    println!("| deadline migrations (stale) | {flows_resched} ({flows_stale}) |");
+    println!("| per-MTU packet events avoided | {packets_avoided} |");
+
+    let (unit_floor, host_floor) = if opts.short {
+        (50_000, 64)
+    } else {
+        (1_000_000, 1_000)
+    };
+    if hosts < host_floor {
+        eprintln!("mega: ERROR — {hosts} hosts is below the {host_floor}-host floor");
+        std::process::exit(1);
+    }
+    if units < unit_floor {
+        eprintln!("mega: ERROR — {units} units is below the {unit_floor}-unit floor");
+        std::process::exit(1);
+    }
+}
+
 fn write_trace(opts: &Options, rep: &Sc98Report) {
     if let Some(path) = &opts.trace {
         match rep.trace_jsonl.as_ref() {
@@ -953,7 +1133,7 @@ fn write_trace(opts: &Options, rep: &Sc98Report) {
     }
 }
 
-const COMMANDS: [&str; 18] = [
+const COMMANDS: [&str; 19] = [
     "fig2",
     "fig3a",
     "fig3b",
@@ -971,17 +1151,22 @@ const COMMANDS: [&str; 18] = [
     "workload-scaling",
     "bench-farm",
     "bench-kernel",
+    "mega",
     "all",
 ];
+
+/// Valid `--net` values for `mega`.
+const NET_MODES: [&str; 2] = ["packet", "flow"];
 
 /// Valid `--workload` values (everything `WorkloadSpec::by_name` accepts).
 const WORKLOADS: [&str; 3] = ["ramsey", "dag", "faas"];
 
 fn usage() -> String {
     format!(
-        "usage: figures -- <command> [--short] [--seed N] [--threads N] [--workload W] [--trace PATH]\n\
+        "usage: figures -- <command> [--short] [--seed N] [--threads N] [--workload W] [--net M] [--trace PATH]\n\
          commands: {}\n\
-         \x20 --short       smoke-test sizes (2 h SC98 window; 1-seed 15-min chaos campaign)\n\
+         \x20 --short       smoke-test sizes (2 h SC98 window; 1-seed 15-min chaos campaign;\n\
+         \x20               64-host/50k-unit mega)\n\
          \x20 --seed N      master seed (default 1998)\n\
          \x20 --threads N   sim-farm workers (default: EW_THREADS env, else available\n\
          \x20               parallelism; 1 = sequential; artifacts are byte-identical\n\
@@ -989,9 +1174,11 @@ fn usage() -> String {
          \x20 --workload W  application for chaos / workload-scaling: one of\n\
          \x20               {} (default: ramsey for chaos; dag and faas\n\
          \x20               for workload-scaling)\n\
+         \x20 --net M       network model for mega: one of {} (default: flow)\n\
          \x20 --trace PATH  write SC98 span-trace JSONL to PATH",
         COMMANDS.join(" "),
-        WORKLOADS.join(", ")
+        WORKLOADS.join(", "),
+        NET_MODES.join(", ")
     )
 }
 
@@ -1003,6 +1190,7 @@ fn parse_args(args: &[String]) -> Result<(String, Options), String> {
         trace: None,
         threads: 0,
         workload: None,
+        net: None,
     };
     let mut threads_flag: Option<usize> = None;
     let mut it = args.iter();
@@ -1030,6 +1218,16 @@ fn parse_args(args: &[String]) -> Result<(String, Options), String> {
                     ));
                 }
                 None => return Err("--workload needs a name".into()),
+            },
+            "--net" => match it.next() {
+                Some(m) if NET_MODES.contains(&m.as_str()) => opts.net = Some(m.clone()),
+                Some(m) => {
+                    return Err(format!(
+                        "unknown net mode {m:?} (expected one of: {})",
+                        NET_MODES.join(", ")
+                    ));
+                }
+                None => return Err("--net needs a mode".into()),
             },
             "--help" | "-h" => return Err(String::new()),
             flag if flag.starts_with('-') => {
@@ -1104,6 +1302,7 @@ fn main() {
         "workload-scaling" => workload_scaling(&opts),
         "bench-farm" => bench_farm(&opts),
         "bench-kernel" => bench_kernel(&opts),
+        "mega" => mega(&opts),
         "all" => {
             eprintln!(
                 "running the SC98 experiment and the ablation batteries \
@@ -1216,5 +1415,37 @@ mod tests {
         let u = usage();
         assert!(u.contains("workload-scaling"));
         assert!(u.contains("ramsey, dag, faas"));
+        assert!(u.contains("mega"));
+        assert!(u.contains("packet, flow"));
+    }
+
+    #[test]
+    fn mega_parses_with_its_flags() {
+        let (cmd, opts) = parse(&["mega", "--short", "--net", "packet", "--threads", "2"]).unwrap();
+        assert_eq!(cmd, "mega");
+        assert!(opts.short);
+        assert_eq!(opts.net.as_deref(), Some("packet"));
+        assert_eq!(opts.threads, 2);
+    }
+
+    #[test]
+    fn every_valid_net_mode_is_accepted() {
+        for m in NET_MODES {
+            let (_, opts) = parse(&["mega", "--net", m]).unwrap();
+            assert_eq!(opts.net.as_deref(), Some(m));
+        }
+    }
+
+    #[test]
+    fn unknown_net_mode_is_rejected_with_the_valid_set() {
+        let err = parse(&["mega", "--net", "carrier-pigeon"]).unwrap_err();
+        assert!(err.contains("unknown net mode"), "{err}");
+        assert!(err.contains("packet, flow"), "{err}");
+    }
+
+    #[test]
+    fn net_flag_without_a_value_is_rejected() {
+        let err = parse(&["mega", "--net"]).unwrap_err();
+        assert!(err.contains("--net needs a mode"), "{err}");
     }
 }

@@ -10,6 +10,7 @@
 use everyware::{pst_label, BinnedPoint};
 
 pub mod experiments;
+pub mod mega;
 
 /// Render a binned series as a markdown table with PST wall-clock labels.
 pub fn series_table(title: &str, unit: &str, series: &[BinnedPoint]) -> String {

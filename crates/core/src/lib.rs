@@ -24,6 +24,7 @@ pub mod sc98;
 pub mod series;
 pub mod toolkit;
 
+pub use ew_sim::NetworkModel;
 pub use framework::{ServiceHost, ServiceModule, ServiceReply};
 pub use live::{run_live, LiveConfig, LiveOutcome};
 pub use sc98::{run_sc98, Sc98Config, Sc98Report, JUDGING_END_S, JUDGING_START_S, WINDOW_S};

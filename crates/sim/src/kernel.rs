@@ -13,12 +13,12 @@
 //! Two runs with the same seed produce identical event orders and metrics.
 
 use std::any::Any;
-use std::collections::HashMap;
 
 use ew_telemetry::{CounterId, GaugeId, HistogramId, Registry, SeriesId, SpanId};
 
+use crate::hashers::FxHashMap;
 use crate::host::{HostId, HostTable};
-use crate::net::NetModel;
+use crate::net::{FlowDeadline, FlowTable, NetModel, NetworkModel, SiteId, FLOW_MTU_BYTES};
 use crate::payload::Payload;
 use crate::rng::{StreamSeeder, Xoshiro256};
 use crate::time::{SimDuration, SimTime};
@@ -77,6 +77,11 @@ pub trait Process: Any {
 enum Target {
     Proc(ProcessId),
     HostTransition(HostId, bool),
+    /// A flow-mode transfer's drain deadline (flow id + the generation it
+    /// was scheduled under; stale generations are swallowed at dispatch).
+    /// Never appears in packet-mode runs, so packet golden hashes are
+    /// untouched by construction.
+    FlowComplete(u32, u32),
 }
 
 struct ProcMeta {
@@ -183,7 +188,13 @@ struct KernelTele {
     dropped_dead_dest: CounterId,
     timers_cancelled: CounterId,
     wheel_cascades: CounterId,
+    flows_started: CounterId,
+    flows_completed: CounterId,
+    flows_stale: CounterId,
+    flows_rescheduled: CounterId,
+    flows_packets_avoided: CounterId,
     queue_depth: GaugeId,
+    flows_active: GaugeId,
     dispatch_span: SpanId,
 }
 
@@ -204,7 +215,13 @@ impl KernelTele {
             dropped_dead_dest: reg.counter("events.dropped_dead_dest"),
             timers_cancelled: reg.counter("kernel.timers_cancelled"),
             wheel_cascades: reg.counter("kernel.wheel_cascades"),
+            flows_started: reg.counter("net.flows_started"),
+            flows_completed: reg.counter("net.flows_completed"),
+            flows_stale: reg.counter("net.flows_stale_deadlines"),
+            flows_rescheduled: reg.counter("net.flows_reschedules"),
+            flows_packets_avoided: reg.counter("net.flows_packets_avoided"),
             queue_depth: reg.gauge("kernel.queue_depth"),
+            flows_active: reg.gauge("net.flows_active"),
             dispatch_span: reg.span("kernel.dispatch"),
         }
     }
@@ -250,7 +267,7 @@ struct Shared {
     hosts: HostTable,
     host_up: Vec<bool>,
     meta: Vec<ProcMeta>,
-    watchers: HashMap<HostId, Vec<ProcessId>>,
+    watchers: FxHashMap<HostId, Vec<ProcessId>>,
     seeder: StreamSeeder,
     net_rng: Xoshiro256,
     metrics: Metrics,
@@ -264,7 +281,12 @@ struct Shared {
     /// watermark was armed before the cancel and is swallowed at dispatch.
     /// Entries are deliberately never removed when a post-cancel timer
     /// fires: a pre-cancel timer may still be in flight behind it.
-    cancelled: HashMap<(u32, u64), u64>,
+    cancelled: FxHashMap<(u32, u64), u64>,
+    /// In-flight flow-mode transfers (empty forever in packet mode).
+    flows: FlowTable,
+    /// Reusable scratch for deadlines coming out of a fair-share
+    /// recompute, flushed into the queue by [`Shared::flush_flow_resched`].
+    flow_resched: Vec<FlowDeadline>,
 }
 
 impl Shared {
@@ -272,6 +294,62 @@ impl Shared {
         let seq = self.seq;
         self.seq += 1;
         self.queue.insert(time.as_micros(), seq, (target, ev));
+    }
+
+    /// Begin one flow-mode transfer: register it, rerun the fair-share
+    /// computation over the links it touches (which may shrink the rates
+    /// of every flow sharing them), and schedule the resulting deadlines.
+    #[allow(clippy::too_many_arguments)]
+    fn start_flow(
+        &mut self,
+        from_site: SiteId,
+        to_site: SiteId,
+        bytes: usize,
+        latency: SimDuration,
+        from: ProcessId,
+        to: ProcessId,
+        mtype: u32,
+        payload: Payload,
+    ) {
+        let now = self.now;
+        let id = self.flows.start(
+            from_site, to_site, bytes, latency, now, from.0, to.0, mtype, payload,
+        );
+        let (links, nlinks) = self.flows.links_of(id);
+        {
+            let Shared {
+                flows,
+                net,
+                flow_resched,
+                ..
+            } = self;
+            flows.recompute(&links[..nlinks], now, net, flow_resched);
+        }
+        self.flush_flow_resched();
+        let started = self.tele.flows_started;
+        self.metrics.reg.inc(started);
+        let avoided = self.tele.flows_packets_avoided;
+        let packets = (bytes as u64).div_ceil(FLOW_MTU_BYTES);
+        self.metrics.reg.add(avoided, packets as f64);
+        let active = self.tele.flows_active;
+        let n = self.flows.active() as f64;
+        self.metrics.reg.set_gauge(active, n);
+    }
+
+    /// Schedule every deadline produced by a fair-share recompute as a
+    /// `FlowComplete` entry and clear the scratch. Each migration
+    /// supersedes the flow's previous deadline via its bumped generation.
+    fn flush_flow_resched(&mut self) {
+        let n = self.flow_resched.len();
+        for i in 0..n {
+            let (flow, generation, at) = self.flow_resched[i];
+            self.push(at, Target::FlowComplete(flow, generation), None);
+        }
+        self.flow_resched.clear();
+        if n > 0 {
+            let id = self.tele.flows_rescheduled;
+            self.metrics.reg.add(id, n as f64);
+        }
     }
 
     fn reserve_pid(&mut self, name: &str, host: HostId) -> ProcessId {
@@ -377,6 +455,38 @@ impl<'a> Ctx<'a> {
         if imp_drop {
             let id = self.shared.tele.dropped_impaired;
             self.shared.metrics.reg.inc(id);
+            return;
+        }
+        if self.shared.net.model() == NetworkModel::Flow {
+            // Flow mode: the transfer drains through shared links at a
+            // max-min fair rate instead of taking a one-shot sampled delay.
+            // One flow costs O(sharing-set) deadline work total, however
+            // many MTUs it spans.
+            let Some(latency) = self.shared.net.flow_latency(from_site, to_site, now) else {
+                let id = self.shared.tele.dropped_partition;
+                self.shared.metrics.reg.inc(id);
+                return;
+            };
+            let (m, b) = (self.shared.tele.messages, self.shared.tele.bytes);
+            self.shared.metrics.reg.inc(m);
+            self.shared.metrics.reg.add(b, bytes as f64);
+            if payload.is_shared() {
+                let saved = self.shared.tele.bytes_copy_saved;
+                self.shared.metrics.reg.add(saved, payload.len() as f64);
+            }
+            if imp_dup {
+                // The duplicate is its own flow: it contends for the same
+                // links, so both copies slow each other down — closer to a
+                // real retransmission than an independent delay sample.
+                let id = self.shared.tele.duplicated;
+                self.shared.metrics.reg.inc(id);
+                let dup = payload.clone();
+                self.shared
+                    .start_flow(from_site, to_site, bytes, latency, self.me, to, mtype, dup);
+            }
+            self.shared.start_flow(
+                from_site, to_site, bytes, latency, self.me, to, mtype, payload,
+            );
             return;
         }
         match self
@@ -618,6 +728,7 @@ impl Sim {
         let host_up = vec![true; hosts.len()];
         let mut metrics = Metrics::default();
         let tele = KernelTele::intern(metrics.registry_mut());
+        let flows = FlowTable::new(net.site_count());
         Sim {
             shared: Shared {
                 now: SimTime::ZERO,
@@ -628,7 +739,7 @@ impl Sim {
                 hosts,
                 host_up,
                 meta: Vec::new(),
-                watchers: HashMap::new(),
+                watchers: FxHashMap::default(),
                 seeder,
                 net_rng,
                 metrics,
@@ -637,7 +748,9 @@ impl Sim {
                 pending_exits: Vec::new(),
                 events_dispatched: 0,
                 order_hash: ORDER_HASH_BASIS,
-                cancelled: HashMap::new(),
+                cancelled: FxHashMap::default(),
+                flows,
+                flow_resched: Vec::new(),
             },
             procs: Vec::new(),
             transitions_scheduled: false,
@@ -815,6 +928,45 @@ impl Sim {
         }
     }
 
+    /// Deliver one event to a process: alive/host-up gate, dispatch span,
+    /// take-run-restore of the boxed process. Shared between the direct
+    /// `Target::Proc` path and flow completions.
+    fn deliver(&mut self, pid: ProcessId, ev: Event) {
+        let idx = pid.0 as usize;
+        let deliverable = self.shared.meta[idx].alive
+            && self.shared.host_up[self.shared.meta[idx].host.0 as usize];
+        if deliverable {
+            if let Some(mut p) = self.procs[idx].take() {
+                self.shared.events_dispatched += 1;
+                let tag = event_tag(&ev);
+                let (t_us, span) = (self.shared.now.as_micros(), self.shared.tele.dispatch_span);
+                self.shared
+                    .metrics
+                    .reg
+                    .span_enter(t_us, span, pid.0 as u64, tag);
+                {
+                    let mut ctx = Ctx {
+                        shared: &mut self.shared,
+                        me: pid,
+                    };
+                    p.on_event(&mut ctx, ev);
+                }
+                self.shared
+                    .metrics
+                    .reg
+                    .span_exit(t_us, span, pid.0 as u64, tag);
+                // The process may have exited or been re-slotted;
+                // only put it back if the slot is still empty.
+                if self.procs[idx].is_none() {
+                    self.procs[idx] = Some(p);
+                }
+            }
+        } else {
+            let dropped = self.shared.tele.dropped_dead_dest;
+            self.shared.metrics.reg.inc(dropped);
+        }
+    }
+
     /// Run the event loop until simulated time `t_end` (events at exactly
     /// `t_end` are dispatched). Returns dispatch statistics.
     pub fn run_until(&mut self, t_end: SimTime) -> RunStats {
@@ -840,6 +992,9 @@ impl Sim {
                         Target::HostTransition(hid, up) => {
                             (hid.0 as u64) << 3 | (up as u64) << 1 | 0b100
                         }
+                        Target::FlowComplete(flow, generation) => {
+                            ((flow as u64) << 32 | generation as u64) << 3 | 0b010
+                        }
                     },
                 );
                 h = order_hash_fold(h, ev.as_ref().map_or(u64::MAX, event_tag));
@@ -860,42 +1015,46 @@ impl Sim {
                 Target::HostTransition(h, up) => {
                     self.apply_host_transition(h, up);
                 }
-                Target::Proc(pid) => {
-                    let idx = pid.0 as usize;
-                    let deliverable = self.shared.meta[idx].alive
-                        && self.shared.host_up[self.shared.meta[idx].host.0 as usize];
-                    if deliverable {
-                        if let Some(mut p) = self.procs[idx].take() {
-                            let ev = ev.expect("process events carry payloads");
-                            self.shared.events_dispatched += 1;
-                            let tag = event_tag(&ev);
-                            let (t_us, span) =
-                                (self.shared.now.as_micros(), self.shared.tele.dispatch_span);
-                            self.shared
-                                .metrics
-                                .reg
-                                .span_enter(t_us, span, pid.0 as u64, tag);
-                            {
-                                let mut ctx = Ctx {
-                                    shared: &mut self.shared,
-                                    me: pid,
-                                };
-                                p.on_event(&mut ctx, ev);
-                            }
-                            self.shared
-                                .metrics
-                                .reg
-                                .span_exit(t_us, span, pid.0 as u64, tag);
-                            // The process may have exited or been re-slotted;
-                            // only put it back if the slot is still empty.
-                            if self.procs[idx].is_none() {
-                                self.procs[idx] = Some(p);
-                            }
+                Target::FlowComplete(flow, generation) => {
+                    match self.shared.flows.complete(flow, generation) {
+                        None => {
+                            // Superseded by a fair-share recompute after
+                            // this deadline was scheduled (or already done).
+                            let id = self.shared.tele.flows_stale;
+                            self.shared.metrics.reg.inc(id);
                         }
-                    } else {
-                        let dropped = self.shared.tele.dropped_dead_dest;
-                        self.shared.metrics.reg.inc(dropped);
+                        Some(cf) => {
+                            let done = self.shared.tele.flows_completed;
+                            self.shared.metrics.reg.inc(done);
+                            let active = self.shared.tele.flows_active;
+                            let n = self.shared.flows.active() as f64;
+                            self.shared.metrics.reg.set_gauge(active, n);
+                            // Capacity freed up: re-share it among the
+                            // survivors on this flow's links.
+                            let now = self.shared.now;
+                            {
+                                let Shared {
+                                    flows,
+                                    net,
+                                    flow_resched,
+                                    ..
+                                } = &mut self.shared;
+                                flows.recompute(&cf.links[..cf.nlinks], now, net, flow_resched);
+                            }
+                            self.shared.flush_flow_resched();
+                            self.deliver(
+                                ProcessId(cf.to),
+                                Event::Message {
+                                    from: ProcessId(cf.from),
+                                    mtype: cf.mtype,
+                                    payload: cf.payload,
+                                },
+                            );
+                        }
                     }
+                }
+                Target::Proc(pid) => {
+                    self.deliver(pid, ev.expect("process events carry payloads"));
                 }
             }
             self.integrate_pending();

@@ -26,6 +26,7 @@
 #![warn(missing_docs)]
 
 pub mod farm;
+pub mod hashers;
 pub mod host;
 pub mod kernel;
 pub mod net;
@@ -40,9 +41,12 @@ pub use ew_telemetry::{
     SpanId, SubsystemHealth,
 };
 pub use farm::{available_threads, merge_cell_registries, resolve_threads, run_farm, FarmStats};
+pub use hashers::{FxHashMap, FxHasher};
 pub use host::{HostId, HostSpec, HostTable};
 pub use kernel::{Ctx, Event, Metrics, Process, ProcessId, RunStats, Sim};
-pub use net::{Impairment, NetModel, Partition, SiteId, SiteSpec};
+pub use net::{
+    CompletedFlow, FlowTable, Impairment, NetModel, NetworkModel, Partition, SiteId, SiteSpec,
+};
 pub use payload::Payload;
 pub use rng::{StreamSeeder, Xoshiro256};
 pub use time::{SimDuration, SimTime};

@@ -1,0 +1,229 @@
+//! Flow-vs-packet cross-check (PR 7).
+//!
+//! The flow-level network model must agree with the packet-faithful mode
+//! where they model the same thing — an uncontended transfer's completion
+//! time — and must diverge exactly where it adds fidelity: concurrent
+//! transfers sharing a bottleneck slow each other down, which the
+//! one-shot sampled-delay packet mode cannot express.
+
+use ew_sim::{
+    Ctx, Event, HostId, HostSpec, HostTable, NetModel, NetworkModel, Process, ProcessId, Sim,
+    SimDuration, SimTime, SiteSpec,
+};
+
+/// Two sites, zero jitter and zero load so packet delays are the closed
+/// formula `latency + bytes/bandwidth` and the cross-check is exact.
+fn world(model: NetworkModel) -> (Sim, HostId, HostId, HostId) {
+    let mut net = NetModel::new(0.0).with_model(model);
+    let a = net.add_site(SiteSpec::simple(
+        "a",
+        SimDuration::from_millis(10),
+        1.25e6,
+        0.0,
+    ));
+    let b = net.add_site(SiteSpec::simple(
+        "b",
+        SimDuration::from_millis(20),
+        1.25e6,
+        0.0,
+    ));
+    let mut hosts = HostTable::new();
+    let ha0 = hosts.add(HostSpec::dedicated("a0", a, 1e8));
+    let ha1 = hosts.add(HostSpec::dedicated("a1", a, 1e8));
+    let hb = hosts.add(HostSpec::dedicated("b0", b, 1e8));
+    (Sim::new(net, hosts, 42), ha0, ha1, hb)
+}
+
+/// Sends one message of `bytes` per `mtype` in 0..n at t=0.
+struct Blaster {
+    to: ProcessId,
+    bytes: usize,
+    n: u32,
+}
+
+impl Process for Blaster {
+    fn on_event(&mut self, ctx: &mut Ctx<'_>, ev: Event) {
+        if let Event::Started = ev {
+            for m in 0..self.n {
+                ctx.send(self.to, m, vec![0u8; self.bytes]);
+            }
+        }
+    }
+}
+
+/// Records the arrival time of every message by mtype.
+#[derive(Default)]
+struct Sink {
+    arrivals: Vec<(u32, SimTime)>,
+}
+
+impl Process for Sink {
+    fn on_event(&mut self, _ctx: &mut Ctx<'_>, ev: Event) {
+        if let Event::Message { mtype, .. } = ev {
+            // Arrival time is observed at delivery; `_ctx.now()` equals
+            // the completion deadline in flow mode and the sampled delay
+            // in packet mode.
+            self.arrivals.push((mtype, _ctx.now()));
+        }
+    }
+}
+
+fn arrivals(sim: &Sim, sink: ProcessId) -> Vec<(u32, SimTime)> {
+    sim.with_process::<Sink, _>(sink, |s| s.arrivals.clone())
+        .expect("sink alive")
+}
+
+/// One uncontended transfer: flow completion must match the packet
+/// formula within a small relative error (the only differences are the
+/// 32-byte header accounting and float rounding).
+#[test]
+fn uncontended_flow_matches_packet_delay() {
+    let bytes = 500_000usize;
+    let mut results = Vec::new();
+    for model in [NetworkModel::Packet, NetworkModel::Flow] {
+        let (mut sim, ha0, _, hb) = world(model);
+        let sink = sim.spawn("sink", hb, Box::<Sink>::default());
+        sim.spawn(
+            "src",
+            ha0,
+            Box::new(Blaster {
+                to: sink,
+                bytes,
+                n: 1,
+            }),
+        );
+        sim.run_until(SimTime::ZERO + SimDuration::from_secs(10));
+        let arr = arrivals(&sim, sink);
+        assert_eq!(arr.len(), 1, "{model:?}: message must arrive");
+        results.push(arr[0].1.as_secs_f64());
+    }
+    let (packet, flow) = (results[0], results[1]);
+    let rel = (packet - flow).abs() / packet;
+    assert!(
+        rel < 1e-3,
+        "uncontended transfer must agree: packet {packet:.6}s flow {flow:.6}s (rel {rel:.2e})"
+    );
+}
+
+/// Two simultaneous transfers into the same WAN bottleneck: flow mode
+/// halves each one's rate (≈2x completion), packet mode is blind to the
+/// contention and delivers both at the single-transfer time.
+#[test]
+fn contended_flows_share_bandwidth_where_packet_mode_is_blind() {
+    let bytes = 500_000usize;
+    let single = {
+        let (mut sim, ha0, _, hb) = world(NetworkModel::Flow);
+        let sink = sim.spawn("sink", hb, Box::<Sink>::default());
+        sim.spawn(
+            "src",
+            ha0,
+            Box::new(Blaster {
+                to: sink,
+                bytes,
+                n: 1,
+            }),
+        );
+        sim.run_until(SimTime::ZERO + SimDuration::from_secs(10));
+        arrivals(&sim, sink)[0].1.as_secs_f64()
+    };
+    for (model, expect_ratio) in [(NetworkModel::Flow, 2.0), (NetworkModel::Packet, 1.0)] {
+        let (mut sim, ha0, ha1, hb) = world(model);
+        let sink = sim.spawn("sink", hb, Box::<Sink>::default());
+        for (name, h) in [("src0", ha0), ("src1", ha1)] {
+            sim.spawn(
+                name,
+                h,
+                Box::new(Blaster {
+                    to: sink,
+                    bytes,
+                    n: 1,
+                }),
+            );
+        }
+        sim.run_until(SimTime::ZERO + SimDuration::from_secs(10));
+        let arr = arrivals(&sim, sink);
+        assert_eq!(arr.len(), 2, "{model:?}: both messages must arrive");
+        let last = arr
+            .iter()
+            .map(|(_, t)| t.as_secs_f64())
+            .fold(0.0f64, f64::max);
+        // Completion is latency + drain; only the drain stretches under
+        // contention, so compare drain-time ratios (latency = 30 ms).
+        let latency = 0.030;
+        let ratio = (last - latency) / (single - latency);
+        assert!(
+            (ratio - expect_ratio).abs() < 0.05,
+            "{model:?}: drain ratio {ratio:.3}, expected ~{expect_ratio}"
+        );
+    }
+}
+
+/// Flow mode must be deterministic: two identical runs produce identical
+/// event-order hashes and identical arrival schedules.
+#[test]
+fn flow_mode_runs_are_bit_identical() {
+    let run = || {
+        let (mut sim, ha0, ha1, hb) = world(NetworkModel::Flow);
+        let sink = sim.spawn("sink", hb, Box::<Sink>::default());
+        for (i, h) in [ha0, ha1, hb].into_iter().enumerate() {
+            sim.spawn(
+                &format!("src{i}"),
+                h,
+                Box::new(Blaster {
+                    to: sink,
+                    bytes: 100_000,
+                    n: 20,
+                }),
+            );
+        }
+        sim.run_until(SimTime::ZERO + SimDuration::from_secs(30));
+        (sim.event_order_hash(), arrivals(&sim, sink))
+    };
+    let (h1, a1) = run();
+    let (h2, a2) = run();
+    assert_eq!(h1, h2, "event-order hash must be stable");
+    assert_eq!(a1, a2, "arrival schedule must be stable");
+    assert_eq!(a1.len(), 60, "every message must arrive");
+}
+
+/// A partition still drops flow-mode messages at send time.
+#[test]
+fn partitioned_flow_send_is_dropped() {
+    let mut net = NetModel::new(0.0).with_model(NetworkModel::Flow);
+    let a = net.add_site(SiteSpec::simple(
+        "a",
+        SimDuration::from_millis(10),
+        1.25e6,
+        0.0,
+    ));
+    let b = net.add_site(SiteSpec::simple(
+        "b",
+        SimDuration::from_millis(10),
+        1.25e6,
+        0.0,
+    ));
+    net.add_partition(ew_sim::Partition {
+        a,
+        b: Some(b),
+        from: SimTime::ZERO,
+        until: SimTime::ZERO + SimDuration::from_secs(100),
+    });
+    let mut hosts = HostTable::new();
+    let ha = hosts.add(HostSpec::dedicated("a0", a, 1e8));
+    let hb = hosts.add(HostSpec::dedicated("b0", b, 1e8));
+    let mut sim = Sim::new(net, hosts, 7);
+    let sink = sim.spawn("sink", hb, Box::<Sink>::default());
+    sim.spawn(
+        "src",
+        ha,
+        Box::new(Blaster {
+            to: sink,
+            bytes: 1000,
+            n: 1,
+        }),
+    );
+    sim.run_until(SimTime::ZERO + SimDuration::from_secs(10));
+    assert!(arrivals(&sim, sink).is_empty(), "partition must drop");
+    assert_eq!(sim.metrics().counter("net.dropped_partition"), 1.0);
+    assert_eq!(sim.metrics().counter("net.flows_started"), 0.0);
+}

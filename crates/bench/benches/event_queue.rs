@@ -38,6 +38,25 @@ fn batch(n: u64) -> Vec<(u64, u64)> {
     out
 }
 
+/// Bursty variant: entries arrive in same-tick runs of `burst` — the
+/// synchronized-timeout / broadcast-delivery shape that PR 8's batched
+/// dispatch targets.
+fn burst_batch(n: u64, burst: u64) -> Vec<(u64, u64)> {
+    let mut s = 0x243f_6a88_85a3_08d3u64;
+    let mut out = Vec::with_capacity(n as usize);
+    let mut t = 0u64;
+    for seq in 0..n {
+        if seq % burst == 0 {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            t = s.wrapping_mul(0x2545_f491_4f6c_dd1d) % HORIZON_US;
+        }
+        out.push((t, seq));
+    }
+    out
+}
+
 fn drain_wheel(entries: &[(u64, u64)]) -> u64 {
     let mut w = TimingWheel::new();
     for &(t, seq) in entries {
@@ -46,6 +65,27 @@ fn drain_wheel(entries: &[(u64, u64)]) -> u64 {
     let mut sum = 0u64;
     while let Some((t, seq, ())) = w.pop_upto(u64::MAX) {
         sum = sum.wrapping_add(t ^ seq);
+    }
+    sum
+}
+
+/// Same workload through the batched path: drain whole `(time, *)` runs
+/// with `pop_run_upto` into a reused buffer — the kernel's PR 8 dispatch
+/// loop.
+fn drain_wheel_runs(entries: &[(u64, u64)]) -> u64 {
+    let mut w = TimingWheel::new();
+    for &(t, seq) in entries {
+        w.insert(t, seq, ());
+    }
+    let mut buf: Vec<(u64, u64, ())> = Vec::new();
+    let mut sum = 0u64;
+    loop {
+        if w.pop_run_upto(u64::MAX, &mut buf) == 0 {
+            break;
+        }
+        for (t, seq, ()) in buf.drain(..) {
+            sum = sum.wrapping_add(t ^ seq);
+        }
     }
     sum
 }
@@ -93,9 +133,10 @@ fn bench_event_queue(c: &mut Criterion) {
     let mut g = c.benchmark_group("event_queue");
     for &n in &[10_000u64, 100_000, 1_000_000] {
         let entries = batch(n);
-        // Both structures must agree on the drain order before we bother
+        // All three drains must agree on the order before we bother
         // timing them.
         assert_eq!(drain_wheel(&entries), drain_heap(&entries));
+        assert_eq!(drain_wheel_runs(&entries), drain_heap(&entries));
         g.throughput(Throughput::Elements(n));
         if n >= 1_000_000 {
             g.sample_size(10);
@@ -103,9 +144,27 @@ fn bench_event_queue(c: &mut Criterion) {
         g.bench_function(BenchmarkId::new("wheel", n), |b| {
             b.iter(|| drain_wheel(black_box(&entries)))
         });
+        g.bench_function(BenchmarkId::new("wheel_runs", n), |b| {
+            b.iter(|| drain_wheel_runs(black_box(&entries)))
+        });
         g.bench_function(BenchmarkId::new("heap", n), |b| {
             b.iter(|| drain_heap(black_box(&entries)))
         });
+    }
+    // Bursty same-tick runs: the case batched dispatch is built for.
+    for &burst in &[32u64, 64] {
+        let n = 100_000u64;
+        let entries = burst_batch(n, burst);
+        assert_eq!(drain_wheel(&entries), drain_heap(&entries));
+        assert_eq!(drain_wheel_runs(&entries), drain_heap(&entries));
+        g.throughput(Throughput::Elements(n));
+        g.bench_function(BenchmarkId::new(format!("wheel/burst{burst}"), n), |b| {
+            b.iter(|| drain_wheel(black_box(&entries)))
+        });
+        g.bench_function(
+            BenchmarkId::new(format!("wheel_runs/burst{burst}"), n),
+            |b| b.iter(|| drain_wheel_runs(black_box(&entries))),
+        );
     }
     assert_eq!(sparse_wheel(10_000), sparse_heap(10_000));
     g.throughput(Throughput::Elements(10_000));

@@ -55,7 +55,7 @@ impl GossipClient {
         send_packet(
             ctx,
             gossip,
-            &Packet::request(gm::REGISTER, 0, body.to_wire()),
+            &Packet::request(gm::REGISTER, 0, body.to_wire_payload()),
         );
     }
 
@@ -107,7 +107,11 @@ impl GossipClient {
                         stype: poll.stype,
                         blob,
                     };
-                    send_packet(ctx, from, &Packet::response_to(pkt, carrier.to_wire()));
+                    send_packet(
+                        ctx,
+                        from,
+                        &Packet::response_to(pkt, carrier.to_wire_payload()),
+                    );
                 }
                 true
             }

@@ -218,7 +218,7 @@ impl GossipServer {
         broadcast_packet(
             ctx,
             targets,
-            &Packet::oneway(gm::ANNOUNCE, announce.to_wire()),
+            &Packet::oneway(gm::ANNOUNCE, announce.to_wire_payload()),
         );
         // Stagger periodic timers by a deterministic per-process offset so
         // co-located servers do not fire in lockstep.
@@ -264,7 +264,7 @@ impl GossipServer {
         send_packet(
             ctx,
             Self::pid(comp),
-            &Packet::request(gm::POLL, corr, body.to_wire()),
+            &Packet::request(gm::POLL, corr, body.to_wire_payload()),
         );
         ctx.inc(tele.polls_sent);
     }
@@ -309,7 +309,11 @@ impl GossipServer {
             .map(|&peer| Self::pid(peer))
             .collect();
         ctx.add(tele.syncs_sent, targets.len() as f64);
-        broadcast_packet(ctx, targets, &Packet::oneway(gm::SYNC, body.to_wire()));
+        broadcast_packet(
+            ctx,
+            targets,
+            &Packet::oneway(gm::SYNC, body.to_wire_payload()),
+        );
         ctx.set_timer(self.cfg.sync_interval, TIMER_SYNC);
     }
 
@@ -330,7 +334,7 @@ impl GossipServer {
             send_packet(
                 ctx,
                 Self::pid(addr),
-                &Packet::oneway(gm::PUSH, carrier.to_wire()),
+                &Packet::oneway(gm::PUSH, carrier.to_wire_payload()),
             );
             self.store.note_pushed(addr, stype, blob);
             self.pushes += 1;
@@ -393,7 +397,7 @@ impl GossipServer {
             broadcast_packet(
                 ctx,
                 targets,
-                &Packet::request(gm::ELECTION, 0, call.to_wire()),
+                &Packet::request(gm::ELECTION, 0, call.to_wire_payload()),
             );
         } else if clique.election_deadline().is_some_and(|d| d <= now) {
             if let Some((to, tok)) = clique.finish_election(now) {
@@ -401,7 +405,7 @@ impl GossipServer {
                 send_packet(
                     ctx,
                     Self::pid(to),
-                    &Packet::oneway(gm::TOKEN, tok.to_wire()),
+                    &Packet::oneway(gm::TOKEN, tok.to_wire_payload()),
                 );
                 ctx.span_exit(tele.token_span, to);
             }
@@ -412,7 +416,7 @@ impl GossipServer {
             send_packet(
                 ctx,
                 Self::pid(target),
-                &Packet::request(gm::MERGE_PROBE, 0, probe.to_wire()),
+                &Packet::request(gm::MERGE_PROBE, 0, probe.to_wire_payload()),
             );
             ctx.inc(tele.probes);
         }
@@ -496,7 +500,7 @@ impl GossipServer {
                         broadcast_packet(
                             ctx,
                             targets,
-                            &Packet::oneway(gm::ANNOUNCE, relay.to_wire()),
+                            &Packet::oneway(gm::ANNOUNCE, relay.to_wire_payload()),
                         );
                     }
                 }
@@ -529,7 +533,11 @@ impl GossipServer {
                 if let Ok(probe) = pkt.body::<MergeProbe>() {
                     let clique = self.clique.as_mut().expect("started");
                     let reply = clique.on_merge_probe(&probe, now);
-                    send_packet(ctx, from, &Packet::response_to(&pkt, reply.to_wire()));
+                    send_packet(
+                        ctx,
+                        from,
+                        &Packet::response_to(&pkt, reply.to_wire_payload()),
+                    );
                 }
             }
             (gm::MERGE_PROBE, true) => {
@@ -540,7 +548,7 @@ impl GossipServer {
                         send_packet(
                             ctx,
                             Self::pid(to),
-                            &Packet::oneway(gm::TOKEN, tok.to_wire()),
+                            &Packet::oneway(gm::TOKEN, tok.to_wire_payload()),
                         );
                     }
                 }
@@ -567,7 +575,7 @@ impl Process for GossipServer {
                             send_packet(
                                 ctx,
                                 Self::pid(to),
-                                &Packet::oneway(gm::TOKEN, tok.to_wire()),
+                                &Packet::oneway(gm::TOKEN, tok.to_wire_payload()),
                             );
                             ctx.span_exit(tele.token_span, to);
                         }

@@ -222,11 +222,13 @@ impl Packet {
     /// [`Payload`] so a fan-out (build once, send to N peers) serializes
     /// exactly once.
     pub fn to_sim_payload(&self) -> Payload {
-        let mut out = Vec::with_capacity(9 + self.payload.len());
-        self.flags.encode(&mut out);
-        self.corr_id.encode(&mut out);
-        out.extend_from_slice(&self.payload);
-        out.into()
+        // Built through the payload pool: in steady state the send path
+        // recycles the same class buffers instead of allocating per hop.
+        Payload::build(9 + self.payload.len(), |out| {
+            self.flags.encode(out);
+            self.corr_id.encode(out);
+            out.extend_from_slice(&self.payload);
+        })
     }
 
     /// Inverse of [`Packet::to_sim_payload`]. Zero-copy: the returned

@@ -103,6 +103,14 @@ pub trait WireEncode {
         self.encode(&mut v);
         v
     }
+
+    /// Encode into a pooled [`Payload`](ew_sim::Payload) — the preferred
+    /// body for packets headed into the simulator: the buffer comes from
+    /// the thread's payload pool (zero allocations in steady state) and
+    /// returns to it when the last in-flight reference drops.
+    fn to_wire_payload(&self) -> ew_sim::Payload {
+        ew_sim::Payload::build(64, |out| self.encode(out))
+    }
 }
 
 /// Types that can deserialize themselves from the wire.

@@ -462,7 +462,11 @@ impl Process for SchedulerServer {
                         unit: WorkUnit::default(),
                     },
                 };
-                send_packet(ctx, from, &Packet::response_to(&pkt, grant.to_wire()));
+                send_packet(
+                    ctx,
+                    from,
+                    &Packet::response_to(&pkt, grant.to_wire_payload()),
+                );
             }
             scm::REPORT => {
                 if let Ok(report) = pkt.body::<ProgressReport>() {
@@ -477,14 +481,18 @@ impl Process for SchedulerServer {
                         send_packet(
                             ctx,
                             ProcessId(log as u32),
-                            &Packet::oneway(sm::LOG, rec.to_wire()),
+                            &Packet::oneway(sm::LOG, rec.to_wire_payload()),
                         );
                     }
                     let unit_id = report.unit_id;
                     ctx.span_enter(tele.decide_span, unit_id);
                     let directive = self.handle_report(ctx.now(), report);
                     ctx.span_exit(tele.decide_span, unit_id);
-                    send_packet(ctx, from, &Packet::response_to(&pkt, directive.to_wire()));
+                    send_packet(
+                        ctx,
+                        from,
+                        &Packet::response_to(&pkt, directive.to_wire_payload()),
+                    );
                 }
             }
             scm::RESULT => {

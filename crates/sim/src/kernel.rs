@@ -188,6 +188,11 @@ struct KernelTele {
     dropped_dead_dest: CounterId,
     timers_cancelled: CounterId,
     wheel_cascades: CounterId,
+    batch_dispatches: CounterId,
+    batch_ties: CounterId,
+    payload_pool_hits: CounterId,
+    payload_pool_misses: CounterId,
+    payload_pool_recycled: CounterId,
     flows_started: CounterId,
     flows_completed: CounterId,
     flows_stale: CounterId,
@@ -195,6 +200,7 @@ struct KernelTele {
     flows_packets_avoided: CounterId,
     queue_depth: GaugeId,
     flows_active: GaugeId,
+    batch_len_max: GaugeId,
     dispatch_span: SpanId,
 }
 
@@ -215,6 +221,11 @@ impl KernelTele {
             dropped_dead_dest: reg.counter("events.dropped_dead_dest"),
             timers_cancelled: reg.counter("kernel.timers_cancelled"),
             wheel_cascades: reg.counter("kernel.wheel_cascades"),
+            batch_dispatches: reg.counter("kernel.batch_dispatches"),
+            batch_ties: reg.counter("kernel.batch_ties"),
+            payload_pool_hits: reg.counter("net.payload_pool_hits"),
+            payload_pool_misses: reg.counter("net.payload_pool_misses"),
+            payload_pool_recycled: reg.counter("net.payload_pool_recycled"),
             flows_started: reg.counter("net.flows_started"),
             flows_completed: reg.counter("net.flows_completed"),
             flows_stale: reg.counter("net.flows_stale_deadlines"),
@@ -222,6 +233,7 @@ impl KernelTele {
             flows_packets_avoided: reg.counter("net.flows_packets_avoided"),
             queue_depth: reg.gauge("kernel.queue_depth"),
             flows_active: reg.gauge("net.flows_active"),
+            batch_len_max: reg.gauge("kernel.batch_len_max"),
             dispatch_span: reg.span("kernel.dispatch"),
         }
     }
@@ -238,6 +250,22 @@ fn event_tag(ev: &Event) -> u64 {
     }
 }
 
+/// Process-wide default for [`Sim::set_batched_dispatch`], read once at
+/// [`Sim::new`]. Exists so whole multi-`Sim` campaigns (chaos, mega) can
+/// be A/B'd between dispatch modes without threading a flag through every
+/// cell builder — see [`set_default_batched_dispatch`].
+static DEFAULT_BATCHED: std::sync::atomic::AtomicBool = std::sync::atomic::AtomicBool::new(true);
+
+/// Set the dispatch mode newly built [`Sim`]s start in (batched is the
+/// default). Affects only `Sim`s constructed *after* the call, including
+/// those built on sim-farm worker threads; existing `Sim`s keep their
+/// mode. Both modes dispatch the identical `(time, seq)` order — this
+/// knob exists for A/B benchmarking and the batch-equivalence golden-hash
+/// test, never for behavior.
+pub fn set_default_batched_dispatch(batched: bool) {
+    DEFAULT_BATCHED.store(batched, std::sync::atomic::Ordering::SeqCst);
+}
+
 /// Arbitrary non-zero seed (the FNV-1a offset basis); the event-order
 /// hash starts here.
 const ORDER_HASH_BASIS: u64 = 0xcbf2_9ce4_8422_2325;
@@ -252,6 +280,26 @@ fn order_hash_fold(h: u64, word: u64) -> u64 {
     (h ^ word)
         .wrapping_mul(0x9e37_79b9_7f4a_7c15)
         .rotate_left(23)
+}
+
+/// Fold one dispatched entry — `(time, seq, target, event-variant)` — into
+/// the running order hash. Shared verbatim by the per-event and batch
+/// dispatch paths so both produce bit-identical golden hashes.
+#[inline]
+fn fold_entry(h: u64, t_us: u64, seq: u64, target: &Target, ev: &Option<Event>) -> u64 {
+    let mut h = order_hash_fold(h, t_us);
+    h = order_hash_fold(h, seq);
+    h = order_hash_fold(
+        h,
+        match target {
+            Target::Proc(pid) => (pid.0 as u64) << 3 | 0b001,
+            Target::HostTransition(hid, up) => (hid.0 as u64) << 3 | (*up as u64) << 1 | 0b100,
+            Target::FlowComplete(flow, generation) => {
+                ((*flow as u64) << 32 | *generation as u64) << 3 | 0b010
+            }
+        },
+    );
+    order_hash_fold(h, ev.as_ref().map_or(u64::MAX, event_tag))
 }
 
 struct Shared {
@@ -287,6 +335,22 @@ struct Shared {
     /// Reusable scratch for deadlines coming out of a fair-share
     /// recompute, flushed into the queue by [`Shared::flush_flow_resched`].
     flow_resched: Vec<FlowDeadline>,
+    /// Whether `run_until` drains same-timestamp runs wholesale (the
+    /// default) or pops one entry at a time. Both modes dispatch the
+    /// identical `(time, seq)` order; see [`Sim::set_batched_dispatch`].
+    batched: bool,
+    /// Reusable batch-dispatch scratch: one same-tick run at a time,
+    /// emptied before being handed back to the wheel.
+    dispatch_buf: Vec<(u64, u64, (Target, Option<Event>))>,
+    /// Largest same-tick run dispatched so far (gauge `kernel.batch_len_max`).
+    batch_len_max: u64,
+    /// Whether the payload pool has been reset for this simulation (done
+    /// lazily on the first `run_until`, i.e. on the thread that actually
+    /// drives the sim — a farm cell may be built on one thread and run on
+    /// another).
+    pool_primed: bool,
+    /// Payload-pool counters already flushed into telemetry.
+    pool_seen: crate::payload::PoolStats,
 }
 
 impl Shared {
@@ -751,6 +815,11 @@ impl Sim {
                 cancelled: FxHashMap::default(),
                 flows,
                 flow_resched: Vec::new(),
+                batched: DEFAULT_BATCHED.load(std::sync::atomic::Ordering::SeqCst),
+                dispatch_buf: Vec::new(),
+                batch_len_max: 0,
+                pool_primed: false,
+                pool_seen: crate::payload::PoolStats::default(),
             },
             procs: Vec::new(),
             transitions_scheduled: false,
@@ -967,97 +1036,127 @@ impl Sim {
         }
     }
 
+    /// Dispatch one already-popped, already-hashed queue entry: advance
+    /// `now`, swallow lazily-cancelled timers, route by target, integrate
+    /// spawns/exits. Shared verbatim by the per-event and batch loops.
+    fn dispatch_entry(&mut self, t_us: u64, seq: u64, target: Target, ev: Option<Event>) {
+        let time = SimTime::from_micros(t_us);
+        debug_assert!(time >= self.shared.now, "time went backwards");
+        self.shared.now = time;
+        // Lazily-cancelled timer: armed before a cancel_timer() call on
+        // the same (pid, tag). Swallow it here instead of delivering.
+        if let (Target::Proc(pid), Some(Event::Timer { tag })) = (&target, &ev) {
+            if let Some(&watermark) = self.shared.cancelled.get(&(pid.0, *tag)) {
+                if seq < watermark {
+                    let c = self.shared.tele.timers_cancelled;
+                    self.shared.metrics.reg.inc(c);
+                    return;
+                }
+            }
+        }
+        match target {
+            Target::HostTransition(h, up) => {
+                self.apply_host_transition(h, up);
+            }
+            Target::FlowComplete(flow, generation) => {
+                match self.shared.flows.complete(flow, generation) {
+                    None => {
+                        // Superseded by a fair-share recompute after
+                        // this deadline was scheduled (or already done).
+                        let id = self.shared.tele.flows_stale;
+                        self.shared.metrics.reg.inc(id);
+                    }
+                    Some(cf) => {
+                        let done = self.shared.tele.flows_completed;
+                        self.shared.metrics.reg.inc(done);
+                        let active = self.shared.tele.flows_active;
+                        let n = self.shared.flows.active() as f64;
+                        self.shared.metrics.reg.set_gauge(active, n);
+                        // Capacity freed up: re-share it among the
+                        // survivors on this flow's links.
+                        let now = self.shared.now;
+                        {
+                            let Shared {
+                                flows,
+                                net,
+                                flow_resched,
+                                ..
+                            } = &mut self.shared;
+                            flows.recompute(&cf.links[..cf.nlinks], now, net, flow_resched);
+                        }
+                        self.shared.flush_flow_resched();
+                        self.deliver(
+                            ProcessId(cf.to),
+                            Event::Message {
+                                from: ProcessId(cf.from),
+                                mtype: cf.mtype,
+                                payload: cf.payload,
+                            },
+                        );
+                    }
+                }
+            }
+            Target::Proc(pid) => {
+                self.deliver(pid, ev.expect("process events carry payloads"));
+            }
+        }
+        self.integrate_pending();
+    }
+
     /// Run the event loop until simulated time `t_end` (events at exactly
     /// `t_end` are dispatched). Returns dispatch statistics.
     pub fn run_until(&mut self, t_end: SimTime) -> RunStats {
         self.schedule_host_transitions();
+        if !self.shared.pool_primed {
+            // First drive of this sim, on the thread that actually runs
+            // it: start the payload pool cold, so pool telemetry (and
+            // buffer reuse) is a deterministic function of the scenario
+            // rather than of which farm worker ran the cell before.
+            crate::payload::pool_reset();
+            self.shared.pool_primed = true;
+        }
         let start_events = self.shared.events_dispatched;
         let limit = t_end.as_micros();
-        while let Some((t_us, seq, (target, ev))) = self.shared.queue.pop_upto(limit) {
-            let time = SimTime::from_micros(t_us);
-            debug_assert!(time >= self.shared.now, "time went backwards");
-            self.shared.now = time;
-            // Fold every popped entry into the order hash: (time, seq,
-            // target, event variant) pins the exact dispatch sequence, so
-            // any queue implementation producing a different total order is
-            // caught by the golden-hash determinism tests.
-            {
+        let mut batch_runs = 0u64;
+        let mut batch_ties = 0u64;
+        if self.shared.batched {
+            // Batch mode: drain each same-timestamp run in one pass. The
+            // wheel settles once per run (not once per event), and the
+            // order hash is folded with one load/store of `order_hash`
+            // per run. Events scheduled *during* the run at the same tick
+            // carry higher seqs and come out as the next run, which is
+            // exactly the order per-event popping produces — the golden
+            // hashes pin this equivalence bit-for-bit.
+            let mut buf = std::mem::take(&mut self.shared.dispatch_buf);
+            loop {
+                debug_assert!(buf.is_empty());
+                let n = self.shared.queue.pop_run_upto(limit, &mut buf);
+                if n == 0 {
+                    break;
+                }
+                batch_runs += 1;
+                batch_ties += (n - 1) as u64;
+                if n as u64 > self.shared.batch_len_max {
+                    self.shared.batch_len_max = n as u64;
+                }
                 let mut h = self.shared.order_hash;
-                h = order_hash_fold(h, t_us);
-                h = order_hash_fold(h, seq);
-                h = order_hash_fold(
-                    h,
-                    match target {
-                        Target::Proc(pid) => (pid.0 as u64) << 3 | 0b001,
-                        Target::HostTransition(hid, up) => {
-                            (hid.0 as u64) << 3 | (up as u64) << 1 | 0b100
-                        }
-                        Target::FlowComplete(flow, generation) => {
-                            ((flow as u64) << 32 | generation as u64) << 3 | 0b010
-                        }
-                    },
-                );
-                h = order_hash_fold(h, ev.as_ref().map_or(u64::MAX, event_tag));
+                for (t_us, seq, (target, ev)) in &buf {
+                    h = fold_entry(h, *t_us, *seq, target, ev);
+                }
                 self.shared.order_hash = h;
-            }
-            // Lazily-cancelled timer: armed before a cancel_timer() call on
-            // the same (pid, tag). Swallow it here instead of delivering.
-            if let (Target::Proc(pid), Some(Event::Timer { tag })) = (&target, &ev) {
-                if let Some(&watermark) = self.shared.cancelled.get(&(pid.0, *tag)) {
-                    if seq < watermark {
-                        let c = self.shared.tele.timers_cancelled;
-                        self.shared.metrics.reg.inc(c);
-                        continue;
-                    }
+                for (t_us, seq, (target, ev)) in buf.drain(..) {
+                    self.dispatch_entry(t_us, seq, target, ev);
                 }
             }
-            match target {
-                Target::HostTransition(h, up) => {
-                    self.apply_host_transition(h, up);
-                }
-                Target::FlowComplete(flow, generation) => {
-                    match self.shared.flows.complete(flow, generation) {
-                        None => {
-                            // Superseded by a fair-share recompute after
-                            // this deadline was scheduled (or already done).
-                            let id = self.shared.tele.flows_stale;
-                            self.shared.metrics.reg.inc(id);
-                        }
-                        Some(cf) => {
-                            let done = self.shared.tele.flows_completed;
-                            self.shared.metrics.reg.inc(done);
-                            let active = self.shared.tele.flows_active;
-                            let n = self.shared.flows.active() as f64;
-                            self.shared.metrics.reg.set_gauge(active, n);
-                            // Capacity freed up: re-share it among the
-                            // survivors on this flow's links.
-                            let now = self.shared.now;
-                            {
-                                let Shared {
-                                    flows,
-                                    net,
-                                    flow_resched,
-                                    ..
-                                } = &mut self.shared;
-                                flows.recompute(&cf.links[..cf.nlinks], now, net, flow_resched);
-                            }
-                            self.shared.flush_flow_resched();
-                            self.deliver(
-                                ProcessId(cf.to),
-                                Event::Message {
-                                    from: ProcessId(cf.from),
-                                    mtype: cf.mtype,
-                                    payload: cf.payload,
-                                },
-                            );
-                        }
-                    }
-                }
-                Target::Proc(pid) => {
-                    self.deliver(pid, ev.expect("process events carry payloads"));
-                }
+            self.shared.dispatch_buf = buf;
+        } else {
+            // Per-event mode: the pre-batching loop, kept for A/B
+            // measurement and the batch-equivalence golden-hash test.
+            while let Some((t_us, seq, (target, ev))) = self.shared.queue.pop_upto(limit) {
+                self.shared.order_hash =
+                    fold_entry(self.shared.order_hash, t_us, seq, &target, &ev);
+                self.dispatch_entry(t_us, seq, target, ev);
             }
-            self.integrate_pending();
         }
         self.shared.now = t_end;
         let depth = self.shared.tele.queue_depth;
@@ -1070,10 +1169,56 @@ impl Sim {
             let c = self.shared.tele.wheel_cascades;
             self.shared.metrics.reg.add(c, new_cascades as f64);
         }
+        if batch_runs > 0 {
+            let d = self.shared.tele.batch_dispatches;
+            self.shared.metrics.reg.add(d, batch_runs as f64);
+            if batch_ties > 0 {
+                let t = self.shared.tele.batch_ties;
+                self.shared.metrics.reg.add(t, batch_ties as f64);
+            }
+            let g = self.shared.tele.batch_len_max;
+            self.shared
+                .metrics
+                .reg
+                .set_gauge(g, self.shared.batch_len_max as f64);
+        }
+        // Flush payload-pool deltas (this thread's pool was reset when the
+        // sim first ran, so the counters are cell-deterministic).
+        // Saturating: a foreign `pool_reset` between runs loses counts but
+        // never underflows.
+        let pool = crate::payload::pool_stats();
+        let seen = self.shared.pool_seen;
+        let (dh, dm, dr) = (
+            pool.hits.saturating_sub(seen.hits),
+            pool.misses.saturating_sub(seen.misses),
+            pool.recycled.saturating_sub(seen.recycled),
+        );
+        self.shared.pool_seen = pool;
+        if dh > 0 {
+            let id = self.shared.tele.payload_pool_hits;
+            self.shared.metrics.reg.add(id, dh as f64);
+        }
+        if dm > 0 {
+            let id = self.shared.tele.payload_pool_misses;
+            self.shared.metrics.reg.add(id, dm as f64);
+        }
+        if dr > 0 {
+            let id = self.shared.tele.payload_pool_recycled;
+            self.shared.metrics.reg.add(id, dr as f64);
+        }
         RunStats {
             events: self.shared.events_dispatched - start_events,
             now: self.shared.now,
         }
+    }
+
+    /// Switch between batched same-timestamp dispatch (the default) and
+    /// the per-event pop loop. The two modes dispatch the identical
+    /// `(time, seq)` order and produce the same [`Sim::event_order_hash`]
+    /// — a golden-hash test pins this — so this knob exists for honest A/B
+    /// benchmarking and for that test, never for behavior.
+    pub fn set_batched_dispatch(&mut self, batched: bool) {
+        self.shared.batched = batched;
     }
 
     /// Drain every remaining event regardless of time. Intended for tests;

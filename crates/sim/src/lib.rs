@@ -43,11 +43,13 @@ pub use ew_telemetry::{
 pub use farm::{available_threads, merge_cell_registries, resolve_threads, run_farm, FarmStats};
 pub use hashers::{FxHashMap, FxHasher};
 pub use host::{HostId, HostSpec, HostTable};
-pub use kernel::{Ctx, Event, Metrics, Process, ProcessId, RunStats, Sim};
+pub use kernel::{
+    set_default_batched_dispatch, Ctx, Event, Metrics, Process, ProcessId, RunStats, Sim,
+};
 pub use net::{
     CompletedFlow, FlowTable, Impairment, NetModel, NetworkModel, Partition, SiteId, SiteSpec,
 };
-pub use payload::Payload;
+pub use payload::{pool_reset, pool_stats, Payload, PoolStats};
 pub use rng::{StreamSeeder, Xoshiro256};
 pub use time::{SimDuration, SimTime};
 pub use trace::{

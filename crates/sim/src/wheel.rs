@@ -298,11 +298,18 @@ impl<T> TimingWheel<T> {
                     &mut self.levels[level][slot],
                     self.spare.pop().unwrap_or_default(),
                 );
-                if level > 0 {
+                if level == 0 {
+                    // A level-0 slot holds exactly one tick value per
+                    // rotation, and the cascade reaches it only when that
+                    // tick == `cur`, so every entry would be re-filed
+                    // straight into `ready`. Append wholesale instead of
+                    // paying the xor/branch of `file` per entry.
+                    self.ready.extend(entries.drain(..));
+                } else {
                     self.cascades += entries.len() as u64;
-                }
-                for e in entries.drain(..) {
-                    self.file(e);
+                    for e in entries.drain(..) {
+                        self.file(e);
+                    }
                 }
                 self.spare.push(entries);
             }
@@ -363,6 +370,155 @@ impl<T> TimingWheel<T> {
         let e = self.ready.pop_front()?;
         self.len -= 1;
         Some((e.time, e.seq, e.item))
+    }
+
+    /// Drain the entire run of earliest entries — every pending entry at
+    /// the minimum tick `<= limit` — into `out` in `(time, seq)` order,
+    /// returning how many were appended (0 exactly when [`pop_upto`] would
+    /// have returned `None`, with the same parking behaviour).
+    ///
+    /// This is the batch-dispatch entry point: one settle (and in tiny
+    /// mode, one scan) serves the whole same-timestamp run, instead of
+    /// re-checking wheel state per event. Entries inserted *while the
+    /// caller processes the run* (at the same tick, with higher seqs) are
+    /// not part of it — they form the next run at the same tick, which is
+    /// exactly the order per-event popping would have produced, because
+    /// seqs are assigned monotonically.
+    ///
+    /// [`pop_upto`]: TimingWheel::pop_upto
+    pub fn pop_run_upto(&mut self, limit: u64, out: &mut Vec<(u64, u64, T)>) -> usize {
+        if self.in_tiny {
+            let run_time = match self.tiny.last() {
+                Some(e) if e.time <= limit => e.time,
+                Some(_) => {
+                    self.cur = self.cur.max(limit);
+                    return 0;
+                }
+                None => return 0,
+            };
+            // `tiny` is sorted descending by (time, seq): the run is the
+            // maximal suffix sharing `run_time`, drained back-to-front.
+            let start = self.tiny.partition_point(|e| e.time > run_time);
+            let n = self.tiny.len() - start;
+            out.extend(
+                self.tiny
+                    .drain(start..)
+                    .rev()
+                    .map(|e| (e.time, e.seq, e.item)),
+            );
+            self.cur = run_time;
+            self.len -= n;
+            n
+        } else {
+            // A partial run can be left in `ready` by interleaved
+            // per-event pops; it is the remainder of the current tick's
+            // run (ready always holds one tick value).
+            if let Some(front) = self.ready.front() {
+                if front.time > limit {
+                    return 0;
+                }
+                let n = self.ready.len();
+                out.extend(self.ready.drain(..).map(|e| (e.time, e.seq, e.item)));
+                self.len -= n;
+                return n;
+            }
+            let n = self.settle_run_into(limit, out);
+            self.len -= n;
+            n
+        }
+    }
+
+    /// Settle-and-drain: advance exactly like [`settle_upto`] but deposit
+    /// the run straight into `out`, skipping the ready-queue hop — one
+    /// copy per entry instead of two. Requires `ready` to be empty; the
+    /// parking behaviour (and the drop back to tiny mode when drained)
+    /// matches `settle_upto`.
+    ///
+    /// [`settle_upto`]: TimingWheel::settle_upto
+    fn settle_run_into(&mut self, limit: u64, out: &mut Vec<(u64, u64, T)>) -> usize {
+        debug_assert!(self.ready.is_empty());
+        if self.len == 0 {
+            self.in_tiny = true;
+            return 0;
+        }
+        let start = out.len();
+        loop {
+            let mut candidate = if self.overflow.is_empty() {
+                None
+            } else {
+                Some(self.overflow_min)
+            };
+            let mut lv = self.active;
+            while lv != 0 {
+                let l = lv.trailing_zeros() as usize;
+                lv &= lv - 1;
+                if let Some(c) = self.level_candidate(l) {
+                    candidate = Some(candidate.map_or(c, |m| m.min(c)));
+                }
+            }
+            let candidate = candidate.expect("len > 0 but no candidate");
+            if candidate > limit {
+                self.cur = self.cur.max(limit);
+                return 0;
+            }
+            self.cur = candidate;
+            if !self.overflow.is_empty() && self.overflow_min == candidate {
+                let spill = std::mem::take(&mut self.overflow);
+                self.overflow_min = u64::MAX;
+                self.cascades += spill.len() as u64;
+                for e in spill {
+                    self.file(e);
+                }
+            }
+            let tz = if self.cur == 0 {
+                64
+            } else {
+                self.cur.trailing_zeros()
+            };
+            let top = ((tz / BITS) as usize).min(LEVELS - 1);
+            for level in (0..=top).rev() {
+                let shift = BITS * level as u32;
+                let slot = ((self.cur >> shift) & (SLOTS as u64 - 1)) as usize;
+                let bit = 1u64 << slot;
+                if self.occupied[level] & bit == 0 {
+                    continue;
+                }
+                self.occupied[level] &= !bit;
+                if self.occupied[level] == 0 {
+                    self.active &= !(1 << level);
+                }
+                let mut entries = std::mem::replace(
+                    &mut self.levels[level][slot],
+                    self.spare.pop().unwrap_or_default(),
+                );
+                if level == 0 {
+                    // The whole slot is the current tick: straight out.
+                    out.extend(entries.drain(..).map(|e| (e.time, e.seq, e.item)));
+                } else {
+                    self.cascades += entries.len() as u64;
+                    for e in entries.drain(..) {
+                        self.file(e);
+                    }
+                }
+                self.spare.push(entries);
+            }
+            // Exact-tick entries cascaded down from higher levels (or
+            // migrated from overflow) were routed to `ready` by `file`;
+            // fold them into the run.
+            while let Some(e) = self.ready.pop_front() {
+                out.push((e.time, e.seq, e.item));
+            }
+            let n = out.len() - start;
+            if n > 0 {
+                if n > 1 {
+                    // One sort restores seq order (all run ticks equal).
+                    out[start..].sort_unstable_by_key(|e| e.1);
+                }
+                return n;
+            }
+            // Pure cascade step: everything fell to a lower level without
+            // reaching the current tick; advance again.
+        }
     }
 }
 
@@ -539,6 +695,70 @@ mod tests {
         // respect the advanced current tick.
         w.insert(prev.0 + 1000, 99, ());
         assert_eq!(w.pop_upto(u64::MAX), Some((prev.0 + 1000, 99, ())));
+    }
+
+    /// Pop one wheel per-event and a clone-equivalent wheel per-run and
+    /// assert identical (time, seq) streams, including parking behaviour.
+    fn check_run_against_pop(batch: &[(u64, u64)], bounds: &[u64]) {
+        let mut one = TimingWheel::new();
+        let mut run = TimingWheel::new();
+        for &(t, s) in batch {
+            one.insert(t, s, s);
+            run.insert(t, s, s);
+        }
+        let mut buf = Vec::new();
+        for &bound in bounds {
+            loop {
+                let n = run.pop_run_upto(bound, &mut buf);
+                for got in buf.drain(..) {
+                    assert_eq!(Some(got), one.pop_upto(bound));
+                }
+                if n == 0 {
+                    assert_eq!(one.pop_upto(bound), None);
+                    break;
+                }
+            }
+        }
+        assert_eq!(one.len(), run.len());
+    }
+
+    #[test]
+    fn run_drain_matches_per_event_pop() {
+        // Tiny-mode ties, including a run split across a limit.
+        check_run_against_pop(&[(5, 0), (5, 1), (5, 2), (9, 3)], &[4, 5, u64::MAX]);
+        // Wheel mode: heavy ties at several ticks plus far-future spread.
+        let mut batch = Vec::new();
+        let mut state = 0x9e37_79b9u64;
+        for s in 0..200u64 {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            let t = if s % 3 == 0 { 1000 } else { state % 5000 };
+            batch.push((t, s));
+        }
+        batch.push((1 << 50, 200)); // overflow level
+        check_run_against_pop(&batch, &[999, 1000, 4000, u64::MAX]);
+    }
+
+    #[test]
+    fn run_drain_same_tick_inserts_form_next_run() {
+        // Entries inserted after a run is drained, at the same tick, come
+        // out as a following run at that tick — in seq order.
+        let mut w = TimingWheel::new();
+        w.insert(7, 0, ());
+        w.insert(7, 1, ());
+        let mut buf = Vec::new();
+        assert_eq!(w.pop_run_upto(u64::MAX, &mut buf), 2);
+        assert_eq!(buf, vec![(7, 0, ()), (7, 1, ())]);
+        buf.clear();
+        w.insert(7, 2, ());
+        w.insert(8, 3, ());
+        assert_eq!(w.pop_run_upto(u64::MAX, &mut buf), 1);
+        assert_eq!(buf, vec![(7, 2, ())]);
+        buf.clear();
+        assert_eq!(w.pop_run_upto(u64::MAX, &mut buf), 1);
+        assert_eq!(buf, vec![(8, 3, ())]);
+        assert!(w.is_empty());
     }
 
     #[test]

@@ -139,7 +139,11 @@ impl PersistentStateServer {
                         reason: format!("malformed request: {e}"),
                     },
                 };
-                send_packet(ctx, from, &Packet::response_to(&pkt, reply.to_wire()));
+                send_packet(
+                    ctx,
+                    from,
+                    &Packet::response_to(&pkt, reply.to_wire_payload()),
+                );
             }
             sm::FETCH if pkt.is_request() => {
                 let reply = match pkt.body::<FetchRequest>() {
@@ -159,7 +163,11 @@ impl PersistentStateServer {
                     },
                 };
                 ctx.inc(tele.fetches);
-                send_packet(ctx, from, &Packet::response_to(&pkt, reply.to_wire()));
+                send_packet(
+                    ctx,
+                    from,
+                    &Packet::response_to(&pkt, reply.to_wire_payload()),
+                );
             }
             _ => {}
         }

@@ -44,11 +44,6 @@ pub use faas::{FaasConfig, FaasWorkload};
 pub use ramsey::{execute_unit, ramsey_validator, RamseyConfig, RamseyWorkload};
 pub use unit::{ExecStats, WorkResult, WorkUnit};
 
-// The deprecated one-PR shims, re-exported at the crate root where the
-// old `ew_ramsey::execute_work_unit*` call sites expect to find them.
-#[allow(deprecated)]
-pub use ramsey::{execute_work_unit, execute_work_unit_traced};
-
 /// An application the EveryWare scheduling plane can run.
 ///
 /// Each scheduler replica owns an independent instance (diversified by a

@@ -149,18 +149,6 @@ pub fn execute_unit(unit: &WorkUnit) -> (WorkResult, KernelStats) {
     (result, state.kernel_stats())
 }
 
-/// Deprecated pre-redesign entry point (one-PR shim policy).
-#[deprecated(note = "use execute_unit, which also returns the kernel counters")]
-pub fn execute_work_unit(unit: &WorkUnit) -> WorkResult {
-    execute_unit(unit).0
-}
-
-/// Deprecated pre-redesign entry point (one-PR shim policy).
-#[deprecated(note = "renamed to execute_unit")]
-pub fn execute_work_unit_traced(unit: &WorkUnit) -> (WorkResult, KernelStats) {
-    execute_unit(unit)
-}
-
 /// The persistent-state validator for Ramsey artifacts: re-count the
 /// cliques before accepting a claimed counter-example (§3.1.2's
 /// "state the application trusts").
@@ -263,14 +251,6 @@ mod tests {
         let a = execute_unit(&unit(4, 17, 2, 200));
         let b = execute_unit(&unit(4, 17, 2, 200));
         assert_eq!(a.0, b.0);
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_shims_still_answer() {
-        let u = unit(3, 5, 1, 200);
-        assert_eq!(execute_work_unit(&u), execute_unit(&u).0);
-        assert_eq!(execute_work_unit_traced(&u).0, execute_unit(&u).0);
     }
 
     #[test]

@@ -1,0 +1,86 @@
+//! Batched same-timestamp dispatch must be bit-identical to per-event
+//! dispatch (PR 8). The kernel drains whole `(time, *)` runs in one pass;
+//! this pins the observable outputs — per-shard event-order hashes of the
+//! mega campaign and the full chaos-campaign JSON — across both modes.
+//!
+//! A single `#[test]` fn flips the process-wide default
+//! (`set_default_batched_dispatch`) so the campaign drivers, which build
+//! their `Sim`s internally, run entirely in one mode at a time without
+//! racing other tests in this binary.
+
+use ew_bench::mega::{run_mega, MegaConfig, MegaOutcome};
+use ew_chaos::{campaign_json, run_campaign, standard_plans, CampaignConfig};
+use ew_infra::MegaSpec;
+use ew_ramsey::RamseyProblem;
+use ew_sim::{set_default_batched_dispatch, NetworkModel, SimDuration};
+use ew_workload::WorkloadSpec;
+
+fn mega_cfg(model: NetworkModel) -> MegaConfig {
+    MegaConfig {
+        seed: 0x5EED,
+        shards: 3,
+        spec: MegaSpec {
+            sites: 2,
+            workers_per_site: 2,
+            worker_ops: 1e8,
+            load: 0.05,
+            model,
+        },
+        horizon: SimDuration::from_secs(20),
+    }
+}
+
+fn chaos_cfg() -> CampaignConfig {
+    CampaignConfig {
+        seeds: vec![1998],
+        horizon: SimDuration::from_secs(900),
+        plans: standard_plans()
+            .into_iter()
+            .filter(|p| p.name == "flaky-network")
+            .collect(),
+        workload: WorkloadSpec::ramsey(RamseyProblem { k: 4, n: 17 }),
+    }
+}
+
+fn mega_worlds() -> Vec<MegaOutcome> {
+    [NetworkModel::Flow, NetworkModel::Packet]
+        .into_iter()
+        .map(|model| run_mega(&mega_cfg(model), 2))
+        .collect()
+}
+
+fn chaos_world() -> Vec<(String, String)> {
+    let cfg = chaos_cfg();
+    let reports = run_campaign(&cfg);
+    campaign_json(&cfg, &reports)
+        .into_iter()
+        .map(|(name, v)| (name, serde_json::to_string_pretty(&v).unwrap()))
+        .collect()
+}
+
+#[test]
+fn batched_dispatch_is_bit_identical_to_per_event_dispatch() {
+    // Batched (the default) first, then per-event, then restore the
+    // default so any later-spawned Sims in this binary see the shipped
+    // configuration.
+    let mega_batched = mega_worlds();
+    let chaos_batched = chaos_world();
+
+    set_default_batched_dispatch(false);
+    let mega_per_event = mega_worlds();
+    let chaos_per_event = chaos_world();
+    set_default_batched_dispatch(true);
+
+    for (b, p) in mega_batched.iter().zip(&mega_per_event) {
+        assert_eq!(
+            b.shards, p.shards,
+            "mega shard outcomes (incl. order_hash) must not depend on dispatch mode"
+        );
+        assert!(b.shards.iter().all(|s| s.units > 0), "shards must work");
+    }
+    assert_eq!(
+        chaos_batched, chaos_per_event,
+        "chaos campaign JSON must be byte-identical across dispatch modes"
+    );
+    assert!(!chaos_batched.is_empty());
+}

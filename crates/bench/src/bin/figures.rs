@@ -8,8 +8,8 @@
 //!
 //! Subcommands: `fig2`, `fig3a`, `fig3b`, `fig3c`, `java`, `timeout`,
 //! `condor`, `scaling`, `criteria`, `health`, `chaos`, `workload-scaling`,
-//! `bench-farm`, `bench-kernel`, `bench-dispatch`, `bench-gate`, `mega`,
-//! `all`. `--short` runs a 2-hour window instead of the full 12 hours
+//! `bench-farm`, `bench-kernel`, `bench-dispatch`, `bench-insert`,
+//! `bench-flow`, `bench-gate`, `mega`, `all`. `--short` runs a 2-hour window instead of the full 12 hours
 //! (for smoke tests); for `chaos` it cuts the campaign to one seed over
 //! 15 minutes. `chaos` sweeps the named fault plans of `ew-chaos` (see
 //! `results/chaos_*.json` and `results/BENCH_PR3.json`) and is not part
@@ -33,7 +33,12 @@
 //! `bench-dispatch` A/Bs the batched same-timestamp dispatch loop and the
 //! payload pool against the per-event path (wheel probes, send-path
 //! allocation counts, `mega --short` both ways with bit-identical shard
-//! outcomes enforced), writing `results/BENCH_PR8.json`; `bench-gate` is
+//! outcomes enforced), writing `results/BENCH_PR8.json`; `bench-insert`
+//! separates near-horizon (level-0 fast path) from far-horizon wheel
+//! insert cost, writing `results/BENCH_INSERT.json`; `bench-flow` A/Bs
+//! the mega campaign across network modes, the dirty-link recompute
+//! against eager recomputes, and the insert fast path, writing
+//! `results/BENCH_PR9.json`; `bench-gate` is
 //! the CI perf-regression floor — a fixed-op-count throughput probe that
 //! exits nonzero below the floors in `results/bench_floor.json`.
 //! `--seed N` reseeds. `--threads N` sets the sim-farm worker count
@@ -1432,10 +1437,428 @@ fn bench_dispatch(opts: &Options) {
     }
 }
 
-/// `bench-gate` (PR 8): the CI perf-regression floor. A fixed-op-count
-/// kernel-throughput probe — the burst32 wheel drain plus the `mega
-/// --short` campaign — reports events/sec and allocation counts and exits
-/// nonzero if either throughput falls below the floor recorded in
+/// Burst length for the insert probes: one timed burst per drain, small
+/// enough that slot vectors reach steady-state capacity after the first
+/// few bursts (so the probe measures path cost, not `Vec` growth).
+const INSERT_BURST: usize = 64;
+
+/// Deterministic batch of `(time, seq)` insert entries in bursts of
+/// [`INSERT_BURST`], each burst drained before the next. Near-horizon
+/// times stay inside the level-0 span of the cursor (the insert
+/// fast-path window); far-horizon times land 4 ms to 100 s out, paying
+/// full level selection going in and cascade bookkeeping coming back
+/// down.
+fn insert_batch(n: u64, near: bool) -> Vec<(u64, u64)> {
+    let step = if near {
+        INSERT_BURST as u64
+    } else {
+        DISPATCH_HORIZON_US
+    };
+    let mut s = 0xd1b5_4a32_d192_ed03u64;
+    let mut out = Vec::with_capacity(n as usize);
+    let mut base = 0u64;
+    for seq in 0..n {
+        if seq > 0 && seq % INSERT_BURST as u64 == 0 {
+            base += step;
+        }
+        s ^= s << 13;
+        s ^= s >> 7;
+        s ^= s << 17;
+        let r = s.wrapping_mul(0x2545_f491_4f6c_dd1d);
+        let t = base
+            + if near {
+                r % INSERT_BURST as u64
+            } else {
+                4096 + r % (DISPATCH_HORIZON_US - 4096)
+            };
+        out.push((t, seq));
+    }
+    out
+}
+
+/// Steady-state insert probe: each burst is inserted under the timer,
+/// then drained untimed up to the next burst's base (which parks the
+/// cursor frame-aligned at that base and recycles slot capacity, so
+/// only the insert path is measured). `step` is the per-burst base
+/// advance [`insert_batch`] used. A far-future sentinel keeps the wheel
+/// populated the way a real kernel's long-horizon timers do — a fully
+/// drained wheel drops back to tiny mode with a stale cursor, which
+/// would disable the fast path between bursts. Returns an order
+/// checksum, the summed insert-phase seconds, and how many inserts took
+/// the level-0 fast path — and asserts the fast path preserved exact
+/// `(time, seq)` order.
+fn insert_probe(entries: &[(u64, u64)], step: u64) -> (u64, f64, u64) {
+    let mut w = ew_sim::TimingWheel::new();
+    w.insert(1 << 62, u64::MAX, ());
+    let mut insert_s = 0.0f64;
+    let mut sum = 0u64;
+    let mut prev = (0u64, 0u64);
+    for (i, burst) in entries.chunks(INSERT_BURST).enumerate() {
+        let t0 = std::time::Instant::now();
+        for &(t, seq) in burst {
+            w.insert(t, seq, ());
+        }
+        insert_s += t0.elapsed().as_secs_f64();
+        let limit = (i as u64 + 1) * step;
+        while let Some((t, seq, ())) = w.pop_upto(limit) {
+            assert!((t, seq) >= prev, "fast path broke (time, seq) order");
+            prev = (t, seq);
+            sum = sum.wrapping_add(t.wrapping_mul(31) ^ seq);
+        }
+    }
+    (sum, insert_s, w.fast_inserts())
+}
+
+/// `bench-insert` (PR 9): near- vs far-horizon insert cost, separated.
+/// The PR 8 writeup lumped both under one `insert_events_per_sec`
+/// number, hiding that near-horizon inserts — which dominate kernel
+/// traffic once batched drains keep the cursor hot — can skip level
+/// selection entirely via the level-0 fast path. Reports both rates,
+/// the measured fast-path fraction per probe, and the near/far cost
+/// ratio, written to `results/BENCH_INSERT.json`. The near-horizon rate
+/// is also a committed `bench-gate` floor.
+fn bench_insert(opts: &Options) {
+    let rounds: u32 = if opts.short { 4 } else { 12 };
+    let n: u64 = 100_000;
+    eprintln!("bench-insert: 2 probes x {rounds} rounds...");
+    let mut rows: Vec<serde_json::Value> = Vec::new();
+    let mut ns_per = [0.0f64; 2];
+    for (i, (name, near)) in [("near_horizon", true), ("far_horizon", false)]
+        .into_iter()
+        .enumerate()
+    {
+        let entries = insert_batch(n, near);
+        let step = if near {
+            INSERT_BURST as u64
+        } else {
+            DISPATCH_HORIZON_US
+        };
+        let mut best = f64::INFINITY;
+        let mut fast = 0u64;
+        for _ in 0..rounds {
+            let (sum, insert_s, f) = insert_probe(&entries, step);
+            std::hint::black_box(sum);
+            best = best.min(insert_s);
+            fast = f;
+        }
+        ns_per[i] = best * 1e9 / n as f64;
+        rows.push(serde_json::json!({
+            "probe": name,
+            "inserts": n,
+            "inserts_per_sec": n as f64 / best,
+            "ns_per_insert": ns_per[i],
+            "fast_path_inserts": fast,
+            "fast_path_fraction": fast as f64 / n as f64,
+        }));
+    }
+    let near_fraction = rows[0]["fast_path_fraction"].as_f64().unwrap_or(0.0);
+    let far_fraction = rows[1]["fast_path_fraction"].as_f64().unwrap_or(1.0);
+    write_json(
+        "BENCH_INSERT",
+        &serde_json::json!({
+            "bench": "near- vs far-horizon wheel insert (PR 9)",
+            "short": opts.short,
+            "probes": rows,
+            "near_vs_far_cost_ratio": ns_per[1] / ns_per[0],
+            "note": "near-horizon inserts land within the level-0 span of the \
+                     cursor and take the direct slot-deposit fast path (no \
+                     level selection, no cascade on the way out); far-horizon \
+                     inserts spread over 4 ms-100 s and pay the full path. \
+                     Times are host wall-clock, best of N rounds; the \
+                     deterministic half is the order checksum asserted inside \
+                     every probe round.",
+        }),
+    );
+    println!("## bench-insert (PR 9)\n");
+    println!("| probe | inserts | ns/insert | inserts/sec | fast-path |");
+    println!("|---|---|---|---|---|");
+    for row in &rows {
+        println!(
+            "| {} | {} | {:.1} | {:.3e} | {:.1}% |",
+            row["probe"].as_str().unwrap_or("?"),
+            n,
+            row["ns_per_insert"].as_f64().unwrap_or(0.0),
+            row["inserts_per_sec"].as_f64().unwrap_or(0.0),
+            row["fast_path_fraction"].as_f64().unwrap_or(0.0) * 100.0
+        );
+    }
+    println!(
+        "\nfar-horizon inserts cost {:.2}x near-horizon",
+        ns_per[1] / ns_per[0]
+    );
+    if near_fraction < 0.9 {
+        eprintln!(
+            "bench-insert: ERROR — near-horizon probe took the fast path on \
+             only {:.1}% of inserts (expected ~98%)",
+            near_fraction * 100.0
+        );
+        std::process::exit(1);
+    }
+    if far_fraction > 0.0 {
+        eprintln!(
+            "bench-insert: ERROR — far-horizon probe must never take the \
+             level-0 fast path (got {:.1}%)",
+            far_fraction * 100.0
+        );
+        std::process::exit(1);
+    }
+}
+
+/// Bulk-transfer churn world for the dirty-vs-naive recompute A/B: every
+/// host streams 64 KiB bursts across the WAN, so flow membership churns
+/// on every delivery and fair-share recomputes constantly interleave —
+/// the workload the dirty-link worklist exists for.
+mod flow_churn {
+    use ew_sim::{
+        Ctx, Event, HostSpec, HostTable, NetModel, NetworkModel, Process, ProcessId, Sim,
+        SimDuration, SiteSpec,
+    };
+
+    struct BulkSender {
+        to: ProcessId,
+        remaining: u32,
+        burst: u32,
+    }
+
+    impl Process for BulkSender {
+        fn on_event(&mut self, ctx: &mut Ctx<'_>, ev: Event) {
+            match ev {
+                Event::Started | Event::Timer { .. } => {
+                    if self.remaining == 0 {
+                        return;
+                    }
+                    self.remaining -= 1;
+                    for i in 0..self.burst {
+                        ctx.send(self.to, i, vec![0u8; 65_536]);
+                    }
+                    ctx.set_timer(SimDuration::from_millis(120), 0);
+                }
+                _ => {}
+            }
+        }
+    }
+
+    struct Devnull;
+    impl Process for Devnull {
+        fn on_event(&mut self, _ctx: &mut Ctx<'_>, _ev: Event) {}
+    }
+
+    /// 8 WAN sites × 4 hosts; each host bursts three 64 KiB transfers to
+    /// a sink two sites over, 150 rounds at 120 ms — all traffic is bulk,
+    /// all of it contends.
+    pub fn world(seed: u64) -> Sim {
+        let mut net = NetModel::new(0.0).with_model(NetworkModel::Flow);
+        let sites: Vec<_> = (0..8)
+            .map(|s| {
+                net.add_site(SiteSpec::simple(
+                    &format!("s{s}"),
+                    SimDuration::from_millis(15),
+                    2.5e6,
+                    0.05,
+                ))
+            })
+            .collect();
+        let mut hosts = HostTable::new();
+        let mut hs = Vec::new();
+        for (si, &site) in sites.iter().enumerate() {
+            for w in 0..4 {
+                hs.push(hosts.add(HostSpec::dedicated(&format!("h{si}x{w}"), site, 1e8)));
+            }
+        }
+        let mut sim = Sim::new(net, hosts, seed);
+        let sinks: Vec<_> = hs
+            .iter()
+            .enumerate()
+            .map(|(i, &h)| sim.spawn(&format!("sink{i}"), h, Box::new(Devnull)))
+            .collect();
+        for (i, &h) in hs.iter().enumerate() {
+            let to = sinks[(i + 8) % sinks.len()];
+            sim.spawn(
+                &format!("src{i}"),
+                h,
+                Box::new(BulkSender {
+                    to,
+                    remaining: 150,
+                    burst: 3,
+                }),
+            );
+        }
+        sim
+    }
+}
+
+/// `bench-flow` (PR 9): honest A/B of the event-pipeline overhaul at
+/// campaign scale, written to `results/BENCH_PR9.json`. Three layers:
+///
+/// * mega flow-vs-packet — the same campaign in both network modes.
+///   Hybrid routing sends the mega protocol's all-sub-MTU RPC traffic
+///   down the identical sampled-delay path in either mode, so shard
+///   outcomes must be bit-identical and the wall-clock ratio is ~1.0x
+///   (PR 7's honest gap was 2x; exits nonzero above 1.2x);
+/// * dirty-vs-naive recompute — the bulk-transfer churn world with the
+///   dirty-link worklist off, then on; completions must match while the
+///   coalesced pass issues fewer fair-share recomputes;
+/// * insert fast path — the near/far-horizon split from `bench-insert`.
+fn bench_flow(opts: &Options) {
+    use ew_bench::mega::{run_mega, MegaConfig};
+    use ew_sim::{set_default_dirty_flow_recompute, NetworkModel, SimTime};
+
+    let cfg = |model| {
+        if opts.short {
+            MegaConfig::short(opts.seed, model)
+        } else {
+            MegaConfig::full(opts.seed, model)
+        }
+    };
+    eprintln!("bench-flow: mega campaign, packet mode...");
+    let packet = run_mega(&cfg(NetworkModel::Packet), opts.threads);
+    eprintln!("bench-flow: mega campaign, flow mode...");
+    let flow = run_mega(&cfg(NetworkModel::Flow), opts.threads);
+    assert_eq!(
+        flow.shards, packet.shards,
+        "hybrid routing: the all-RPC mega campaign must be bit-identical \
+         across network modes"
+    );
+    let events = flow.total(|s| s.events);
+    let flow_eps = events as f64 / (flow.stats.wall_ms / 1e3);
+    let packet_eps = events as f64 / (packet.stats.wall_ms / 1e3);
+    let mode_ratio = flow.stats.wall_ms / packet.stats.wall_ms;
+
+    // Dirty-vs-naive: best-of-N wall clock on the churn world; the
+    // deterministic counters must agree round to round and across arms
+    // (except the recompute-path ones being A/B'd).
+    let rounds = if opts.short { 2 } else { 3 };
+    eprintln!("bench-flow: churn world dirty-link A/B x {rounds} rounds...");
+    let mut wall = [f64::INFINITY; 2];
+    let mut completed = [0.0f64; 2];
+    let mut reschedules = [0.0f64; 2];
+    let mut dirty_links = [0.0f64; 2];
+    for (i, dirty) in [false, true].into_iter().enumerate() {
+        set_default_dirty_flow_recompute(dirty);
+        for _ in 0..rounds {
+            let mut sim = flow_churn::world(opts.seed);
+            let t0 = std::time::Instant::now();
+            sim.run_until(SimTime::from_secs(90));
+            wall[i] = wall[i].min(t0.elapsed().as_secs_f64());
+            let m = sim.metrics();
+            completed[i] = m.counter("net.flows_completed");
+            reschedules[i] = m.counter("net.flows_reschedules");
+            dirty_links[i] = m.counter("net.flow_dirty_links");
+        }
+    }
+    set_default_dirty_flow_recompute(true);
+    assert_eq!(
+        completed[0], completed[1],
+        "both recompute modes must complete every transfer"
+    );
+    assert!(completed[0] > 1000.0, "churn world must carry real flows");
+    assert_eq!(dirty_links[0], 0.0, "naive arm must not touch the worklist");
+    assert!(dirty_links[1] > 0.0, "dirty arm must use the worklist");
+
+    // Insert fast path, same probes as `bench-insert`.
+    let n: u64 = 100_000;
+    let mut ins_eps = [0.0f64; 2];
+    for (i, near) in [true, false].into_iter().enumerate() {
+        let entries = insert_batch(n, near);
+        let step = if near {
+            INSERT_BURST as u64
+        } else {
+            DISPATCH_HORIZON_US
+        };
+        let mut best = f64::INFINITY;
+        for _ in 0..8 {
+            let (sum, s, _) = insert_probe(&entries, step);
+            std::hint::black_box(sum);
+            best = best.min(s);
+        }
+        ins_eps[i] = n as f64 / best;
+    }
+
+    write_json(
+        "BENCH_PR9",
+        &serde_json::json!({
+            "bench": "event-pipeline overhaul A/B (PR 9)",
+            "short": opts.short,
+            "seed": opts.seed,
+            "threads": opts.threads,
+            "mega_flow_vs_packet": {
+                "events": events,
+                "packet_wall_ms": packet.stats.wall_ms,
+                "flow_wall_ms": flow.stats.wall_ms,
+                "packet_events_per_sec": packet_eps,
+                "flow_events_per_sec": flow_eps,
+                "flow_over_packet_wall_ratio": mode_ratio,
+                "shards_bit_identical": true,
+                "note": "hybrid routing sends sub-MTU RPCs (all of the mega \
+                         protocol, ~60 B mean) down the sampled-delay path in \
+                         both modes from the same rng stream, so the modes are \
+                         bit-identical and the PR 7 flow-mode overhead is gone; \
+                         bulk transfers still pay fair-share contention (next \
+                         block).",
+            },
+            "churn_dirty_vs_naive": {
+                "flows_completed": completed[1],
+                "naive_wall_s": wall[0],
+                "dirty_wall_s": wall[1],
+                "speedup": wall[0] / wall[1],
+                "naive_reschedules": reschedules[0],
+                "dirty_reschedules": reschedules[1],
+                "dirty_links_consumed": dirty_links[1],
+                "note": "completion schedules are bit-identical between arms \
+                         (pinned by tests/flow_recompute_equivalence.rs); the \
+                         dirty arm coalesces all membership changes of one \
+                         dispatched event into a single fair-share pass.",
+            },
+            "insert_fast_path": {
+                "near_horizon_inserts_per_sec": ins_eps[0],
+                "far_horizon_inserts_per_sec": ins_eps[1],
+                "near_over_far_speedup": ins_eps[0] / ins_eps[1],
+                "note": "steady-state probes from bench-insert; BENCH_PR8's \
+                         lumped bulk-insert rates (8.6e7-1.2e8/s) sat between \
+                         the two because they mixed both routes.",
+            },
+            "note": "wall-clock halves are host time; the deterministic halves \
+                     (shard equality, completion counts) are asserted here and \
+                     in the equivalence tests.",
+        }),
+    );
+    println!("## bench-flow (PR 9)\n");
+    println!("| A/B | arm A | arm B | ratio |");
+    println!("|---|---|---|---|");
+    println!(
+        "| mega {}: packet vs flow (ev/s) | {packet_eps:.3e} | {flow_eps:.3e} | {mode_ratio:.2}x wall |",
+        if opts.short { "--short" } else { "full" }
+    );
+    println!(
+        "| churn: naive vs dirty recompute (wall s) | {:.2} | {:.2} | {:.2}x |",
+        wall[0],
+        wall[1],
+        wall[0] / wall[1]
+    );
+    println!(
+        "| insert: far vs near horizon (ins/s) | {:.3e} | {:.3e} | {:.2}x |",
+        ins_eps[1],
+        ins_eps[0],
+        ins_eps[0] / ins_eps[1]
+    );
+    println!(
+        "\nfair-share reschedules: naive {} vs dirty {} over {} completed flows",
+        reschedules[0], reschedules[1], completed[1]
+    );
+    if mode_ratio > 1.2 {
+        eprintln!(
+            "bench-flow: ERROR — flow mode wall {mode_ratio:.2}x packet mode \
+             exceeds the 1.2x acceptance bar"
+        );
+        std::process::exit(1);
+    }
+}
+
+/// `bench-gate` (PR 8, extended PR 9): the CI perf-regression floor. A
+/// fixed-op-count kernel-throughput probe set — the burst32 wheel drain,
+/// the near-horizon insert probe, and the `mega --short` campaign —
+/// reports events/sec and allocation counts and exits nonzero if any
+/// throughput falls below the floor recorded in
 /// `results/bench_floor.json`. To re-baseline after an intentional perf
 /// change: run `figures -- bench-gate` on the reference host, multiply
 /// the printed events/sec by 0.6, and commit the new floor file (see
@@ -1469,15 +1892,17 @@ fn bench_gate(opts: &Options) {
             std::process::exit(2);
         }
     };
-    let (wheel_floor, kernel_floor) = match (
+    let (wheel_floor, insert_floor, kernel_floor) = match (
         floor_value(&floor, "wheel_burst32_events_per_sec_floor"),
+        floor_value(&floor, "wheel_near_insert_events_per_sec_floor"),
         floor_value(&floor, "mega_short_events_per_sec_floor"),
     ) {
-        (Some(w), Some(k)) => (w, k),
+        (Some(w), Some(i), Some(k)) => (w, i, k),
         _ => {
             eprintln!(
                 "bench-gate: {floor_path} is missing \
-                 wheel_burst32_events_per_sec_floor or \
+                 wheel_burst32_events_per_sec_floor, \
+                 wheel_near_insert_events_per_sec_floor, or \
                  mega_short_events_per_sec_floor"
             );
             std::process::exit(2);
@@ -1499,23 +1924,43 @@ fn bench_gate(opts: &Options) {
     };
     let wheel_eps = n as f64 / wheel_s;
 
+    let near = insert_batch(n, true);
+    let insert_s = {
+        let mut best = f64::INFINITY;
+        for _ in 0..8 {
+            let (sum, s, _) = insert_probe(&near, INSERT_BURST as u64);
+            std::hint::black_box(sum);
+            best = best.min(s);
+        }
+        best
+    };
+    let insert_eps = n as f64 / insert_s;
+
     let cfg = MegaConfig::short(opts.seed, NetworkModel::Flow);
     let (out, mega_allocs) = count_allocs(|| run_mega(&cfg, opts.threads));
     let events = out.total(|s| s.events);
     let kernel_eps = events as f64 / (out.stats.wall_ms / 1e3);
 
-    println!("## bench-gate (PR 8)\n");
+    println!("## bench-gate (PR 9)\n");
     println!("| probe | ops | events/sec | allocations | floor |");
     println!("|---|---|---|---|---|");
     println!(
         "| wheel burst32 drain | {n} | {wheel_eps:.3e} | {wheel_allocs} | {wheel_floor:.3e} |"
     );
+    println!("| wheel near insert | {n} | {insert_eps:.3e} | - | {insert_floor:.3e} |");
     println!("| mega --short | {events} | {kernel_eps:.3e} | {mega_allocs} | {kernel_floor:.3e} |");
     let mut failed = false;
     if wheel_eps < wheel_floor {
         eprintln!(
             "bench-gate: ERROR — wheel burst32 {wheel_eps:.3e} ev/s is below \
              the {wheel_floor:.3e} floor"
+        );
+        failed = true;
+    }
+    if insert_eps < insert_floor {
+        eprintln!(
+            "bench-gate: ERROR — wheel near insert {insert_eps:.3e} ev/s is \
+             below the {insert_floor:.3e} floor"
         );
         failed = true;
     }
@@ -1529,7 +1974,7 @@ fn bench_gate(opts: &Options) {
     if failed {
         std::process::exit(1);
     }
-    eprintln!("bench-gate: both probes clear the committed floor");
+    eprintln!("bench-gate: all probes clear the committed floor");
 }
 
 fn write_trace(opts: &Options, rep: &Sc98Report) {
@@ -1544,7 +1989,7 @@ fn write_trace(opts: &Options, rep: &Sc98Report) {
     }
 }
 
-const COMMANDS: [&str; 21] = [
+const COMMANDS: [&str; 23] = [
     "fig2",
     "fig3a",
     "fig3b",
@@ -1563,6 +2008,8 @@ const COMMANDS: [&str; 21] = [
     "bench-farm",
     "bench-kernel",
     "bench-dispatch",
+    "bench-insert",
+    "bench-flow",
     "bench-gate",
     "mega",
     "all",
@@ -1716,6 +2163,8 @@ fn main() {
         "bench-farm" => bench_farm(&opts),
         "bench-kernel" => bench_kernel(&opts),
         "bench-dispatch" => bench_dispatch(&opts),
+        "bench-insert" => bench_insert(&opts),
+        "bench-flow" => bench_flow(&opts),
         "bench-gate" => bench_gate(&opts),
         "mega" => mega(&opts),
         "all" => {

@@ -71,6 +71,76 @@ pub enum Event {
 pub trait Process: Any {
     /// React to one event. Never blocks.
     fn on_event(&mut self, ctx: &mut Ctx<'_>, ev: Event);
+
+    /// React to a same-timestamp run of events addressed to this process.
+    ///
+    /// The kernel calls this instead of N separate virtual `on_event`
+    /// dispatches when a batched drain finds consecutive entries for one
+    /// process, amortizing the `Box<dyn Process>` indirection across the
+    /// run. The default implementation simply loops `on_event`, and
+    /// [`EventBatch::next`] performs the exact per-event kernel checks
+    /// (lazy timer cancellation, post-exit drops, dispatch accounting)
+    /// that per-event delivery would — so overriding this method can
+    /// change *speed*, never semantics or event order. If an override
+    /// returns early, the kernel finishes the batch itself.
+    fn on_batch(&mut self, ctx: &mut Ctx<'_>, batch: &mut EventBatch<'_>) {
+        while let Some(ev) = batch.next(ctx) {
+            self.on_event(ctx, ev);
+        }
+    }
+}
+
+/// A same-timestamp run of events for one process, handed to
+/// [`Process::on_batch`]. Calling [`EventBatch::next`] yields the events in
+/// `(time, seq)` order, applying the identical kernel-side gates the
+/// per-event dispatch path applies.
+pub struct EventBatch<'b> {
+    pid: ProcessId,
+    entries: &'b mut Vec<(u64, Event)>,
+    cursor: usize,
+}
+
+impl EventBatch<'_> {
+    /// Events not yet yielded (before kernel-side gates are applied).
+    pub fn remaining(&self) -> usize {
+        self.entries.len() - self.cursor
+    }
+
+    /// Yield the next deliverable event of the run, or `None` when the run
+    /// is exhausted. Lazily-cancelled timers are swallowed (counted by
+    /// `kernel.timers_cancelled`) and events behind a self-exit are dropped
+    /// (counted by `events.dropped_dead_dest`), exactly as the per-event
+    /// dispatch path would. Flow deadlines dirtied by the previous event's
+    /// sends are flushed before the next event, preserving the per-event
+    /// recompute discipline bit-for-bit.
+    pub fn next(&mut self, ctx: &mut Ctx<'_>) -> Option<Event> {
+        if ctx.shared.flows.has_dirty() {
+            ctx.shared.flush_dirty_flows();
+        }
+        while self.cursor < self.entries.len() {
+            let (seq, ev) = std::mem::replace(&mut self.entries[self.cursor], (0, Event::Started));
+            self.cursor += 1;
+            if let Event::Timer { tag } = &ev {
+                if let Some(&watermark) = ctx.shared.cancelled.get(&(self.pid.0, *tag)) {
+                    if seq < watermark {
+                        let c = ctx.shared.tele.timers_cancelled;
+                        ctx.shared.metrics.reg.inc(c);
+                        continue;
+                    }
+                }
+            }
+            if ctx.shared.pending_exits.contains(&self.pid) {
+                // The process exited earlier in this run; per-event
+                // delivery would find it dead after integrate_pending.
+                let dropped = ctx.shared.tele.dropped_dead_dest;
+                ctx.shared.metrics.reg.inc(dropped);
+                continue;
+            }
+            ctx.shared.events_dispatched += 1;
+            return Some(ev);
+        }
+        None
+    }
 }
 
 #[derive(Debug)]
@@ -188,8 +258,10 @@ struct KernelTele {
     dropped_dead_dest: CounterId,
     timers_cancelled: CounterId,
     wheel_cascades: CounterId,
+    insert_fast_path: CounterId,
     batch_dispatches: CounterId,
     batch_ties: CounterId,
+    batch_delivered: CounterId,
     payload_pool_hits: CounterId,
     payload_pool_misses: CounterId,
     payload_pool_recycled: CounterId,
@@ -198,6 +270,7 @@ struct KernelTele {
     flows_stale: CounterId,
     flows_rescheduled: CounterId,
     flows_packets_avoided: CounterId,
+    flow_dirty_links: CounterId,
     queue_depth: GaugeId,
     flows_active: GaugeId,
     batch_len_max: GaugeId,
@@ -221,8 +294,10 @@ impl KernelTele {
             dropped_dead_dest: reg.counter("events.dropped_dead_dest"),
             timers_cancelled: reg.counter("kernel.timers_cancelled"),
             wheel_cascades: reg.counter("kernel.wheel_cascades"),
+            insert_fast_path: reg.counter("kernel.insert_fast_path"),
             batch_dispatches: reg.counter("kernel.batch_dispatches"),
             batch_ties: reg.counter("kernel.batch_ties"),
+            batch_delivered: reg.counter("kernel.batch_delivered"),
             payload_pool_hits: reg.counter("net.payload_pool_hits"),
             payload_pool_misses: reg.counter("net.payload_pool_misses"),
             payload_pool_recycled: reg.counter("net.payload_pool_recycled"),
@@ -231,6 +306,7 @@ impl KernelTele {
             flows_stale: reg.counter("net.flows_stale_deadlines"),
             flows_rescheduled: reg.counter("net.flows_reschedules"),
             flows_packets_avoided: reg.counter("net.flows_packets_avoided"),
+            flow_dirty_links: reg.counter("net.flow_dirty_links"),
             queue_depth: reg.gauge("kernel.queue_depth"),
             flows_active: reg.gauge("net.flows_active"),
             batch_len_max: reg.gauge("kernel.batch_len_max"),
@@ -264,6 +340,22 @@ static DEFAULT_BATCHED: std::sync::atomic::AtomicBool = std::sync::atomic::Atomi
 /// test, never for behavior.
 pub fn set_default_batched_dispatch(batched: bool) {
     DEFAULT_BATCHED.store(batched, std::sync::atomic::Ordering::SeqCst);
+}
+
+/// Process-wide default for [`Sim::set_dirty_flow_recompute`], read once at
+/// [`Sim::new`] — the same A/B affordance as [`set_default_batched_dispatch`]
+/// but for the flow model's dirty-link fair-share recompute.
+static DEFAULT_DIRTY_FLOWS: std::sync::atomic::AtomicBool =
+    std::sync::atomic::AtomicBool::new(true);
+
+/// Set whether newly built [`Sim`]s coalesce fair-share recomputes over a
+/// dirty-link worklist (the default) or recompute eagerly inside every
+/// `start_flow`/completion (the naive PR 7 path). Both modes produce
+/// bit-identical flow completion times — an equivalence test pins this —
+/// so this knob exists for A/B benchmarking and that test, never for
+/// behavior.
+pub fn set_default_dirty_flow_recompute(dirty: bool) {
+    DEFAULT_DIRTY_FLOWS.store(dirty, std::sync::atomic::Ordering::SeqCst);
 }
 
 /// Arbitrary non-zero seed (the FNV-1a offset basis); the event-order
@@ -311,6 +403,8 @@ struct Shared {
     queue: TimingWheel<(Target, Option<Event>)>,
     /// Wheel cascades already flushed into the telemetry counter.
     cascades_seen: u64,
+    /// Wheel fast-path inserts already flushed into the telemetry counter.
+    fast_inserts_seen: u64,
     net: NetModel,
     hosts: HostTable,
     host_up: Vec<bool>,
@@ -342,6 +436,13 @@ struct Shared {
     /// Reusable batch-dispatch scratch: one same-tick run at a time,
     /// emptied before being handed back to the wheel.
     dispatch_buf: Vec<(u64, u64, (Target, Option<Event>))>,
+    /// Reusable scratch holding one same-process group of a run while it
+    /// is delivered through [`Process::on_batch`].
+    batch_buf: Vec<(u64, Event)>,
+    /// Whether fair-share recomputes are coalesced over the dirty-link
+    /// worklist (the default) or run eagerly per membership change; see
+    /// [`Sim::set_dirty_flow_recompute`].
+    dirty_flows: bool,
     /// Largest same-tick run dispatched so far (gauge `kernel.batch_len_max`).
     batch_len_max: u64,
     /// Whether the payload pool has been reset for this simulation (done
@@ -380,16 +481,25 @@ impl Shared {
             from_site, to_site, bytes, latency, now, from.0, to.0, mtype, payload,
         );
         let (links, nlinks) = self.flows.links_of(id);
-        {
-            let Shared {
-                flows,
-                net,
-                flow_resched,
-                ..
-            } = self;
-            flows.recompute(&links[..nlinks], now, net, flow_resched);
+        if self.dirty_flows {
+            // Defer the fair-share pass: mark the links and let the
+            // end-of-event flush coalesce every membership change this
+            // event made into one recompute. Deadlines exist before time
+            // can advance, and the advance/fill arithmetic is identical
+            // to the eager path (same `now`, same final membership).
+            self.flows.mark_dirty(&links[..nlinks]);
+        } else {
+            {
+                let Shared {
+                    flows,
+                    net,
+                    flow_resched,
+                    ..
+                } = self;
+                flows.recompute(&links[..nlinks], now, net, flow_resched);
+            }
+            self.flush_flow_resched();
         }
-        self.flush_flow_resched();
         let started = self.tele.flows_started;
         self.metrics.reg.inc(started);
         let avoided = self.tele.flows_packets_avoided;
@@ -414,6 +524,28 @@ impl Shared {
             let id = self.tele.flows_rescheduled;
             self.metrics.reg.add(id, n as f64);
         }
+    }
+
+    /// Run one fair-share recompute seeded with every link whose flow
+    /// membership changed since the last flush, and schedule the resulting
+    /// deadlines. Called at the end of every dispatched event that dirtied
+    /// a link, so deadlines always exist before simulated time advances.
+    fn flush_dirty_flows(&mut self) {
+        let now = self.now;
+        let n = {
+            let Shared {
+                flows,
+                net,
+                flow_resched,
+                ..
+            } = self;
+            flows.recompute_dirty(now, net, flow_resched)
+        };
+        if n > 0 {
+            let id = self.tele.flow_dirty_links;
+            self.metrics.reg.add(id, n as f64);
+        }
+        self.flush_flow_resched();
     }
 
     fn reserve_pid(&mut self, name: &str, host: HostId) -> ProcessId {
@@ -521,11 +653,14 @@ impl<'a> Ctx<'a> {
             self.shared.metrics.reg.inc(id);
             return;
         }
-        if self.shared.net.model() == NetworkModel::Flow {
-            // Flow mode: the transfer drains through shared links at a
-            // max-min fair rate instead of taking a one-shot sampled delay.
-            // One flow costs O(sharing-set) deadline work total, however
-            // many MTUs it spans.
+        if self.shared.net.model() == NetworkModel::Flow && bytes as u64 > FLOW_MTU_BYTES {
+            // Flow mode, bulk transfer: the transfer drains through shared
+            // links at a max-min fair rate instead of taking a one-shot
+            // sampled delay. One flow costs O(sharing-set) deadline work
+            // total, however many MTUs it spans. Messages that fit one MTU
+            // (the RPC traffic fair-sharing models poorly and recomputes
+            // made expensive) fall through to the sampled-delay path below,
+            // which works identically in either network mode.
             let Some(latency) = self.shared.net.flow_latency(from_site, to_site, now) else {
                 let id = self.shared.tele.dropped_partition;
                 self.shared.metrics.reg.inc(id);
@@ -799,6 +934,7 @@ impl Sim {
                 seq: 0,
                 queue: TimingWheel::new(),
                 cascades_seen: 0,
+                fast_inserts_seen: 0,
                 net,
                 hosts,
                 host_up,
@@ -817,6 +953,8 @@ impl Sim {
                 flow_resched: Vec::new(),
                 batched: DEFAULT_BATCHED.load(std::sync::atomic::Ordering::SeqCst),
                 dispatch_buf: Vec::new(),
+                batch_buf: Vec::new(),
+                dirty_flows: DEFAULT_DIRTY_FLOWS.load(std::sync::atomic::Ordering::SeqCst),
                 batch_len_max: 0,
                 pool_primed: false,
                 pool_seen: crate::payload::PoolStats::default(),
@@ -1036,6 +1174,68 @@ impl Sim {
         }
     }
 
+    /// Deliver a same-timestamp group of events addressed to one process in
+    /// a single [`Process::on_batch`] virtual call. The alive/host-up gate
+    /// is checked once — nothing can revoke it mid-group except a self-exit,
+    /// which [`EventBatch::next`] handles per event — and spawns/exits
+    /// integrate once at group end, where per-event dispatch would next
+    /// observe them anyway (spawned processes' `Started` events carry
+    /// higher seqs and surface in a later run). Skipped when span tracing
+    /// is on so per-event dispatch span records stay byte-identical.
+    fn deliver_batch(&mut self, pid: ProcessId, t_us: u64, group: &mut Vec<(u64, Event)>) {
+        let time = SimTime::from_micros(t_us);
+        debug_assert!(time >= self.shared.now, "time went backwards");
+        self.shared.now = time;
+        let idx = pid.0 as usize;
+        let deliverable = self.shared.meta[idx].alive
+            && self.shared.host_up[self.shared.meta[idx].host.0 as usize];
+        if deliverable {
+            if let Some(mut p) = self.procs[idx].take() {
+                let delivered = self.shared.tele.batch_delivered;
+                self.shared.metrics.reg.add(delivered, group.len() as f64);
+                let mut batch = EventBatch {
+                    pid,
+                    entries: group,
+                    cursor: 0,
+                };
+                let mut ctx = Ctx {
+                    shared: &mut self.shared,
+                    me: pid,
+                };
+                p.on_batch(&mut ctx, &mut batch);
+                // An overridden on_batch may return early; finish the run
+                // with the identical per-event accounting.
+                while let Some(ev) = batch.next(&mut ctx) {
+                    p.on_event(&mut ctx, ev);
+                }
+                if self.procs[idx].is_none() {
+                    self.procs[idx] = Some(p);
+                }
+            }
+        } else {
+            // Per-event dispatch swallows lazily-cancelled timers before
+            // the deliverable gate; replicate that ordering per event.
+            for (seq, ev) in group.iter() {
+                if let Event::Timer { tag } = ev {
+                    if let Some(&watermark) = self.shared.cancelled.get(&(pid.0, *tag)) {
+                        if *seq < watermark {
+                            let c = self.shared.tele.timers_cancelled;
+                            self.shared.metrics.reg.inc(c);
+                            continue;
+                        }
+                    }
+                }
+                let dropped = self.shared.tele.dropped_dead_dest;
+                self.shared.metrics.reg.inc(dropped);
+            }
+        }
+        group.clear();
+        if self.shared.flows.has_dirty() {
+            self.shared.flush_dirty_flows();
+        }
+        self.integrate_pending();
+    }
+
     /// Dispatch one already-popped, already-hashed queue entry: advance
     /// `now`, swallow lazily-cancelled timers, route by target, integrate
     /// spawns/exits. Shared verbatim by the per-event and batch loops.
@@ -1074,17 +1274,21 @@ impl Sim {
                         self.shared.metrics.reg.set_gauge(active, n);
                         // Capacity freed up: re-share it among the
                         // survivors on this flow's links.
-                        let now = self.shared.now;
-                        {
-                            let Shared {
-                                flows,
-                                net,
-                                flow_resched,
-                                ..
-                            } = &mut self.shared;
-                            flows.recompute(&cf.links[..cf.nlinks], now, net, flow_resched);
+                        if self.shared.dirty_flows {
+                            self.shared.flows.mark_dirty(&cf.links[..cf.nlinks]);
+                        } else {
+                            let now = self.shared.now;
+                            {
+                                let Shared {
+                                    flows,
+                                    net,
+                                    flow_resched,
+                                    ..
+                                } = &mut self.shared;
+                                flows.recompute(&cf.links[..cf.nlinks], now, net, flow_resched);
+                            }
+                            self.shared.flush_flow_resched();
                         }
-                        self.shared.flush_flow_resched();
                         self.deliver(
                             ProcessId(cf.to),
                             Event::Message {
@@ -1099,6 +1303,9 @@ impl Sim {
             Target::Proc(pid) => {
                 self.deliver(pid, ev.expect("process events carry payloads"));
             }
+        }
+        if self.shared.flows.has_dirty() {
+            self.shared.flush_dirty_flows();
         }
         self.integrate_pending();
     }
@@ -1128,6 +1335,10 @@ impl Sim {
             // exactly the order per-event popping produces — the golden
             // hashes pin this equivalence bit-for-bit.
             let mut buf = std::mem::take(&mut self.shared.dispatch_buf);
+            let mut group = std::mem::take(&mut self.shared.batch_buf);
+            // Grouped delivery skips the per-event dispatch span records,
+            // so fall back to per-event dispatch while tracing collects.
+            let tracing = self.shared.metrics.reg.tracing_enabled();
             loop {
                 debug_assert!(buf.is_empty());
                 let n = self.shared.queue.pop_run_upto(limit, &mut buf);
@@ -1144,11 +1355,45 @@ impl Sim {
                     h = fold_entry(h, *t_us, *seq, target, ev);
                 }
                 self.shared.order_hash = h;
-                for (t_us, seq, (target, ev)) in buf.drain(..) {
-                    self.dispatch_entry(t_us, seq, target, ev);
+                if tracing || n < 2 {
+                    for (t_us, seq, (target, ev)) in buf.drain(..) {
+                        self.dispatch_entry(t_us, seq, target, ev);
+                    }
+                    continue;
+                }
+                // Hand maximal spans of consecutive entries addressed to
+                // one process to a single on_batch call; everything else
+                // (singles, host transitions, flow completions) takes the
+                // per-event path unchanged.
+                let mut it = buf.drain(..).peekable();
+                while let Some((t_us, seq, (target, ev))) = it.next() {
+                    let pid = match target {
+                        Target::Proc(pid) => pid,
+                        other => {
+                            self.dispatch_entry(t_us, seq, other, ev);
+                            continue;
+                        }
+                    };
+                    let grouped =
+                        matches!(it.peek(), Some((_, _, (Target::Proc(p2), _))) if *p2 == pid);
+                    if !grouped {
+                        self.dispatch_entry(t_us, seq, Target::Proc(pid), ev);
+                        continue;
+                    }
+                    debug_assert!(group.is_empty());
+                    group.push((seq, ev.expect("process events carry payloads")));
+                    while let Some((_, _, (Target::Proc(p2), _))) = it.peek() {
+                        if *p2 != pid {
+                            break;
+                        }
+                        let (_, s2, (_, e2)) = it.next().expect("peeked entry exists");
+                        group.push((s2, e2.expect("process events carry payloads")));
+                    }
+                    self.deliver_batch(pid, t_us, &mut group);
                 }
             }
             self.shared.dispatch_buf = buf;
+            self.shared.batch_buf = group;
         } else {
             // Per-event mode: the pre-batching loop, kept for A/B
             // measurement and the batch-equivalence golden-hash test.
@@ -1168,6 +1413,13 @@ impl Sim {
             self.shared.cascades_seen = cascades;
             let c = self.shared.tele.wheel_cascades;
             self.shared.metrics.reg.add(c, new_cascades as f64);
+        }
+        let fast = self.shared.queue.fast_inserts();
+        let new_fast = fast - self.shared.fast_inserts_seen;
+        if new_fast > 0 {
+            self.shared.fast_inserts_seen = fast;
+            let c = self.shared.tele.insert_fast_path;
+            self.shared.metrics.reg.add(c, new_fast as f64);
         }
         if batch_runs > 0 {
             let d = self.shared.tele.batch_dispatches;
@@ -1219,6 +1471,15 @@ impl Sim {
     /// benchmarking and for that test, never for behavior.
     pub fn set_batched_dispatch(&mut self, batched: bool) {
         self.shared.batched = batched;
+    }
+
+    /// Switch between dirty-link coalesced fair-share recomputes (the
+    /// default) and the eager per-membership-change passes of the original
+    /// flow model. Both paths produce bit-identical flow completion times
+    /// — an equivalence test pins this — so this knob exists for honest
+    /// A/B benchmarking and for that test, never for behavior.
+    pub fn set_dirty_flow_recompute(&mut self, dirty: bool) {
+        self.shared.dirty_flows = dirty;
     }
 
     /// Drain every remaining event regardless of time. Intended for tests;

@@ -44,10 +44,12 @@ pub use farm::{available_threads, merge_cell_registries, resolve_threads, run_fa
 pub use hashers::{FxHashMap, FxHasher};
 pub use host::{HostId, HostSpec, HostTable};
 pub use kernel::{
-    set_default_batched_dispatch, Ctx, Event, Metrics, Process, ProcessId, RunStats, Sim,
+    set_default_batched_dispatch, set_default_dirty_flow_recompute, Ctx, Event, EventBatch,
+    Metrics, Process, ProcessId, RunStats, Sim,
 };
 pub use net::{
     CompletedFlow, FlowTable, Impairment, NetModel, NetworkModel, Partition, SiteId, SiteSpec,
+    FLOW_MTU_BYTES,
 };
 pub use payload::{pool_reset, pool_stats, Payload, PoolStats};
 pub use rng::{StreamSeeder, Xoshiro256};

@@ -429,6 +429,10 @@ pub struct FlowTable {
     comp_flows: Vec<u32>,
     epoch: u32,
     active: usize,
+    /// Links whose flow membership changed since the last coalesced
+    /// recompute flush (deduped worklist + per-link mark).
+    dirty_links: Vec<u32>,
+    dirty_marked: Vec<bool>,
 }
 
 impl FlowTable {
@@ -444,6 +448,8 @@ impl FlowTable {
             comp_flows: Vec::new(),
             epoch: 0,
             active: 0,
+            dirty_links: Vec::new(),
+            dirty_marked: vec![false; site_count * 2],
         }
     }
 
@@ -505,6 +511,49 @@ impl FlowTable {
     pub fn links_of(&self, id: u32) -> ([u32; 2], usize) {
         let f = self.slots[id as usize].1.as_ref().expect("live flow");
         (f.links, f.nlinks as usize)
+    }
+
+    /// Record that `links` changed flow membership. A later
+    /// [`recompute_dirty`](FlowTable::recompute_dirty) runs one fair-share
+    /// pass seeded with every link marked since the previous one, letting
+    /// the kernel coalesce the recomputes a multi-send event would
+    /// otherwise run back to back.
+    pub fn mark_dirty(&mut self, links: &[u32]) {
+        for &l in links {
+            if !self.dirty_marked[l as usize] {
+                self.dirty_marked[l as usize] = true;
+                self.dirty_links.push(l);
+            }
+        }
+    }
+
+    /// Whether any link awaits a coalesced recompute.
+    pub fn has_dirty(&self) -> bool {
+        !self.dirty_links.is_empty()
+    }
+
+    /// Run [`recompute`](FlowTable::recompute) seeded with the accumulated
+    /// dirty links, clearing the worklist. Returns how many dirty links
+    /// were consumed (zero means no recompute ran).
+    pub fn recompute_dirty(
+        &mut self,
+        now: SimTime,
+        net: &NetModel,
+        out: &mut Vec<FlowDeadline>,
+    ) -> usize {
+        let n = self.dirty_links.len();
+        if n == 0 {
+            return 0;
+        }
+        let seeds = std::mem::take(&mut self.dirty_links);
+        for &l in &seeds {
+            self.dirty_marked[l as usize] = false;
+        }
+        self.recompute(&seeds, now, net, out);
+        // Hand the buffer back so the worklist stays allocation-free.
+        self.dirty_links = seeds;
+        self.dirty_links.clear();
+        n
     }
 
     /// Finish a flow if `generation` is current. `None` means the deadline

@@ -65,6 +65,52 @@ struct Entry<T> {
     item: T,
 }
 
+/// Slot storage in structure-of-arrays layout: the `(time, seq)` keys a
+/// settle scan actually reads live in one dense array, while the
+/// payload-sized items sit in a parallel array that is only touched when
+/// entries move. Key scans (sortedness checks, cascade destination
+/// selection) stay in cache instead of striding over `Entry<T>`-sized
+/// records.
+struct Slot<T> {
+    keys: Vec<(u64, u64)>,
+    items: Vec<T>,
+}
+
+impl<T> Default for Slot<T> {
+    fn default() -> Self {
+        Slot {
+            keys: Vec::new(),
+            items: Vec::new(),
+        }
+    }
+}
+
+impl<T> Slot<T> {
+    fn push(&mut self, time: u64, seq: u64, item: T) {
+        self.keys.push((time, seq));
+        self.items.push(item);
+    }
+
+    fn len(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// Whether the slot's entries are already in seq order (true whenever
+    /// the slot was filled by direct inserts only, since seqs are assigned
+    /// monotonically). A key-array scan — no items touched — that lets the
+    /// settle skip its run sort in the common case.
+    fn is_seq_sorted(&self) -> bool {
+        self.keys.windows(2).all(|w| w[0].1 <= w[1].1)
+    }
+
+    fn drain(&mut self) -> impl Iterator<Item = (u64, u64, T)> + '_ {
+        self.keys
+            .drain(..)
+            .zip(self.items.drain(..))
+            .map(|((t, s), item)| (t, s, item))
+    }
+}
+
 /// A hierarchical timing wheel over `u64` ticks with `(time, seq)` total
 /// ordering. See the module docs for the design and determinism argument.
 pub struct TimingWheel<T> {
@@ -73,8 +119,8 @@ pub struct TimingWheel<T> {
     /// Total entries across levels, ready queue, and overflow.
     len: usize,
     /// `levels[l][s]` holds entries whose tick lands in slot `s` of level
-    /// `l` for the current rotation.
-    levels: Vec<[Vec<Entry<T>>; SLOTS]>,
+    /// `l` for the current rotation, in SoA layout (see [`Slot`]).
+    levels: Vec<[Slot<T>; SLOTS]>,
     /// Per-level bitmap of non-empty slots.
     occupied: [u64; LEVELS],
     /// Bitmask of levels with any occupied slot (`occupied[l] != 0`), so
@@ -90,9 +136,14 @@ pub struct TimingWheel<T> {
     /// migrated out of overflow). A cheap health signal: cascades scale
     /// with how far ahead processes arm timers.
     cascades: u64,
-    /// Emptied slot vectors kept for reuse, so cascading doesn't pay an
+    /// Number of inserts that took the level-0 fast path (near-horizon
+    /// events deposited directly into their slot, skipping level
+    /// selection). After batched drains these dominate, so the ratio to
+    /// total inserts says how much the fast path is actually worth.
+    fast_inserts: u64,
+    /// Emptied slot storage kept for reuse, so cascading doesn't pay an
     /// allocation to re-grow the destination slot it just vacated.
-    spare: Vec<Vec<Entry<T>>>,
+    spare: Vec<Slot<T>>,
     /// Tiny-mode storage, sorted descending by `(time, seq)` so the
     /// minimum pops from the back. Unused (empty) in wheel mode.
     tiny: Vec<Entry<T>>,
@@ -111,7 +162,7 @@ impl<T> TimingWheel<T> {
     /// An empty wheel positioned at tick 0.
     pub fn new() -> Self {
         let levels = (0..LEVELS)
-            .map(|_| std::array::from_fn(|_| Vec::new()))
+            .map(|_| std::array::from_fn(|_| Slot::default()))
             .collect();
         TimingWheel {
             cur: 0,
@@ -123,6 +174,7 @@ impl<T> TimingWheel<T> {
             overflow: Vec::new(),
             overflow_min: u64::MAX,
             cascades: 0,
+            fast_inserts: 0,
             spare: Vec::new(),
             tiny: Vec::new(),
             in_tiny: true,
@@ -144,6 +196,11 @@ impl<T> TimingWheel<T> {
         self.cascades
     }
 
+    /// Total inserts that took the level-0 fast path since construction.
+    pub fn fast_inserts(&self) -> u64 {
+        self.fast_inserts
+    }
+
     /// Insert an entry. `time` must be `>= `the wheel's current tick (the
     /// simulator never schedules into the past); `seq` must be globally
     /// unique and monotonically assigned.
@@ -151,8 +208,8 @@ impl<T> TimingWheel<T> {
         debug_assert!(time >= self.cur, "scheduled into the past");
         let time = time.max(self.cur);
         self.len += 1;
-        let e = Entry { time, seq, item };
         if self.in_tiny {
+            let e = Entry { time, seq, item };
             if self.tiny.len() < TINY_MAX {
                 let key = (time, seq);
                 let pos = self.tiny.partition_point(|x| (x.time, x.seq) > key);
@@ -164,37 +221,53 @@ impl<T> TimingWheel<T> {
                 self.in_tiny = false;
                 let mut spill = std::mem::take(&mut self.tiny);
                 for t in spill.drain(..).rev() {
-                    self.file(t);
+                    self.file(t.time, t.seq, t.item);
                 }
                 self.tiny = spill;
-                self.file(e);
+                self.file(e.time, e.seq, e.item);
             }
             return;
         }
-        self.file(e);
+        // Fast path: a tick within the level-0 span of the cursor
+        // (`time ^ cur` fits the low BITS) lands in level 0 by
+        // construction — deposit straight into its slot, skipping level
+        // selection. Near-horizon timers dominate after batched drains,
+        // so this is the hot insert route. Identical placement to `file`:
+        // the highest differing bit is below BITS, so `file` would pick
+        // level 0 and the same `time & (SLOTS - 1)` slot.
+        let x = time ^ self.cur;
+        if x != 0 && x < SLOTS as u64 {
+            let slot = (time & (SLOTS as u64 - 1)) as usize;
+            self.occupied[0] |= 1 << slot;
+            self.active |= 1;
+            self.levels[0][slot].push(time, seq, item);
+            self.fast_inserts += 1;
+            return;
+        }
+        self.file(time, seq, item);
     }
 
     /// Route an entry to the ready queue, a wheel slot, or overflow,
     /// based on the highest bit in which its tick differs from `cur`.
-    fn file(&mut self, e: Entry<T>) {
-        let x = e.time ^ self.cur;
+    fn file(&mut self, time: u64, seq: u64, item: T) {
+        let x = time ^ self.cur;
         if x == 0 {
             // At the current tick. Direct inserts arrive in seq order
             // (monotonic assignment), and settle sorts after gathering, so
             // push_back maintains the sorted-by-seq invariant.
-            self.ready.push_back(e);
+            self.ready.push_back(Entry { time, seq, item });
             return;
         }
         let level = ((63 - x.leading_zeros()) / BITS) as usize;
         if level >= LEVELS {
-            self.overflow_min = self.overflow_min.min(e.time);
-            self.overflow.push(e);
+            self.overflow_min = self.overflow_min.min(time);
+            self.overflow.push(Entry { time, seq, item });
             return;
         }
-        let slot = ((e.time >> (BITS * level as u32)) & (SLOTS as u64 - 1)) as usize;
+        let slot = ((time >> (BITS * level as u32)) & (SLOTS as u64 - 1)) as usize;
         self.occupied[level] |= 1 << slot;
         self.active |= 1 << level;
-        self.levels[level][slot].push(e);
+        self.levels[level][slot].push(time, seq, item);
     }
 
     /// Start of the first occupied slot of `level` at or after the current
@@ -257,6 +330,12 @@ impl<T> TimingWheel<T> {
                 return false;
             }
             self.cur = candidate;
+            // Whether the run gathered at this tick could be out of seq
+            // order: cascades and overflow migration interleave re-filed
+            // entries with direct inserts; a pure level-0 hit whose slot
+            // is already seq-sorted (the common case — monotonic seqs)
+            // skips the sort entirely.
+            let mut mixed = false;
             // Migrate due overflow entries: once `cur` reaches the cached
             // minimum, every overflow entry is re-filed (most land back in
             // the top wheel level; stragglers recompute the minimum).
@@ -264,8 +343,9 @@ impl<T> TimingWheel<T> {
                 let spill = std::mem::take(&mut self.overflow);
                 self.overflow_min = u64::MAX;
                 self.cascades += spill.len() as u64;
+                mixed = true;
                 for e in spill {
-                    self.file(e);
+                    self.file(e.time, e.seq, e.item);
                 }
             }
             // Cascade every level whose slot starts exactly at `cur`,
@@ -292,7 +372,7 @@ impl<T> TimingWheel<T> {
                 if self.occupied[level] == 0 {
                     self.active &= !(1 << level);
                 }
-                // Swap in a recycled vector so the vacated slot keeps
+                // Swap in recycled slot storage so the vacated slot keeps
                 // capacity for its next rotation instead of re-allocating.
                 let mut entries = std::mem::replace(
                     &mut self.levels[level][slot],
@@ -303,19 +383,28 @@ impl<T> TimingWheel<T> {
                     // rotation, and the cascade reaches it only when that
                     // tick == `cur`, so every entry would be re-filed
                     // straight into `ready`. Append wholesale instead of
-                    // paying the xor/branch of `file` per entry.
-                    self.ready.extend(entries.drain(..));
+                    // paying the xor/branch of `file` per entry. The
+                    // sortedness probe reads only the key array (SoA).
+                    mixed = mixed || !self.ready.is_empty() || !entries.is_seq_sorted();
+                    self.ready
+                        .extend(
+                            entries
+                                .drain()
+                                .map(|(time, seq, item)| Entry { time, seq, item }),
+                        );
                 } else {
                     self.cascades += entries.len() as u64;
-                    for e in entries.drain(..) {
-                        self.file(e);
+                    mixed = true;
+                    for (t, s, item) in entries.drain() {
+                        self.file(t, s, item);
                     }
                 }
                 self.spare.push(entries);
             }
-            // Everything at `cur` is now in ready; one sort restores the
+            // Everything at `cur` is now in ready; when the gather mixed
+            // sources (or hit an unsorted slot) one sort restores the
             // (time, seq) total order (all ready ticks are equal).
-            if self.ready.len() > 1 {
+            if mixed && self.ready.len() > 1 {
                 self.ready.make_contiguous().sort_unstable_by_key(|e| e.seq);
             }
         }
@@ -462,12 +551,14 @@ impl<T> TimingWheel<T> {
                 return 0;
             }
             self.cur = candidate;
+            let mut mixed = false;
             if !self.overflow.is_empty() && self.overflow_min == candidate {
                 let spill = std::mem::take(&mut self.overflow);
                 self.overflow_min = u64::MAX;
                 self.cascades += spill.len() as u64;
+                mixed = true;
                 for e in spill {
-                    self.file(e);
+                    self.file(e.time, e.seq, e.item);
                 }
             }
             let tz = if self.cur == 0 {
@@ -493,11 +584,14 @@ impl<T> TimingWheel<T> {
                 );
                 if level == 0 {
                     // The whole slot is the current tick: straight out.
-                    out.extend(entries.drain(..).map(|e| (e.time, e.seq, e.item)));
+                    // The sortedness probe scans only the key array.
+                    mixed = mixed || !self.ready.is_empty() || !entries.is_seq_sorted();
+                    out.extend(entries.drain());
                 } else {
                     self.cascades += entries.len() as u64;
-                    for e in entries.drain(..) {
-                        self.file(e);
+                    mixed = true;
+                    for (t, s, item) in entries.drain() {
+                        self.file(t, s, item);
                     }
                 }
                 self.spare.push(entries);
@@ -510,7 +604,7 @@ impl<T> TimingWheel<T> {
             }
             let n = out.len() - start;
             if n > 0 {
-                if n > 1 {
+                if mixed && n > 1 {
                     // One sort restores seq order (all run ticks equal).
                     out[start..].sort_unstable_by_key(|e| e.1);
                 }
@@ -759,6 +853,34 @@ mod tests {
         assert_eq!(w.pop_run_upto(u64::MAX, &mut buf), 1);
         assert_eq!(buf, vec![(8, 3, ())]);
         assert!(w.is_empty());
+    }
+
+    #[test]
+    fn fast_insert_counter_counts_near_horizon_only() {
+        let mut w = TimingWheel::new();
+        // Leave tiny mode with far-future entries (slow path).
+        for i in 0..=TINY_MAX as u64 {
+            w.insert(10_000 + i, i, ());
+        }
+        assert_eq!(w.fast_inserts(), 0);
+        // Near-horizon inserts (within 64 ticks of cur = 0) take the fast
+        // path; exact-tick and far inserts do not.
+        w.insert(63, 100, ());
+        w.insert(1, 101, ());
+        assert_eq!(w.fast_inserts(), 2);
+        w.insert(0, 102, ()); // exact tick -> ready, not fast path
+        w.insert(64, 103, ()); // level 1
+        assert_eq!(w.fast_inserts(), 2);
+        // Order is still total by (time, seq).
+        let mut prev = (0, 0);
+        let mut first = true;
+        while let Some((t, s, ())) = w.pop_upto(u64::MAX) {
+            if !first {
+                assert!((t, s) > prev);
+            }
+            first = false;
+            prev = (t, s);
+        }
     }
 
     #[test]
